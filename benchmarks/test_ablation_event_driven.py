@@ -1,0 +1,52 @@
+"""Ablation: event-driven vs dense PE scheduling.
+
+The SIA's PEs skip kernel-row segments with no spikes (paper §III-A:
+"event-driven synaptic integration").  This ablation quantifies the
+cycle savings at the observed spike rates and confirms functional
+equivalence — gating only ever skips zero-valued work.
+"""
+
+import numpy as np
+
+from repro.data import SyntheticCIFAR
+from repro.hw import SpikingInferenceAccelerator, map_network
+from repro.hw.latency import ArchitecturalLatencyModel
+from repro.pipeline import build_quantized_twin
+from repro.pipeline.trainer import TrainConfig, Trainer
+from repro.snn import convert_to_snn
+
+
+def _mapped_network():
+    ds = SyntheticCIFAR(num_train=128, num_test=64, noise=0.8, seed=3)
+    model = build_quantized_twin("vgg11", width=0.125, num_classes=10, levels=2, seed=0)
+    Trainer(model, TrainConfig(epochs=1, lr=1e-3)).fit(ds.train_x, ds.train_y)
+    convert_to_snn(model)
+    return map_network(model, calibration_input=ds.train_x), ds
+
+
+def test_ablation_event_driven_vs_dense(benchmark):
+    mapped, ds = _mapped_network()
+    sparse = SpikingInferenceAccelerator(mapped, event_driven=True)
+    dense = SpikingInferenceAccelerator(mapped, event_driven=False)
+    batch = ds.test_x[:16]
+
+    logits_sparse, report_sparse = benchmark.pedantic(
+        lambda: sparse.run(batch, timesteps=8), rounds=1, iterations=1
+    )
+    logits_dense, report_dense = dense.run(batch, timesteps=8)
+
+    saving = 1.0 - report_sparse.total_core_cycles / report_dense.total_core_cycles
+    print("\n--- Ablation: event-driven vs dense scheduling ---")
+    print(f"dense cycles/inference:        {report_dense.cycles_per_inference:,.0f}")
+    print(f"event-driven cycles/inference: {report_sparse.cycles_per_inference:,.0f}")
+    print(f"cycle saving from event gating: {saving:.1%}")
+
+    assert np.array_equal(logits_sparse, logits_dense), "gating must be lossless"
+    assert saving > 0.15, "sparse spike traffic should save real cycles"
+
+    # Analytical model agrees on the direction and rough magnitude.
+    sparse_model = ArchitecturalLatencyModel(event_driven=True)
+    dense_model = ArchitecturalLatencyModel(event_driven=False)
+    cfg = mapped.layers[3].config
+    rate = report_sparse.layers[3].spike_rate
+    assert sparse_model.conv_cycles(cfg, 8, rate) < dense_model.conv_cycles(cfg, 8, rate)

@@ -1,0 +1,62 @@
+"""Ablation: quantisation level L and weight bit-width sweeps.
+
+The paper trains with L=2 (Fig. 1) and INT8 weights.  This ablation
+shows the design space: higher L converges to the analog ReLU (better
+asymptotic accuracy, slower to train at fixed budget), and narrower
+weights degrade gracefully until the INT8 sweet spot.
+"""
+
+import numpy as np
+
+from repro.data import SyntheticCIFAR
+from repro.nn.quant import dequantize_weight, quantize_weight_int8
+from repro.pipeline import TrainConfig, run_conversion_pipeline
+
+
+def test_ablation_quant_levels(benchmark):
+    ds = SyntheticCIFAR(
+        num_train=600, num_test=200, noise=1.0, class_overlap=0.55, seed=8
+    )
+
+    def sweep():
+        results = {}
+        for levels in (2, 4, 8):
+            res = run_conversion_pipeline(
+                "vgg11",
+                ds,
+                width=0.125,
+                levels=levels,
+                timesteps=max(8, levels),
+                max_timesteps=max(8, levels),
+                ann_config=TrainConfig(epochs=3),
+                finetune_config=TrainConfig(epochs=2, lr=5e-4),
+            )
+            results[levels] = res
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\n--- Ablation: quantisation levels L (VGG-11) ---")
+    print(f"{'L':>3}{'quant ANN acc':>15}{'SNN acc (T>=L)':>16}")
+    for levels, res in results.items():
+        print(f"{levels:>3}{res.quant_accuracy:>15.4f}{res.snn_accuracy:>16.4f}")
+
+    for levels, res in results.items():
+        # Every configuration must convert without collapse.
+        assert res.snn_accuracy >= res.quant_accuracy - 0.15, levels
+
+
+def test_ablation_weight_bitwidth():
+    rng = np.random.default_rng(0)
+    weights = rng.normal(0, 0.05, size=4096).astype(np.float32)
+    print("\n--- Ablation: weight bit-width quantisation error ---")
+    print(f"{'bits':>5}{'max error':>12}{'rms error':>12}")
+    errors = {}
+    for bits in (4, 6, 8, 10):
+        w_int, scale = quantize_weight_int8(weights, bits=bits)
+        err = dequantize_weight(w_int, scale) - weights
+        errors[bits] = float(np.sqrt((err ** 2).mean()))
+        print(f"{bits:>5}{np.abs(err).max():>12.6f}{errors[bits]:>12.6f}")
+    # Error shrinks ~2x per extra bit.
+    assert errors[4] > errors[6] > errors[8] > errors[10]
+    assert errors[4] / errors[8] > 8

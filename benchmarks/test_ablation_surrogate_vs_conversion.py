@@ -1,0 +1,58 @@
+"""Ablation: direct surrogate-gradient training vs ANN-to-SNN conversion.
+
+The paper's introduction motivates conversion by noting that directly
+trained / converted SNNs in the prior art "require hundreds of time
+steps to match the accuracy of ANNs", while the proposed pipeline needs
+< 8.  This ablation trains a small SNN directly with surrogate
+gradients (BPTT) and runs the conversion pipeline on a matched budget,
+comparing accuracy at the paper's 8-timestep operating point.
+"""
+
+from repro.data import SyntheticCIFAR
+from repro.pipeline import TrainConfig, run_conversion_pipeline
+from repro.snn import SurrogateSNN, evaluate_surrogate_snn, train_surrogate_snn
+
+
+def test_ablation_surrogate_vs_conversion(benchmark):
+    ds = SyntheticCIFAR(
+        num_train=600, num_test=200, noise=1.0, class_overlap=0.55, seed=10
+    )
+
+    # Conversion pipeline (the paper's approach).
+    conversion = run_conversion_pipeline(
+        "vgg11",
+        ds,
+        width=0.125,
+        levels=2,
+        timesteps=8,
+        max_timesteps=8,
+        ann_config=TrainConfig(epochs=3),
+        finetune_config=TrainConfig(epochs=2, lr=5e-4),
+    )
+
+    # Direct surrogate-gradient training (the contrast baseline), on a
+    # comparable wall-clock budget (BPTT over T makes epochs ~T x
+    # costlier, hence the smaller model and epoch count).
+    surrogate = SurrogateSNN(num_classes=10, channels=(16, 32), seed=0)
+    benchmark.pedantic(
+        lambda: train_surrogate_snn(
+            surrogate, ds.train_x, ds.train_y, epochs=3, timesteps=4, lr=2e-3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    surrogate_acc = {
+        t: evaluate_surrogate_snn(surrogate, ds.test_x, ds.test_y, timesteps=t)
+        for t in (4, 8)
+    }
+
+    print("\n--- Ablation: conversion vs direct surrogate training (T=8) ---")
+    print(f"conversion pipeline: ANN={conversion.ann_accuracy:.4f} "
+          f"-> SNN(T=8)={conversion.snn_accuracy:.4f}")
+    print(f"surrogate training:  SNN(T=4)={surrogate_acc[4]:.4f} "
+          f"SNN(T=8)={surrogate_acc[8]:.4f}")
+
+    # Both must learn; conversion should at least match direct training
+    # at the low-latency operating point (the paper's premise).
+    assert surrogate_acc[8] > 0.2, "surrogate baseline failed to learn at all"
+    assert conversion.snn_accuracy >= surrogate_acc[8] - 0.05

@@ -1,0 +1,24 @@
+"""Paper §V ASIC note: TSMC 40 nm projection — 500 MHz, 192 GOPS,
+11 mm^2, 2.17 W."""
+
+import pytest
+
+from repro.eval import asic_projection_experiment
+
+
+def test_asic_40nm_projection(benchmark):
+    report = benchmark.pedantic(asic_projection_experiment, rounds=3, iterations=1)
+
+    print("\n--- ASIC projection (TSMC 40 nm) ---")
+    print(f"paper:    500 MHz, 192 GOPS, 11 mm^2, 2.17 W")
+    print(
+        f"measured: {report.clock_mhz:.0f} MHz, {report.gops:.1f} GOPS, "
+        f"{report.area_mm2:.2f} mm^2, {report.power_watts:.3f} W "
+        f"({report.gops_per_watt:.1f} GOPS/W)"
+    )
+
+    assert report.gops == pytest.approx(192.0)
+    assert report.area_mm2 == pytest.approx(11.0, abs=0.3)
+    assert report.power_watts == pytest.approx(2.17, abs=0.05)
+    # The FPGA->ASIC energy-efficiency jump (25 -> ~90 GOPS/W).
+    assert report.gops_per_watt > 3 * 24.93

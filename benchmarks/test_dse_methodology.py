@@ -1,0 +1,47 @@
+"""Design-methodology bench: the title's promise, made executable.
+
+Sweeps the SIA architecture space with the same models that reproduce
+Tables III/IV, extracts the Pareto frontier, and situates the paper's
+shipped 8x8/16-lane/100 MHz point in it.
+"""
+
+from repro.eval import render_table
+from repro.hw.dse import DesignSpaceExplorer, SweepSpec, paper_design_point
+
+
+def test_design_space_exploration(benchmark):
+    explorer = DesignSpaceExplorer()
+    points = benchmark.pedantic(
+        lambda: explorer.sweep(SweepSpec()), rounds=1, iterations=1
+    )
+    front = explorer.pareto_front(points)  # gops vs area vs power
+    paper = paper_design_point()
+
+    print("\n--- Design-space exploration (Pareto front, PYNQ-Z2) ---")
+    rows = [
+        {
+            "design": p.label,
+            "gops": p.gops,
+            "gops_per_watt": p.gops_per_watt,
+            "gops_per_dsp": p.gops_per_dsp,
+            "luts": p.luts,
+            "dsps": p.dsps,
+            "watts": p.power_watts,
+        }
+        for p in front
+    ]
+    print(render_table(rows, ["design", "gops", "gops_per_watt", "gops_per_dsp",
+                              "luts", "dsps", "watts"]))
+    feasible = [p for p in points if p.fits]
+    print(f"candidates: {len(points)}  feasible: {len(feasible)}  on front: {len(front)}")
+    print(f"paper point: {paper.label} -> {paper.gops} GOPS, "
+          f"{paper.gops_per_watt} GOPS/W, fits={paper.fits}")
+
+    assert paper.fits
+    assert len(front) >= 3
+    # The frontier must trade throughput against area/power.
+    assert front[0].gops < front[-1].gops
+    assert front[0].luts <= front[-1].luts
+    # The fastest feasible candidate is always on the front.
+    best_gops = max(p.gops for p in feasible)
+    assert any(p.gops == best_gops for p in front)

@@ -1,0 +1,57 @@
+"""Extension: weight-memory fault robustness of the INT8 datapath.
+
+Sweeps bit-error rates in the accelerator's weight memory image with
+the bit-true simulator.  Edge deployments care about this curve (SEUs,
+transfer corruption); the integer model captures high-order-bit damage
+a float simulation would smooth over.
+"""
+
+from repro.data import SyntheticCIFAR
+from repro.eval import render_table
+from repro.hw import map_network
+from repro.hw.faults import weight_fault_sweep
+from repro.pipeline import TrainConfig, run_conversion_pipeline
+
+
+def test_weight_memory_fault_robustness(benchmark):
+    ds = SyntheticCIFAR(
+        num_train=600, num_test=200, noise=1.0, class_overlap=0.55, seed=12
+    )
+    result = run_conversion_pipeline(
+        "vgg11",
+        ds,
+        width=0.125,
+        levels=2,
+        timesteps=8,
+        max_timesteps=8,
+        ann_config=TrainConfig(epochs=4),
+        finetune_config=TrainConfig(epochs=3, lr=5e-4),
+    )
+    mapped = map_network(result.snn.model, calibration_input=ds.train_x)
+
+    rates = [0.0, 1e-4, 1e-3, 1e-2, 5e-2]
+    reports = benchmark.pedantic(
+        lambda: weight_fault_sweep(
+            mapped, ds.test_x, ds.test_y, bit_error_rates=rates, timesteps=8
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n--- Weight-memory fault robustness (VGG-11, T=8) ---")
+    rows = [
+        {
+            "bit_error_rate": r.bit_error_rate,
+            "flipped_bits": r.flipped_bits,
+            "accuracy": round(r.faulty_accuracy, 4),
+            "drop": round(r.accuracy_drop, 4),
+        }
+        for r in reports
+    ]
+    print(render_table(rows, ["bit_error_rate", "flipped_bits", "accuracy", "drop"]))
+
+    baseline = reports[0].faulty_accuracy
+    assert baseline > 0.6, "pipeline must produce a working network"
+    # Graceful degradation at low BER, collapse at high BER.
+    assert reports[1].faulty_accuracy >= baseline - 0.10, "1e-4 BER ~ harmless"
+    assert reports[-1].faulty_accuracy <= baseline, "5e-2 BER must hurt"

@@ -1,0 +1,42 @@
+"""Fig. 7: ResNet-18 SNN classification accuracy vs spike timesteps.
+
+Paper (CIFAR-10, full-width): ANN 95.83%, quantised ANN 94.37%, SNN
+94.71% — the SNN exceeds the quantised ANN within ~8 timesteps and
+settles within 1% of the FP32 baseline.
+
+Here (synthetic dataset, width-scaled): absolute accuracies differ, but
+the *shape* must hold — a rising curve that reaches the quantised-ANN
+accuracy band within ~8 steps and lands close to the ANN baseline.
+"""
+
+PAPER = {"ann": 0.9583, "quant": 0.9437, "snn": 0.9471, "timesteps": 8}
+
+
+def test_fig7_resnet18_accuracy_vs_timesteps(resnet_curve, synthetic_dataset, benchmark):
+    curve = resnet_curve
+    print("\n--- Fig. 7 (ResNet-18 accuracy vs timesteps) ---")
+    print(
+        f"paper:    ANN={PAPER['ann']:.4f} quant={PAPER['quant']:.4f} "
+        f"SNN(T=8)={PAPER['snn']:.4f}"
+    )
+    print(
+        f"measured: ANN={curve.ann_accuracy:.4f} quant={curve.quant_accuracy:.4f} "
+        f"SNN(T=8)={curve.per_step_accuracy[7]:.4f}"
+    )
+    series = " ".join(f"{a:.3f}" for a in curve.per_step_accuracy)
+    print(f"measured per-step accuracy (T=1..{len(curve.per_step_accuracy)}): {series}")
+
+    # The benchmarked unit: one 8-timestep SNN inference pass on a batch.
+    batch = synthetic_dataset.test_x[:64]
+    benchmark.pedantic(
+        lambda: curve.result.snn.forward(batch, timesteps=8), rounds=2, iterations=1
+    )
+
+    # Shape criteria (see module docstring).
+    acc8 = curve.per_step_accuracy[7]
+    final = curve.per_step_accuracy[-1]
+    assert curve.per_step_accuracy[0] < acc8, "curve must rise with T"
+    assert acc8 >= curve.quant_accuracy - 0.05, (
+        "SNN should reach the quantised-ANN band by T=8"
+    )
+    assert final >= curve.ann_accuracy - 0.10, "SNN should settle near the ANN baseline"

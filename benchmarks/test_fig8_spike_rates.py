@@ -1,0 +1,30 @@
+"""Fig. 8: average spike rate per layer, converted VGG-11.
+
+Paper: per-layer rates ~0.1-0.4, overall ~0.16, no depth decay.
+"""
+
+import numpy as np
+
+from repro.eval import spike_rate_experiment
+
+PAPER_OVERALL = 0.16
+
+
+def test_fig8_vgg11_spike_rates(vgg_curve, synthetic_dataset, benchmark):
+    stats = benchmark.pedantic(
+        lambda: spike_rate_experiment(
+            vgg_curve, synthetic_dataset, timesteps=8, max_samples=128
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n--- Fig. 8 (VGG-11 per-layer spike rates) ---")
+    print(f"paper overall average: ~{PAPER_OVERALL}")
+    print(f"measured overall average: {stats.overall:.4f}")
+    print(stats.layer_table())
+
+    assert len(stats.per_layer) == 8
+    assert 0.02 <= stats.overall <= 0.45
+    shallow = np.mean(stats.per_layer[:4])
+    deep = np.mean(stats.per_layer[4:])
+    assert deep > 0.3 * shallow

@@ -1,0 +1,35 @@
+"""Fig. 9: VGG-11 SNN classification accuracy vs spike timesteps.
+
+Paper (CIFAR-10, full-width): ANN 91.25%, quantised ANN 90.05%, SNN
+90.47% by ~8 timesteps.  Shape criteria as for Fig. 7.
+"""
+
+PAPER = {"ann": 0.9125, "quant": 0.9005, "snn": 0.9047, "timesteps": 8}
+
+
+def test_fig9_vgg11_accuracy_vs_timesteps(vgg_curve, synthetic_dataset, benchmark):
+    curve = vgg_curve
+    print("\n--- Fig. 9 (VGG-11 accuracy vs timesteps) ---")
+    print(
+        f"paper:    ANN={PAPER['ann']:.4f} quant={PAPER['quant']:.4f} "
+        f"SNN(T=8)={PAPER['snn']:.4f}"
+    )
+    print(
+        f"measured: ANN={curve.ann_accuracy:.4f} quant={curve.quant_accuracy:.4f} "
+        f"SNN(T=8)={curve.per_step_accuracy[7]:.4f}"
+    )
+    series = " ".join(f"{a:.3f}" for a in curve.per_step_accuracy)
+    print(f"measured per-step accuracy (T=1..{len(curve.per_step_accuracy)}): {series}")
+
+    batch = synthetic_dataset.test_x[:64]
+    benchmark.pedantic(
+        lambda: curve.result.snn.forward(batch, timesteps=8), rounds=2, iterations=1
+    )
+
+    acc8 = curve.per_step_accuracy[7]
+    final = curve.per_step_accuracy[-1]
+    assert curve.per_step_accuracy[0] < acc8, "curve must rise with T"
+    assert acc8 >= curve.quant_accuracy - 0.05, (
+        "SNN should reach the quantised-ANN band by T=8"
+    )
+    assert final >= curve.ann_accuracy - 0.10, "SNN should settle near the ANN baseline"

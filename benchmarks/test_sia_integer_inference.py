@@ -1,0 +1,65 @@
+"""End-to-end integer SIA inference: fidelity and sustained throughput.
+
+Not a paper table per se, but the glue between them: the bit-true
+integer pipeline must agree with the float SNN (the co-design claim of
+"software-equivalent accuracy in hardware"), and the cycle counts give
+the sustained-utilisation context for Table IV's peak 38.4 GOPS.
+"""
+
+import numpy as np
+
+from repro.data import SyntheticCIFAR
+from repro.hw import SpikingInferenceAccelerator, map_network
+from repro.hw.resources import ThroughputModel
+from repro.pipeline import TrainConfig, run_conversion_pipeline
+
+
+def test_sia_integer_fidelity_and_throughput(benchmark):
+    ds = SyntheticCIFAR(
+        num_train=600, num_test=200, noise=1.0, class_overlap=0.55, seed=4
+    )
+    # Properly-ordered pipeline: train -> calibrate -> fine-tune -> convert.
+    result = run_conversion_pipeline(
+        "vgg11",
+        ds,
+        width=0.125,
+        levels=2,
+        timesteps=8,
+        max_timesteps=8,
+        ann_config=TrainConfig(epochs=4),
+        finetune_config=TrainConfig(epochs=3, lr=5e-4),
+    )
+    snn = result.snn
+    mapped = map_network(snn.model, calibration_input=ds.train_x)
+    sia = SpikingInferenceAccelerator(mapped)
+
+    batch = ds.test_x[:128]
+    logits_int, report = benchmark.pedantic(
+        lambda: sia.run(batch, timesteps=8), rounds=1, iterations=1
+    )
+    float_logits = snn.forward(batch, 8)
+    agreement = float((logits_int.argmax(1) == float_logits.argmax(1)).mean())
+    int_acc = float((logits_int.argmax(1) == ds.test_y[:128]).mean())
+    float_acc = float((float_logits.argmax(1) == ds.test_y[:128]).mean())
+
+    arch = mapped.arch
+    synops_per_inf = report.total_synaptic_ops / report.batch_size
+    cycles_per_inf = report.cycles_per_inference
+    sustained_gops = (
+        2 * synops_per_inf / (cycles_per_inf / arch.clock_hz) / 1e9
+        if cycles_per_inf
+        else 0.0
+    )
+    tm = ThroughputModel(arch)
+
+    print("\n--- SIA integer inference (VGG-11, T=8) ---")
+    print(f"float SNN accuracy:   {float_acc:.4f}")
+    print(f"integer SIA accuracy: {int_acc:.4f}")
+    print(f"prediction agreement: {agreement:.4f}")
+    print(f"synaptic ops / inference:    {synops_per_inf:,.0f}")
+    print(f"PL cycles / inference:       {cycles_per_inf:,.0f}")
+    print(f"sustained GOPS (mux+add):    {sustained_gops:.2f} of {tm.peak_gops():.1f} peak")
+
+    assert agreement >= 0.9, "INT8 datapath must track the float SNN"
+    assert abs(int_acc - float_acc) <= 0.05
+    assert 0 < sustained_gops <= tm.peak_gops() * 1.01

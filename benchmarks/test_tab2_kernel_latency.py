@@ -1,0 +1,37 @@
+"""Table II: latency as a function of kernel size (reconfigurability).
+
+Paper: Conv(kxk, 64) @ 32x32 costs 0.9479 / 0.95 / 0.9677 / 0.9839 ms
+for k = 3 / 5 / 7 / 11 — nearly flat despite ~13x more MACs at 11x11,
+because the prototype is transfer/driver-bound.  The PE-level cost of a
+kernel application does grow (4 -> 45 cycles), which is what the
+architectural column shows.
+"""
+
+import pytest
+
+from repro.eval import render_table, table2_experiment
+
+PAPER = {3: 0.9479, 5: 0.95, 7: 0.9677, 11: 0.9839}
+
+
+def test_tab2_kernel_size_sweep(benchmark):
+    rows = benchmark.pedantic(table2_experiment, rounds=1, iterations=1)
+
+    print("\n--- Table II (latency vs kernel size) ---")
+    for row in rows:
+        k = int(row["layer"].split("(")[1].split("x")[0])
+        row["paper_ms"] = PAPER[k]
+    print(
+        render_table(
+            rows, ["layer", "output_size", "paper_ms", "latency_ms", "kernel_cycles"]
+        )
+    )
+
+    for row in rows:
+        k = int(row["layer"].split("(")[1].split("x")[0])
+        assert row["latency_ms"] == pytest.approx(PAPER[k], rel=0.05)
+
+    latencies = [r["latency_ms"] for r in rows]
+    assert latencies == sorted(latencies), "latency grows with kernel size"
+    assert latencies[-1] / latencies[0] < 1.10, "but only weakly (transfer-bound)"
+    assert [r["kernel_cycles"] for r in rows] == [4, 11, 22, 45]

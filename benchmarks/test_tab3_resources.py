@@ -1,0 +1,32 @@
+"""Table III: FPGA resource utilisation of the SIA on the PYNQ-Z2."""
+
+import pytest
+
+from repro.eval import render_table, table3_experiment
+
+PAPER = {
+    "LUT": 11932,
+    "FF": 8157,
+    "DSP": 17,
+    "BRAM": 95,
+    "LUTRAM": 158,
+    "BUFG": 1,
+}
+
+
+def test_tab3_resource_utilization(benchmark):
+    rows = benchmark.pedantic(table3_experiment, rounds=3, iterations=1)
+
+    print("\n--- Table III (FPGA resource utilisation) ---")
+    for row in rows:
+        row["paper"] = PAPER[row["parameter"]]
+    print(render_table(rows, ["parameter", "paper", "utilized", "available", "percentage"]))
+
+    for row in rows:
+        assert row["utilized"] == PAPER[row["parameter"]], row["parameter"]
+
+    by_name = {r["parameter"]: r for r in rows}
+    assert by_name["LUT"]["percentage"] == pytest.approx(22.43, abs=0.02)
+    assert by_name["BRAM"]["percentage"] == pytest.approx(67.86, abs=0.02)
+    # The headline: DSP-frugal design (17 of 220).
+    assert by_name["DSP"]["percentage"] < 10.0

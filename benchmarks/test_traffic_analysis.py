@@ -1,0 +1,68 @@
+"""PS<->PL traffic bench: quantifies the §III-D memory-organisation motivation.
+
+The paper justifies its memory map with the observation that SNN
+inference moves more PS<->PL data than ANN inference because inputs are
+binary streams over T timesteps.  This bench reports the per-inference
+traffic decomposition for full-width ResNet-18 and VGG-11.
+"""
+
+from repro.eval import build_geometry_network, render_table
+from repro.hw.config import PYNQ_Z2
+from repro.hw.traffic import TrafficModel
+
+
+def test_traffic_decomposition(benchmark):
+    model = TrafficModel(PYNQ_Z2)
+
+    def run():
+        out = {}
+        for name in ("resnet18", "vgg11"):
+            mapped = build_geometry_network(name, width=1.0)
+            out[name] = model.network_traffic(mapped, timesteps=8)
+        return out
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\n--- PS<->PL traffic per inference (T=8, full width) ---")
+    for name, report in reports.items():
+        rows = [
+            {
+                "component": "weights",
+                "bytes": sum(l.weight_bytes for l in report.layers),
+            },
+            {
+                "component": "spikes (in+out)",
+                "bytes": sum(l.spike_in_bytes + l.spike_out_bytes for l in report.layers),
+            },
+            {
+                "component": "membrane swap",
+                "bytes": sum(l.membrane_swap_bytes for l in report.layers),
+            },
+            {
+                "component": "residual psums",
+                "bytes": sum(l.residual_bytes for l in report.layers),
+            },
+            {
+                "component": "config + BN",
+                "bytes": sum(l.config_bytes for l in report.layers),
+            },
+        ]
+        total_mb = report.total_bytes / 1e6
+        print(f"\n{name}: total {total_mb:.2f} MB/inference "
+              f"(dominant: {report.dominant_component()})")
+        print(render_table(rows, ["component", "bytes"]))
+
+    resnet = reports["resnet18"]
+    vgg = reports["vgg11"]
+    # ResNet-18 has ~11M INT8 params: weights dominate its traffic.
+    assert sum(l.weight_bytes for l in resnet.layers) > 10_000_000
+    # Residual traffic exists only for ResNet.
+    assert sum(l.residual_bytes for l in resnet.layers) > 0
+    assert sum(l.residual_bytes for l in vgg.layers) == 0
+    # Spike traffic scales with T (the paper's motivation).
+    t1 = TrafficModel(PYNQ_Z2)
+    mapped = build_geometry_network("vgg11", width=1.0)
+    assert (
+        t1.network_traffic(mapped, timesteps=16).total_bytes
+        > t1.network_traffic(mapped, timesteps=8).total_bytes
+    )

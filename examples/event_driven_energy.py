@@ -1,0 +1,86 @@
+"""Event-driven sparsity -> datapath activity -> power, on the SIA models.
+
+The SNN argument for energy efficiency: computation happens only where
+spikes are.  This example sweeps input sparsity through the cycle model
+and shows cycles and estimated power tracking the spike rate, ending
+with the FPGA-vs-ASIC energy-efficiency comparison (paper §V).
+
+Run:
+    python examples/event_driven_energy.py
+"""
+
+import numpy as np
+
+from repro.eval import render_table
+from repro.hw import PYNQ_Z2, SpikingCore
+from repro.hw.asic import AsicProjection
+from repro.hw.power import PowerModel
+
+
+def sparsity_sweep() -> None:
+    rng = np.random.default_rng(0)
+    core_sparse = SpikingCore(PYNQ_Z2, event_driven=True)
+    core_dense = SpikingCore(PYNQ_Z2, event_driven=False)
+    power = PowerModel()
+    weights = rng.integers(-128, 128, size=(64, 16, 3, 3))
+
+    rows = []
+    for rate in (0.02, 0.05, 0.12, 0.25, 0.5, 1.0):
+        spikes = (rng.random((16, 16, 16)) < rate).astype(np.int64)
+        _, sparse = core_sparse.conv_timestep(spikes, weights, padding=1)
+        _, dense = core_dense.conv_timestep(spikes, weights, padding=1)
+        activity = sparse.segment_activity
+        rows.append(
+            {
+                "spike_rate": rate,
+                "active_segments": round(activity, 3),
+                "cycles": sparse.cycles,
+                "cycles_dense": dense.cycles,
+                "saving": f"{1 - sparse.cycles / dense.cycles:.1%}",
+                "board_watts": round(power.total_watts(activity=activity), 3),
+            }
+        )
+    print("Event-driven cycle/power scaling with spike rate "
+          "(Conv(3x3,64), 16 channels @ 16x16):")
+    print(
+        render_table(
+            rows,
+            ["spike_rate", "active_segments", "cycles", "cycles_dense", "saving", "board_watts"],
+        )
+    )
+    print(
+        f"\nAt the paper's observed rates (~0.12 ResNet / ~0.16 VGG) the "
+        f"event-driven PE array skips roughly two thirds of its kernel-row "
+        f"cycles."
+    )
+
+
+def asic_story() -> None:
+    print("\nFPGA prototype vs 40 nm ASIC projection:")
+    fpga_gops, fpga_watts = PYNQ_Z2.peak_gops, 1.54
+    asic = AsicProjection().report()
+    rows = [
+        {
+            "target": "PYNQ-Z2 @ 100 MHz",
+            "gops": fpga_gops,
+            "watts": fpga_watts,
+            "gops_per_watt": round(fpga_gops / fpga_watts, 2),
+        },
+        {
+            "target": "TSMC 40 nm @ 500 MHz",
+            "gops": asic.gops,
+            "watts": asic.power_watts,
+            "gops_per_watt": round(asic.gops_per_watt, 2),
+        },
+    ]
+    print(render_table(rows, ["target", "gops", "watts", "gops_per_watt"]))
+    print(
+        "(the paper reports 25 GOPS/W measured on FPGA and targets a future "
+        "600 GOPS/W ASIC; the projection above reproduces its 192 GOPS / "
+        "11 mm^2 / 2.17 W synthesis estimate)"
+    )
+
+
+if __name__ == "__main__":
+    sparsity_sweep()
+    asic_story()

@@ -1,0 +1,79 @@
+"""Reconfigurability study: kernel sizes on the PE array (paper Table II).
+
+The PE consumes kernel rows through its three multiplexers, so a KxK
+kernel costs K*ceil(K/3)+1 cycles per application.  This example sweeps
+kernel sizes on the cycle-accurate PE, cross-checks the vectorised
+core, and prints the calibrated PYNQ-Z2 latency next to the paper's
+Table II values.
+
+Run:
+    python examples/kernel_reconfiguration.py
+"""
+
+import numpy as np
+
+from repro.eval import render_table, table2_experiment
+from repro.hw import PYNQ_Z2, ProcessingElement, SpikingCore
+
+PAPER_TABLE2_MS = {3: 0.9479, 5: 0.95, 7: 0.9677, 11: 0.9839}
+
+
+def pe_level_sweep() -> None:
+    print("Cycle cost of one kernel application on one PE:")
+    rng = np.random.default_rng(0)
+    rows = []
+    for k in (3, 5, 7, 11):
+        spikes = (rng.random((k, k)) < 0.5).astype(np.int64)
+        weights = rng.integers(-128, 128, size=(k, k))
+        pe_dense = ProcessingElement(PYNQ_Z2, event_driven=False)
+        _, dense_cycles = pe_dense.compute_kernel(spikes, weights)
+        pe_sparse = ProcessingElement(PYNQ_Z2, event_driven=True)
+        _, sparse_cycles = pe_sparse.compute_kernel(spikes, weights)
+        rows.append(
+            {
+                "kernel": f"{k}x{k}",
+                "dense_cycles": dense_cycles,
+                "event_driven_cycles": sparse_cycles,
+                "formula": PYNQ_Z2.kernel_cycles(k),
+            }
+        )
+    print(render_table(rows, ["kernel", "dense_cycles", "event_driven_cycles", "formula"]))
+
+
+def core_level_sweep() -> None:
+    print("\nWhole-layer cycles on the 8x8 core (Conv(kxk,64) @ 32x32, one timestep):")
+    rng = np.random.default_rng(1)
+    core = SpikingCore(PYNQ_Z2, event_driven=True)
+    rows = []
+    for k in (3, 5, 7, 11):
+        spikes = (rng.random((3, 32, 32)) < 0.25).astype(np.int64)
+        weights = rng.integers(-128, 128, size=(64, 3, k, k))
+        _, stats = core.conv_timestep(spikes, weights, padding=k // 2)
+        rows.append(
+            {
+                "kernel": f"{k}x{k}",
+                "core_cycles": stats.cycles,
+                "segment_activity": round(stats.segment_activity, 3),
+            }
+        )
+    print(render_table(rows, ["kernel", "core_cycles", "segment_activity"]))
+
+
+def board_level_sweep() -> None:
+    print("\nCalibrated PYNQ-Z2 wall-clock latency (paper Table II):")
+    rows = table2_experiment()
+    for row in rows:
+        k = int(row["layer"].split("(")[1].split("x")[0])
+        row["paper_ms"] = PAPER_TABLE2_MS[k]
+    print(render_table(rows, ["layer", "output_size", "paper_ms", "latency_ms"]))
+    print(
+        "note: board latency is PS-driver-bound, so it grows only ~4% from "
+        "3x3 to 11x11 while PE-level cycles grow >10x — that contrast IS the "
+        "reconfigurability result."
+    )
+
+
+if __name__ == "__main__":
+    pe_level_sweep()
+    core_level_sweep()
+    board_level_sweep()

@@ -1,0 +1,10 @@
+"""Setup shim so `python setup.py develop` works offline (no `wheel` pkg).
+
+Normal installs should use `pip install -e .`; this file exists because
+the reproduction environment has no network and no wheel package, which
+pip's editable-install path requires.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""repro — reproduction of the SOCC 2024 reconfigurable Spiking Inference
+Accelerator (SIA) hardware-software co-optimisation methodology.
+
+Layout
+------
+``repro.tensor``   numpy autograd engine (training substrate)
+``repro.nn``       CNN + quantisation layers (QuantReLU / INT8 weights)
+``repro.optim``    SGD / Adam and LR schedules
+``repro.data``     synthetic CIFAR-10 stand-in, loaders, spike encoders
+``repro.models``   ResNet-18 / VGG-11 builders
+``repro.snn``      IF/LIF neurons, ANN->SNN conversion, spiking runtime
+``repro.hw``       cycle-level SIA model: PE array, aggregation core,
+                   ping-pong memory, AXI, mapper, latency/resource/power
+``repro.eval``     experiment drivers for every paper figure and table
+"""
+
+__version__ = "1.0.0"
+
+from repro.tensor import Tensor, no_grad
+
+__all__ = ["Tensor", "no_grad", "__version__"]

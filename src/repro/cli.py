@@ -1,0 +1,231 @@
+"""Command-line entry point: regenerate any paper artefact.
+
+Usage::
+
+    python -m repro.cli tab1            # Table I latency rows
+    python -m repro.cli tab2 tab3 tab4  # several at once
+    python -m repro.cli asic
+    python -m repro.cli fig7 --epochs 4 --train 800   # trains a model
+    python -m repro.cli dse             # design-space exploration
+    python -m repro.cli all --skip-training
+
+Training-backed artefacts (fig6-fig9) take minutes on the numpy
+substrate; hardware tables are instant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.eval import (
+    accuracy_vs_timesteps_experiment,
+    asic_projection_experiment,
+    render_table,
+    spike_rate_experiment,
+    table1_experiment,
+    table2_experiment,
+    table3_experiment,
+    table4_experiment,
+)
+
+HARDWARE_ARTEFACTS = ("tab1", "tab2", "tab3", "tab4", "asic", "dse")
+TRAINING_ARTEFACTS = ("fig6", "fig7", "fig8", "fig9")
+ALL_ARTEFACTS = TRAINING_ARTEFACTS + HARDWARE_ARTEFACTS
+
+
+def _print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def _run_tab1(args) -> None:
+    _print_header("Table I: layer-wise latency (ResNet-18 / VGG-11, PYNQ-Z2)")
+    result = table1_experiment(timesteps=args.timesteps)
+    for name, rows in result.items():
+        print(f"\n{name}:")
+        print(render_table(rows, ["label", "count", "output_size", "latency_ms"]))
+
+
+def _run_tab2(args) -> None:
+    _print_header("Table II: latency vs kernel size")
+    print(render_table(table2_experiment(), ["layer", "output_size", "latency_ms", "kernel_cycles"]))
+
+
+def _run_tab3(args) -> None:
+    _print_header("Table III: FPGA resource utilisation")
+    print(render_table(table3_experiment(), ["parameter", "utilized", "available", "percentage"]))
+
+
+def _run_tab4(args) -> None:
+    _print_header("Table IV: comparison with prior art")
+    result = table4_experiment()
+    print(
+        render_table(
+            result["rows"],
+            ["paper", "platform", "pes", "clock_mhz", "gops", "gops_per_pe",
+             "gops_per_watt", "dsp", "gops_per_dsp"],
+        )
+    )
+    print(f"\nPE-efficiency gain:  {result['pe_efficiency_gain']:.2f}x")
+    print(f"DSP-efficiency gain: {result['dsp_efficiency_gain']:.2f}x")
+
+
+def _run_asic(args) -> None:
+    _print_header("ASIC projection (TSMC 40 nm, 500 MHz)")
+    report = asic_projection_experiment()
+    print(
+        f"{report.gops:.1f} GOPS, {report.area_mm2:.2f} mm^2, "
+        f"{report.power_watts:.3f} W ({report.gops_per_watt:.1f} GOPS/W)"
+    )
+
+
+def _run_dse(args) -> None:
+    from repro.hw.dse import DesignSpaceExplorer, SweepSpec, paper_design_point
+
+    _print_header("Design-space exploration (PE array / BN lanes / clock)")
+    explorer = DesignSpaceExplorer()
+    points = explorer.sweep(SweepSpec())
+    feasible = [p for p in points if p.fits]
+    front = explorer.pareto_front(points)
+    rows = [
+        {
+            "design": p.label,
+            "gops": p.gops,
+            "gops_per_watt": p.gops_per_watt,
+            "gops_per_dsp": p.gops_per_dsp,
+            "luts": p.luts,
+            "brams": p.brams,
+            "pareto": "*" if p in front else "",
+        }
+        for p in sorted(feasible, key=lambda p: -p.gops)[: args.top]
+    ]
+    print(render_table(rows, ["design", "gops", "gops_per_watt", "gops_per_dsp", "luts", "brams", "pareto"]))
+    paper = paper_design_point()
+    print(
+        f"\npaper's design point: {paper.label} -> {paper.gops} GOPS, "
+        f"{paper.gops_per_watt} GOPS/W (feasible: {paper.fits})"
+    )
+    print(f"{len(feasible)}/{len(points)} candidates fit the PYNQ-Z2.")
+
+
+def _curve_and_rates(model_name: str, args):
+    from repro.data import SyntheticCIFAR
+
+    dataset = SyntheticCIFAR(
+        num_train=args.train, num_test=args.test, noise=1.0,
+        class_overlap=0.55, seed=args.seed,
+    )
+    curve = accuracy_vs_timesteps_experiment(
+        model_name,
+        dataset=dataset,
+        width=args.width,
+        max_timesteps=args.max_timesteps,
+        ann_epochs=args.epochs,
+        finetune_epochs=max(1, args.epochs - 2),
+        seed=args.seed,
+    )
+    return dataset, curve
+
+
+def _run_fig7(args) -> None:
+    _print_header("Fig. 7: ResNet-18 accuracy vs timesteps")
+    _, curve = _curve_and_rates("resnet18", args)
+    _print_curve(curve)
+
+
+def _run_fig9(args) -> None:
+    _print_header("Fig. 9: VGG-11 accuracy vs timesteps")
+    _, curve = _curve_and_rates("vgg11", args)
+    _print_curve(curve)
+
+
+def _run_fig6(args) -> None:
+    _print_header("Fig. 6: ResNet-18 per-layer spike rates")
+    dataset, curve = _curve_and_rates("resnet18", args)
+    stats = spike_rate_experiment(curve, dataset, timesteps=8)
+    print(stats.layer_table())
+
+
+def _run_fig8(args) -> None:
+    _print_header("Fig. 8: VGG-11 per-layer spike rates")
+    dataset, curve = _curve_and_rates("vgg11", args)
+    stats = spike_rate_experiment(curve, dataset, timesteps=8)
+    print(stats.layer_table())
+
+
+def _print_curve(curve) -> None:
+    print(f"ANN accuracy:       {curve.ann_accuracy:.4f}")
+    print(f"quantised accuracy: {curve.quant_accuracy:.4f}")
+    print(f"SNN accuracy (T=8): {curve.per_step_accuracy[7]:.4f}")
+    print("accuracy vs T: " + " ".join(f"{a:.3f}" for a in curve.per_step_accuracy))
+    if curve.timesteps_to_match_quant is not None:
+        print(f"matches the quantised ANN at T={curve.timesteps_to_match_quant}")
+
+
+_RUNNERS = {
+    "tab1": _run_tab1,
+    "tab2": _run_tab2,
+    "tab3": _run_tab3,
+    "tab4": _run_tab4,
+    "asic": _run_asic,
+    "dse": _run_dse,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate the SOCC 2024 SIA paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artefacts",
+        nargs="+",
+        choices=list(ALL_ARTEFACTS) + ["all"],
+        help="which artefacts to regenerate",
+    )
+    parser.add_argument("--timesteps", type=int, default=8)
+    parser.add_argument("--max-timesteps", type=int, default=16, dest="max_timesteps")
+    parser.add_argument("--width", type=float, default=0.125,
+                        help="model width multiplier for training artefacts")
+    parser.add_argument("--epochs", type=int, default=6)
+    parser.add_argument("--train", type=int, default=1500, help="training samples")
+    parser.add_argument("--test", type=int, default=400, help="test samples")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--top", type=int, default=12, help="rows to show for dse")
+    parser.add_argument(
+        "--skip-training",
+        action="store_true",
+        help="with 'all': only hardware artefacts",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    artefacts: List[str] = []
+    for item in args.artefacts:
+        if item == "all":
+            artefacts.extend(
+                HARDWARE_ARTEFACTS if args.skip_training else ALL_ARTEFACTS
+            )
+        else:
+            artefacts.append(item)
+    seen = set()
+    for artefact in artefacts:
+        if artefact in seen:
+            continue
+        seen.add(artefact)
+        _RUNNERS[artefact](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Datasets, loaders and spike encoders.
+
+The paper evaluates on CIFAR-10; this offline reproduction substitutes
+:class:`SyntheticCIFAR` — a deterministic, structured 10-class 32x32x3
+image distribution with the same geometry — so every layer shape, memory
+map and latency figure is computed for the exact tensor sizes the paper
+uses (see DESIGN.md §2 for the substitution rationale).
+"""
+
+from repro.data.datasets import SyntheticCIFAR, train_test_split
+from repro.data.loaders import DataLoader
+from repro.data.encodings import direct_encode, rate_encode
+from repro.data.events import EventStream, SyntheticDVS, accumulate_events
+from repro.data.augment import Augmenter, cutout, random_crop, random_horizontal_flip
+
+__all__ = [
+    "SyntheticCIFAR",
+    "train_test_split",
+    "DataLoader",
+    "direct_encode",
+    "EventStream",
+    "SyntheticDVS",
+    "accumulate_events",
+    "Augmenter",
+    "random_crop",
+    "random_horizontal_flip",
+    "cutout",
+    "rate_encode",
+]

@@ -1,0 +1,149 @@
+"""Synthetic CIFAR-10 stand-in.
+
+Each class is defined by a random low-frequency spatial prototype plus a
+class-specific oriented texture; samples are drawn by jittering the
+prototype (random translation, per-channel gain, additive Gaussian
+noise).  The task is hard enough that linear models underperform deep
+CNNs, but small CNNs trained for a handful of epochs reach high accuracy
+— exactly the regime we need to study ANN-to-SNN conversion fidelity
+(which is about *matching* the ANN, not about absolute accuracy).
+
+Everything is driven by an explicit integer seed; the same seed always
+produces the same arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+NUM_CLASSES = 10
+IMAGE_SHAPE = (3, 32, 32)
+
+
+def _class_prototypes(
+    rng: np.random.Generator, num_classes: int, shape: Tuple[int, int, int]
+) -> np.ndarray:
+    """Build one smooth prototype image per class.
+
+    Prototypes combine (i) a low-frequency random field (class identity
+    lives in coarse structure, like natural image categories) and (ii) an
+    oriented sinusoidal texture at a class-specific angle/frequency.
+    """
+    c, h, w = shape
+    protos = np.zeros((num_classes, c, h, w), dtype=np.float32)
+    ys, xs = np.mgrid[0:h, 0:w].astype(np.float32)
+    for k in range(num_classes):
+        # Low-frequency field: upsampled 4x4 noise.
+        coarse = rng.normal(0.0, 1.0, size=(c, 4, 4)).astype(np.float32)
+        field = np.repeat(np.repeat(coarse, h // 4, axis=1), w // 4, axis=2)
+        # Oriented texture.
+        angle = np.pi * k / num_classes
+        freq = 2.0 * np.pi * (1.5 + 0.5 * (k % 3)) / w
+        phase = rng.uniform(0, 2 * np.pi)
+        wave = np.sin(freq * (np.cos(angle) * xs + np.sin(angle) * ys) + phase)
+        texture = np.stack([wave * (0.5 + 0.5 * rng.random()) for _ in range(c)])
+        protos[k] = 0.8 * field + 0.7 * texture
+    return protos
+
+
+@dataclass
+class SyntheticCIFAR:
+    """Deterministic 10-class 32x32x3 image classification dataset.
+
+    Parameters
+    ----------
+    num_train / num_test:
+        Sample counts for each split.
+    noise:
+        Std-dev of additive pixel noise (raises task difficulty).
+    max_shift:
+        Maximum absolute translation (pixels) applied per sample.
+    class_overlap:
+        In [0, 1). Each sample is blended with a random *other* class
+        prototype by a factor drawn from U(0, class_overlap).  Unlike
+        iid pixel noise (which deep CNNs average away), prototype
+        mixing creates genuinely ambiguous samples and therefore an
+        irreducible error floor — use ~0.8 to land accuracies in the
+        paper's 90-96% band instead of at the ceiling.
+    seed:
+        Master seed for prototypes and both splits.
+
+    Attributes
+    ----------
+    train_x, test_x:
+        float32 arrays (N, 3, 32, 32), roughly zero-mean unit-range.
+    train_y, test_y:
+        int64 label arrays (N,).
+    """
+
+    num_train: int = 2000
+    num_test: int = 500
+    noise: float = 0.35
+    max_shift: int = 2
+    class_overlap: float = 0.0
+    seed: int = 0
+    num_classes: int = NUM_CLASSES
+    train_x: np.ndarray = field(init=False, repr=False)
+    train_y: np.ndarray = field(init=False, repr=False)
+    test_x: np.ndarray = field(init=False, repr=False)
+    test_y: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.class_overlap < 1.0:
+            raise ValueError("class_overlap must be in [0, 1)")
+        rng = np.random.default_rng(self.seed)
+        self._prototypes = _class_prototypes(rng, self.num_classes, IMAGE_SHAPE)
+        self.train_x, self.train_y = self._sample(rng, self.num_train)
+        self.test_x, self.test_y = self._sample(rng, self.num_test)
+
+    def _sample(
+        self, rng: np.random.Generator, count: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, self.num_classes, size=count)
+        images = self._prototypes[labels].copy()
+        if self.class_overlap > 0.0:
+            others = (
+                labels + rng.integers(1, self.num_classes, size=count)
+            ) % self.num_classes
+            alphas = rng.uniform(0.0, self.class_overlap, size=(count, 1, 1, 1)).astype(
+                np.float32
+            )
+            images = (1.0 - alphas) * images + alphas * self._prototypes[others]
+        # Random translation (wrap-around roll keeps energy constant).
+        if self.max_shift > 0:
+            shifts = rng.integers(-self.max_shift, self.max_shift + 1, size=(count, 2))
+            for i, (dy, dx) in enumerate(shifts):
+                images[i] = np.roll(images[i], (int(dy), int(dx)), axis=(1, 2))
+        # Per-channel gain jitter.
+        gains = rng.uniform(0.85, 1.15, size=(count, 3, 1, 1)).astype(np.float32)
+        images *= gains
+        # Additive noise.
+        images += rng.normal(0.0, self.noise, size=images.shape).astype(np.float32)
+        return images.astype(np.float32), labels.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def train_split(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.train_x, self.train_y
+
+    def test_split(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.test_x, self.test_y
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        return IMAGE_SHAPE
+
+
+def train_test_split(
+    x: np.ndarray, y: np.ndarray, test_fraction: float = 0.2, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split arrays into train/test partitions."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(x))
+    cut = int(len(x) * (1.0 - test_fraction))
+    train_idx, test_idx = order[:cut], order[cut:]
+    return x[train_idx], y[train_idx], x[test_idx], y[test_idx]

@@ -1,0 +1,50 @@
+"""Input encodings for the spiking domain.
+
+The paper's ZYNQ PS performs "frame data conversion for non-spiking
+inputs" (§IV): real-valued images are presented to the first layer at
+every timestep (direct/constant-current encoding), which is the standard
+choice for low-latency ANN-to-SNN conversion (Bu et al. 2023).  A rate
+encoder is also provided for event-driven input experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def direct_encode(x: np.ndarray, timesteps: int) -> np.ndarray:
+    """Repeat the analog frame at every timestep.
+
+    Returns an array of shape ``(T,) + x.shape``.  The first convolution
+    then plays the role of the spike generator: its IF neurons integrate
+    the constant input current and emit the spikes consumed by deeper
+    layers — exactly the accelerator's frame-input mode.
+    """
+    if timesteps < 1:
+        raise ValueError("timesteps must be >= 1")
+    return np.broadcast_to(x, (timesteps,) + x.shape).copy()
+
+
+def rate_encode(
+    x: np.ndarray,
+    timesteps: int,
+    rng: Optional[np.random.Generator] = None,
+    max_rate: float = 1.0,
+) -> np.ndarray:
+    """Bernoulli rate coding of non-negative intensities into {0,1} spikes.
+
+    Intensities are min-max normalised to [0, max_rate] and each timestep
+    draws an independent Bernoulli spike.  Shape: ``(T,) + x.shape``,
+    dtype uint8.  This is the encoding used for the event-driven input
+    path of the accelerator.
+    """
+    if timesteps < 1:
+        raise ValueError("timesteps must be >= 1")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    lo, hi = float(x.min()), float(x.max())
+    span = hi - lo
+    p = np.zeros_like(x, dtype=np.float32) if span == 0 else (x - lo) / span * max_rate
+    draws = rng.random((timesteps,) + x.shape)
+    return (draws < p).astype(np.uint8)

@@ -1,0 +1,56 @@
+"""Minibatch iteration over in-memory arrays."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+class DataLoader:
+    """Iterate over (x, y) arrays in minibatches.
+
+    Parameters
+    ----------
+    x, y:
+        Full dataset arrays with matching first dimension.
+    batch_size:
+        Number of samples per batch (the final batch may be smaller
+        unless ``drop_last``).
+    shuffle:
+        Reshuffle at the start of every epoch using ``rng``.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        batch_size: int = 64,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if len(x) != len(y):
+            raise ValueError(f"x and y length mismatch: {len(x)} vs {len(y)}")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.x = x
+        self.y = y
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        n = len(self.x)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.x)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        limit = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, limit, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield self.x[idx], self.y[idx]

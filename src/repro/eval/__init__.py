@@ -1,0 +1,38 @@
+"""Experiment drivers regenerating every figure and table of the paper.
+
+Each public function corresponds to one paper artefact (see DESIGN.md's
+experiment index) and returns plain dataclasses/dicts that the
+benchmarks print in the paper's row/series format.
+"""
+
+from repro.eval.experiments import (
+    AccuracyCurve,
+    accuracy_vs_timesteps_experiment,
+    asic_projection_experiment,
+    build_geometry_network,
+    spike_rate_experiment,
+    table1_experiment,
+    table2_experiment,
+    table3_experiment,
+    table4_experiment,
+)
+from repro.eval.prior_art import PRIOR_ART, PriorArtRow
+from repro.eval.tables import render_table
+from repro.eval.report import build_hardware_report, write_hardware_report
+
+__all__ = [
+    "AccuracyCurve",
+    "accuracy_vs_timesteps_experiment",
+    "spike_rate_experiment",
+    "table1_experiment",
+    "table2_experiment",
+    "table3_experiment",
+    "table4_experiment",
+    "asic_projection_experiment",
+    "build_geometry_network",
+    "PRIOR_ART",
+    "PriorArtRow",
+    "render_table",
+    "build_hardware_report",
+    "write_hardware_report",
+]

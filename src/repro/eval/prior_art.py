@@ -1,0 +1,45 @@
+"""Published prior-art accelerator numbers (paper Table IV).
+
+These rows are *data quoted from the paper* (which in turn quotes the
+cited works), kept verbatim so the comparison benchmark reproduces the
+table, including the derived GOPS/PE and GOPS/DSP columns and the
+2x / 4.5x utilisation-efficiency headline claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class PriorArtRow:
+    """One column of the paper's Table IV."""
+
+    name: str
+    platform: str
+    num_pes: Optional[int]
+    clock_mhz: float
+    gops: float
+    gops_per_pe: Optional[float]
+    energy_eff_gops_per_watt: Optional[float]
+    dsp: Optional[int]
+    gops_per_dsp: Optional[float]
+
+
+PRIOR_ART: List[PriorArtRow] = [
+    PriorArtRow("[18] Gilan 2019", "ZC706", 576, 200, 198.1, 0.343, None, 576, 0.34),
+    PriorArtRow("[19] Qiu 2016", "ZC706", 780, 150, 187.8, 0.241, 14.22, 780, 0.24),
+    PriorArtRow("[20] Chen 2020", "VC707", 64, 200, 12.5, 0.195, None, None, None),
+    PriorArtRow("[21] Li 2021", "VC709", 664, 200, 220.0, 0.331, 22.9, 664, 0.33),
+    PriorArtRow("[22] Guo 2017", "XC7Z020", 12, 200, 187.80, None, 19.50, 400, 0.46),
+]
+
+
+def best_prior(metric: str) -> float:
+    """Best (max) prior-art value of a metric, ignoring missing entries."""
+    values = [getattr(row, metric) for row in PRIOR_ART]
+    values = [v for v in values if v is not None]
+    if not values:
+        raise ValueError(f"no prior-art data for {metric!r}")
+    return max(values)

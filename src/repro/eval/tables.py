@@ -1,0 +1,27 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+
+def render_table(rows: Sequence[Dict[str, Any]], columns: Sequence[str]) -> str:
+    """Render dict rows as an aligned text table with a header."""
+    if not rows:
+        return "(empty table)"
+    widths = {c: len(c) for c in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for col in columns:
+            value = row.get(col, "")
+            text = f"{value:.4g}" if isinstance(value, float) else str(value)
+            widths[col] = max(widths[col], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    divider = "  ".join("-" * widths[c] for c in columns)
+    lines = [header, divider]
+    for cells in rendered:
+        lines.append("  ".join(cell.ljust(widths[col]) for cell, col in zip(cells, columns)))
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Cycle-level and analytical models of the Spiking Inference Accelerator.
+
+The package mirrors the paper's block diagram (Fig. 2):
+
+``repro.hw.pe``           one processing element (3 muxes + 8-bit adder)
+``repro.hw.core``         the 8x8 PE spiking core with cycle accounting
+``repro.hw.aggregation``  batch-norm unit + IF/LIF activation unit
+``repro.hw.memory``       memory map, ping-pong membrane buffers, BRAM
+``repro.hw.axi``          PS<->PL transfer-cost model (AXI4-Lite + burst)
+``repro.hw.controller``   the Fig. 5 layer-execution flow
+``repro.hw.mapper``       compiles a converted SNN into layer configs
+``repro.hw.accelerator``  full SIA: runs a network in the integer domain
+``repro.hw.latency``      calibrated wall-clock model (Tables I, II)
+``repro.hw.resources``    FPGA utilisation + throughput model (Tables III, IV)
+``repro.hw.power``        power estimate
+``repro.hw.asic``         40 nm ASIC projection (paper §V)
+"""
+
+from repro.hw.config import ArchConfig, LayerConfig, LayerKind, PYNQ_Z2
+from repro.hw.pe import ProcessingElement
+from repro.hw.core import SpikingCore
+from repro.hw.aggregation import ActivationUnit, AggregationCore, BatchNormUnit
+from repro.hw.memory import BramBank, MemoryMap, PingPongBuffer
+from repro.hw.axi import AxiModel
+from repro.hw.mapper import MappedLayer, MappedNetwork, map_network
+from repro.hw.accelerator import SpikingInferenceAccelerator
+from repro.hw.latency import LatencyModel, LayerLatency
+from repro.hw.resources import ResourceModel, ThroughputModel
+from repro.hw.power import PowerModel
+from repro.hw.asic import AsicProjection
+from repro.hw.dse import DesignPoint, DesignSpaceExplorer, SweepSpec
+from repro.hw.traffic import TrafficModel, TrafficReport
+from repro.hw.faults import FaultReport, flip_threshold_bits, flip_weight_bits, weight_fault_sweep
+from repro.hw import isa, rtl
+
+__all__ = [
+    "ArchConfig",
+    "LayerConfig",
+    "LayerKind",
+    "PYNQ_Z2",
+    "ProcessingElement",
+    "SpikingCore",
+    "BatchNormUnit",
+    "ActivationUnit",
+    "AggregationCore",
+    "MemoryMap",
+    "PingPongBuffer",
+    "BramBank",
+    "AxiModel",
+    "map_network",
+    "MappedLayer",
+    "MappedNetwork",
+    "SpikingInferenceAccelerator",
+    "LatencyModel",
+    "LayerLatency",
+    "ResourceModel",
+    "ThroughputModel",
+    "PowerModel",
+    "AsicProjection",
+    "DesignSpaceExplorer",
+    "DesignPoint",
+    "SweepSpec",
+    "TrafficModel",
+    "TrafficReport",
+    "FaultReport",
+    "flip_weight_bits",
+    "flip_threshold_bits",
+    "weight_fault_sweep",
+    "isa",
+    "rtl",
+]

@@ -1,0 +1,244 @@
+"""The full Spiking Inference Accelerator: functional integer simulation.
+
+Runs a :class:`repro.hw.mapper.MappedNetwork` exactly the way the FPGA
+does (Fig. 5 flow): per timestep, layers execute sequentially; the
+spiking core produces integer partial sums, the aggregation core applies
+fixed-point batch-norm, adds residual contributions, updates membrane
+potentials and emits binary spikes; the classifier layer accumulates raw
+partial sums into the logits.  All arithmetic is integer (INT8 weights,
+16-bit partial sums/membranes/BN), so the simulation is a bit-true model
+of the datapath, not a float re-run.
+
+The first layer receives the INT8-quantised input frame (the ZYNQ PS
+performs frame conversion, §IV); its larger accumulators live on the PS
+so the 16-bit PE width does not apply there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.hw.aggregation import AggregationCore
+from repro.hw.config import ArchConfig, LayerKind
+from repro.hw.core import CoreRunStats, SpikingCore
+from repro.hw.fixed import fixed_mul, saturate
+from repro.hw.mapper import MappedLayer, MappedNetwork
+from repro.tensor.functional import im2col
+
+
+@dataclass
+class LayerRunStats:
+    """Accumulated per-layer execution statistics for one run."""
+
+    name: str
+    core_cycles: int = 0
+    aggregation_cycles: int = 0
+    spike_count: int = 0
+    neuron_steps: int = 0
+    synaptic_ops: int = 0
+    segment_activity_sum: float = 0.0
+    timesteps: int = 0
+
+    @property
+    def spike_rate(self) -> float:
+        if self.neuron_steps == 0:
+            return 0.0
+        return self.spike_count / self.neuron_steps
+
+    @property
+    def mean_segment_activity(self) -> float:
+        if self.timesteps == 0:
+            return 0.0
+        return self.segment_activity_sum / self.timesteps
+
+
+@dataclass
+class RunReport:
+    """Whole-network statistics for one batch of inferences."""
+
+    batch_size: int
+    timesteps: int
+    layers: List[LayerRunStats] = field(default_factory=list)
+
+    @property
+    def total_core_cycles(self) -> int:
+        return sum(l.core_cycles for l in self.layers)
+
+    @property
+    def cycles_per_inference(self) -> float:
+        return self.total_core_cycles / max(self.batch_size, 1)
+
+    @property
+    def total_synaptic_ops(self) -> int:
+        return sum(l.synaptic_ops for l in self.layers)
+
+    def spike_rates(self) -> List[float]:
+        return [l.spike_rate for l in self.layers if l.neuron_steps > 0]
+
+
+class SpikingInferenceAccelerator:
+    """Functional + cycle-statistics model of the whole SIA."""
+
+    def __init__(
+        self,
+        network: MappedNetwork,
+        event_driven: bool = True,
+    ) -> None:
+        self.network = network
+        self.arch: ArchConfig = network.arch
+        self.core = SpikingCore(self.arch, event_driven=event_driven)
+        self.aggregation = AggregationCore(self.arch)
+        self.event_driven = event_driven
+
+    # ------------------------------------------------------------------
+    def run(
+        self, x: np.ndarray, timesteps: int = 8
+    ) -> tuple[np.ndarray, RunReport]:
+        """Run a batch of frames; returns (logits, report).
+
+        ``x`` is float (N, C, H, W); logits are float (N, classes),
+        reconstructed from the integer accumulators with the mapped
+        output scale.
+        """
+        if x.ndim != 4:
+            raise ValueError("x must be (N, C, H, W)")
+        if timesteps < 1:
+            raise ValueError("timesteps must be >= 1")
+        n = x.shape[0]
+        frame_int = np.clip(
+            np.round(x / self.network.input_scale), -128, 127
+        ).astype(np.int64)
+
+        stats = [LayerRunStats(name=l.name) for l in self.network.layers]
+        membranes: Dict[int, np.ndarray] = {}
+        logits_int: Optional[np.ndarray] = None
+        outputs: Dict[int, np.ndarray] = {}
+
+        for _ in range(timesteps):
+            outputs.clear()
+            for idx, layer in enumerate(self.network.layers):
+                spikes_in = (
+                    frame_int if layer.input_index < 0 else outputs[layer.input_index]
+                )
+                if layer.spiking:
+                    spikes_out = self._run_spiking_layer(
+                        idx, layer, spikes_in, outputs, membranes, stats[idx]
+                    )
+                    outputs[idx] = spikes_out
+                else:
+                    psum, core_stats = self._fc_psum(layer, spikes_in, stats[idx])
+                    logits_int = psum if logits_int is None else logits_int + psum
+            self._advance_timestep(stats)
+
+        assert logits_int is not None, "network has no output layer"
+        logits = logits_int.astype(np.float64) * self.network.layers[-1].output_scale
+        report = RunReport(batch_size=n, timesteps=timesteps, layers=stats)
+        return logits, report
+
+    def predict(self, x: np.ndarray, timesteps: int = 8) -> np.ndarray:
+        logits, _ = self.run(x, timesteps)
+        return logits.argmax(axis=-1)
+
+    def accuracy(
+        self, x: np.ndarray, y: np.ndarray, timesteps: int = 8, batch_size: int = 128
+    ) -> float:
+        correct = 0
+        for start in range(0, len(x), batch_size):
+            pred = self.predict(x[start : start + batch_size], timesteps)
+            correct += int((pred == y[start : start + batch_size]).sum())
+        return correct / len(x)
+
+    # ------------------------------------------------------------------
+    def _advance_timestep(self, stats: List[LayerRunStats]) -> None:
+        for s in stats:
+            s.timesteps += 1
+
+    def _frame_psum(
+        self, layer: MappedLayer, frame_int: np.ndarray
+    ) -> np.ndarray:
+        """PS-side INT8 convolution of the input frame (no 16-bit clamp)."""
+        c = layer.config
+        cols, oh, ow = im2col(frame_int, c.kernel_size, c.stride, c.padding)
+        w_mat = layer.weights_int.reshape(c.out_channels, -1).astype(np.int64)
+        psum = cols @ w_mat.T
+        return psum.reshape(frame_int.shape[0], oh, ow, c.out_channels).transpose(
+            0, 3, 1, 2
+        )
+
+    def _run_spiking_layer(
+        self,
+        idx: int,
+        layer: MappedLayer,
+        spikes_in: np.ndarray,
+        outputs: Dict[int, np.ndarray],
+        membranes: Dict[int, np.ndarray],
+        stat: LayerRunStats,
+    ) -> np.ndarray:
+        c = layer.config
+        if layer.frame_input:
+            psum = self._frame_psum(layer, spikes_in)
+            core_stats = CoreRunStats()  # executed on the PS, no PL cycles
+        else:
+            psum, core_stats = self.core.conv_timestep(
+                spikes_in, layer.weights_int, stride=c.stride, padding=c.padding
+            )
+
+        residual = self._residual_contribution(layer, outputs)
+
+        if idx not in membranes:
+            membranes[idx] = self.aggregation.activation.initial_membrane(
+                psum.shape, c.threshold_int, layer.v_init_fraction
+            )
+        result, agg_cycles = self.aggregation.process(
+            psum,
+            membranes[idx],
+            c,
+            residual=residual,
+            reset_to_zero=layer.reset_to_zero,
+        )
+        membranes[idx] = result.membrane
+
+        stat.core_cycles += core_stats.cycles
+        stat.aggregation_cycles += agg_cycles
+        stat.spike_count += result.spike_count
+        stat.neuron_steps += int(result.spikes.size)
+        stat.synaptic_ops += core_stats.synaptic_ops
+        stat.segment_activity_sum += core_stats.segment_activity
+        return result.spikes.astype(np.int64)
+
+    def _residual_contribution(
+        self, layer: MappedLayer, outputs: Dict[int, np.ndarray]
+    ) -> Optional[np.ndarray]:
+        if layer.residual_input_index is None:
+            return None
+        source = outputs[layer.residual_input_index]
+        if layer.residual_identity_int is not None:
+            return source * layer.residual_identity_int
+        proj = layer.residual_projection
+        assert proj is not None, "residual layer without identity or projection"
+        psum, _ = self.core.conv_timestep(
+            source, proj.weights_int, stride=proj.stride, padding=0
+        )
+        scaled = fixed_mul(
+            np.asarray(psum, dtype=np.int64),
+            proj.g_int.reshape((-1,) + (1,) * (psum.ndim - 2)),
+            proj.g_frac_bits,
+            self.arch.psum_bits + proj.g_frac_bits,
+        )
+        return saturate(
+            scaled + proj.h_int.reshape((-1,) + (1,) * (psum.ndim - 2)),
+            self.arch.psum_bits,
+        )
+
+    def _fc_psum(
+        self, layer: MappedLayer, spikes_in: np.ndarray, stat: LayerRunStats
+    ) -> tuple[np.ndarray, CoreRunStats]:
+        flat = spikes_in.reshape(spikes_in.shape[0], -1)
+        psum, core_stats = self.core.fc_timestep(flat, layer.weights_int)
+        stat.core_cycles += core_stats.cycles
+        stat.synaptic_ops += core_stats.synaptic_ops
+        stat.segment_activity_sum += core_stats.segment_activity
+        return psum.astype(np.int64), core_stats

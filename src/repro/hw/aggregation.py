@@ -1,0 +1,170 @@
+"""The aggregation core: batch normalisation and spike activation units.
+
+Per paper §III-B the aggregation core is the only block with
+multipliers: it applies the folded batch-norm transform
+``y = psum * G + H`` (eq. 2) in 16-bit fixed point, adds the result to
+the stored membrane potential, compares against the per-layer 16-bit
+threshold, and performs reset-by-subtraction.  A mode bit selects IF
+(mode=0) or LIF (mode=1); the LIF leak is a hardware-friendly
+subtract-shift ``v -= v >> leak_shift``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.hw.config import ArchConfig, LayerConfig, PYNQ_Z2
+from repro.hw.fixed import fixed_mul, int_limits, saturate
+
+
+class BatchNormUnit:
+    """Fixed-point batch-norm: ``y_int = ((psum * g) >> frac) + h``."""
+
+    def __init__(self, arch: ArchConfig = PYNQ_Z2) -> None:
+        self.arch = arch
+        self.mac_count = 0
+
+    def apply(
+        self,
+        psum: np.ndarray,
+        g_int: np.ndarray,
+        h_int: np.ndarray,
+        frac_bits: int,
+    ) -> np.ndarray:
+        """Apply per-channel coefficients to psum (C, ...) int arrays."""
+        g = np.asarray(g_int, dtype=np.int64)
+        h = np.asarray(h_int, dtype=np.int64)
+        lo, hi = int_limits(self.arch.bn_bits)
+        for name, coeff in (("G", g), ("H", h)):
+            if coeff.min() < lo or coeff.max() > hi:
+                raise ValueError(f"{name} coefficient exceeds {self.arch.bn_bits}-bit range")
+        # Coefficients are per output channel; psum is (..., C, H, W).
+        if psum.ndim < 3:
+            raise ValueError("BN expects (..., C, H, W) partial sums")
+        shape = (1,) * (psum.ndim - 3) + (-1, 1, 1)
+        scaled = fixed_mul(
+            np.asarray(psum, dtype=np.int64),
+            g.reshape(shape),
+            frac_bits,
+            self.arch.psum_bits + frac_bits,  # intermediate headroom
+        )
+        self.mac_count += int(np.asarray(psum).size)
+        return saturate(scaled + h.reshape(shape), self.arch.psum_bits)
+
+
+@dataclass
+class ActivationResult:
+    spikes: np.ndarray          # binary uint8, same shape as membrane
+    membrane: np.ndarray        # updated membrane (int)
+    spike_count: int
+
+
+class ActivationUnit:
+    """IF / LIF activation with reset-by-subtraction in integer arithmetic.
+
+    The membrane potential, threshold and batch-norm outputs all live on
+    the same fixed-point grid (LSB = threshold / 2**membrane_frac_bits,
+    chosen by the mapper); the unit itself only sees integers, like the
+    RTL would.
+    """
+
+    def __init__(self, arch: ArchConfig = PYNQ_Z2) -> None:
+        self.arch = arch
+
+    def initial_membrane(
+        self, shape: Tuple[int, ...], threshold_int: int, v_init_fraction: float = 0.5
+    ) -> np.ndarray:
+        """Fresh membrane array pre-charged to ``v_init_fraction * threshold``."""
+        value = int(round(threshold_int * v_init_fraction))
+        return np.full(shape, value, dtype=np.int64)
+
+    def step(
+        self,
+        current: np.ndarray,
+        membrane: np.ndarray,
+        threshold_int: int,
+        lif_mode: bool = False,
+        leak_shift: int = 4,
+        reset_to_zero: bool = False,
+    ) -> ActivationResult:
+        """Advance one timestep.
+
+        ``current`` is the batch-normalised input (int, 16-bit range);
+        ``membrane`` is the stored potential read from the ping-pong
+        memory.  Returns the output spikes and the updated membrane to
+        be written back to the other ping-pong bank.
+        """
+        if threshold_int <= 0:
+            raise ValueError("threshold must be positive")
+        v = membrane.astype(np.int64)
+        if lif_mode:
+            # Hardware leak: v -= v >> shift (arithmetic shift).
+            v = v - (v >> leak_shift)
+        v = saturate(v + np.asarray(current, dtype=np.int64), self.arch.psum_bits)
+        spikes = (v >= threshold_int).astype(np.uint8)
+        if reset_to_zero:
+            v = np.where(spikes, 0, v)
+        else:
+            v = v - spikes.astype(np.int64) * threshold_int
+        return ActivationResult(
+            spikes=spikes, membrane=v, spike_count=int(spikes.sum())
+        )
+
+
+class AggregationCore:
+    """Composition of the batch-norm and activation units with cycle model.
+
+    The core is pipelined at ``neurons_per_cycle`` (the number of
+    parallel BN multipliers feeding activation comparators), so
+    processing N neurons takes ``ceil(N / neurons_per_cycle)`` cycles.
+    """
+
+    def __init__(self, arch: ArchConfig = PYNQ_Z2) -> None:
+        self.arch = arch
+        self.bn = BatchNormUnit(arch)
+        self.activation = ActivationUnit(arch)
+
+    @property
+    def neurons_per_cycle(self) -> int:
+        return self.arch.num_bn_multipliers
+
+    def cycles_for(self, neurons: int) -> int:
+        return -(-neurons // self.neurons_per_cycle)
+
+    def process(
+        self,
+        psum: np.ndarray,
+        membrane: np.ndarray,
+        layer: LayerConfig,
+        residual: Optional[np.ndarray] = None,
+        reset_to_zero: bool = False,
+    ) -> Tuple[ActivationResult, int]:
+        """Batch-norm + (optional residual add) + activation for one timestep.
+
+        Residual partial sums (paper §IV: "pre-computed partial sums
+        are read from the processor ... accumulated with the partial
+        sums present in the PL before batch normalization and spiking
+        activation") arrive already on the layer's output fixed-point
+        grid and are added after BN, before the threshold compare.
+        Returns the activation result and the cycle count.
+        """
+        if layer.g_int is not None:
+            current = self.bn.apply(psum, layer.g_int, layer.h_int, layer.g_frac_bits)
+        else:
+            current = saturate(np.asarray(psum, dtype=np.int64), self.arch.psum_bits)
+        if residual is not None:
+            current = saturate(
+                current + np.asarray(residual, dtype=np.int64), self.arch.psum_bits
+            )
+        result = self.activation.step(
+            current,
+            membrane,
+            layer.threshold_int,
+            lif_mode=layer.lif_mode,
+            leak_shift=layer.leak_shift,
+            reset_to_zero=reset_to_zero,
+        )
+        return result, self.cycles_for(int(np.asarray(psum).size))

@@ -1,0 +1,101 @@
+"""40 nm ASIC projection (paper §V, final paragraph).
+
+The paper synthesises the SIA with TSMC 40 nm and projects 192 GOPS at
+500 MHz in 11 mm^2 consuming 2.17 W.  The throughput number is exact
+architecture arithmetic (64 PE x 6 ops x 500 MHz); area and power come
+from per-block scaling constants calibrated to the paper's figures, so
+the model can answer "what if" questions (different PE counts, clocks,
+memory sizes) with the same assumptions the authors used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.config import ArchConfig, PYNQ_Z2
+
+
+@dataclass(frozen=True)
+class AsicConstants:
+    """Calibrated 40 nm per-block area/power densities."""
+
+    # Area (mm^2).
+    pe_area_mm2: float = 0.020            # datapath + local control, per PE
+    bn_lane_area_mm2: float = 0.045       # DSP-class multiplier lane
+    sram_area_mm2_per_kb: float = 0.025   # 6T SRAM macro density @ 40 nm
+    control_area_mm2: float = 0.6
+    io_ring_area_mm2: float = 2.0
+    # Power at 500 MHz, full activity (W).
+    pe_power_w: float = 0.0145
+    bn_lane_power_w: float = 0.028
+    sram_power_w_per_kb: float = 0.0022
+    control_power_w: float = 0.10
+    leakage_w: float = 0.13
+
+
+@dataclass
+class AsicReport:
+    clock_mhz: float
+    gops: float
+    area_mm2: float
+    power_watts: float
+
+    @property
+    def gops_per_watt(self) -> float:
+        return self.gops / self.power_watts
+
+    @property
+    def gops_per_mm2(self) -> float:
+        return self.gops / self.area_mm2
+
+
+class AsicProjection:
+    """Project the SIA architecture onto TSMC 40 nm."""
+
+    def __init__(
+        self,
+        arch: ArchConfig = PYNQ_Z2,
+        clock_hz: float = 500e6,
+        constants: AsicConstants = AsicConstants(),
+    ) -> None:
+        self.arch = arch
+        self.clock_hz = clock_hz
+        self.constants = constants
+
+    def _sram_kb(self) -> float:
+        a = self.arch
+        total_bytes = (
+            a.spike_in_bytes
+            + a.residual_bytes
+            + a.membrane_bytes
+            + a.weight_bytes
+            + a.output_bytes
+        )
+        return total_bytes / 1024.0
+
+    def report(self, activity: float = 1.0) -> AsicReport:
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError("activity must be in [0, 1]")
+        a, c = self.arch, self.constants
+        gops = a.num_pes * a.ops_per_pe_per_cycle * self.clock_hz / 1e9
+        sram_kb = self._sram_kb()
+        area = (
+            a.num_pes * c.pe_area_mm2
+            + a.num_bn_multipliers * c.bn_lane_area_mm2
+            + sram_kb * c.sram_area_mm2_per_kb
+            + c.control_area_mm2
+            + c.io_ring_area_mm2
+        )
+        clock_scale = self.clock_hz / 500e6
+        power = (
+            a.num_pes * c.pe_power_w * activity
+            + a.num_bn_multipliers * c.bn_lane_power_w * activity
+            + sram_kb * c.sram_power_w_per_kb
+            + c.control_power_w
+        ) * clock_scale + c.leakage_w
+        return AsicReport(
+            clock_mhz=self.clock_hz / 1e6,
+            gops=round(gops, 2),
+            area_mm2=round(area, 2),
+            power_watts=round(power, 3),
+        )

@@ -1,0 +1,67 @@
+"""PS <-> PL transfer-cost model.
+
+The prototype moves data between the ZYNQ processing system and the SIA
+over AXI (paper §IV: AXI4-Lite for configuration, DDR-backed streams
+for spikes/weights).  Measured PYNQ-Z2 behaviour has three regimes,
+which this model captures with three calibrated constants:
+
+* ``burst``: bulk BRAM loads (spikes, weights) sustain roughly one bus
+  word every ``burst_cycles_per_word`` PL cycles;
+* ``mmio``: register-by-register AXI4-Lite accesses driven from
+  userspace cost microseconds *per word* (dominated by the PS-side
+  driver, not the bus) — this is what makes the fully-connected layer
+  of Table I ~60x slower than the convolutions;
+* ``invoke``: each layer invocation pays a fixed PS-side software
+  overhead (configuration writes, synchronisation).
+
+See ``repro.hw.latency`` for how the constants were calibrated against
+the paper's Tables I and II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.config import ArchConfig, PYNQ_Z2
+
+
+@dataclass(frozen=True)
+class AxiTimings:
+    """Calibrated transfer-cost constants (see module docstring)."""
+
+    burst_cycles_per_word: float = 0.7
+    mmio_seconds_per_word: float = 45e-6
+    invoke_overhead_seconds: float = 0.85e-3
+
+
+class AxiModel:
+    """Convert transfer sizes into PL cycles / wall-clock seconds."""
+
+    def __init__(
+        self, arch: ArchConfig = PYNQ_Z2, timings: AxiTimings = AxiTimings()
+    ) -> None:
+        self.arch = arch
+        self.timings = timings
+        self.bytes_transferred = 0
+
+    @property
+    def word_bytes(self) -> int:
+        return self.arch.axi_bus_bits // 8
+
+    def words_for(self, num_bytes: int) -> int:
+        return -(-num_bytes // self.word_bytes)
+
+    def burst_seconds(self, num_bytes: int) -> float:
+        """Wall-clock time of a bulk (DMA-style) transfer."""
+        self.bytes_transferred += num_bytes
+        cycles = self.words_for(num_bytes) * self.timings.burst_cycles_per_word
+        return cycles / self.arch.clock_hz
+
+    def mmio_seconds(self, num_bytes: int) -> float:
+        """Wall-clock time of word-by-word userspace MMIO transfers."""
+        self.bytes_transferred += num_bytes
+        return self.words_for(num_bytes) * self.timings.mmio_seconds_per_word
+
+    def invoke_seconds(self) -> float:
+        """Fixed per-layer-invocation software overhead."""
+        return self.timings.invoke_overhead_seconds

@@ -1,0 +1,189 @@
+"""Architecture and per-layer configuration records.
+
+``ArchConfig`` captures every paper-reported architectural constant of
+the SIA (PE array geometry, datapath widths, memory map, clock).  The
+default instance :data:`PYNQ_Z2` is the FPGA prototype of §IV-V.
+
+``LayerConfig`` is the record the PS streams to the control/config block
+per layer (Fig. 2: "Control and configuration"): layer geometry, mode
+bit (IF/LIF), per-layer threshold, and the folded batch-norm
+coefficients G/H of eq. (2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class LayerKind(str, enum.Enum):
+    CONV = "conv"
+    FC = "fc"
+    AVGPOOL = "avgpool"
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """Architectural constants of the spiking inference accelerator."""
+
+    # Spiking core (paper §III-A).
+    pe_rows: int = 8
+    pe_cols: int = 8
+    muxes_per_pe: int = 3          # one kernel row per cycle
+    adder_bits: int = 8            # weight operand width
+    psum_bits: int = 16            # partial-sum / membrane width
+    # Aggregation core (paper §III-B).
+    bn_bits: int = 16              # batch-norm coefficient precision
+    bn_frac_bits: int = 8          # fractional bits of the G coefficient
+    membrane_frac_bits: int = 10   # LSB = threshold / 2**membrane_frac_bits
+    num_bn_multipliers: int = 16   # fixed-point multipliers -> DSP slices
+    # Memory map in bytes (paper §III-D).
+    spike_in_bytes: int = 128
+    residual_bytes: int = 128 * 1024
+    membrane_bytes: int = 64 * 1024    # ping-pong pair (two halves)
+    weight_bytes: int = 8 * 1024       # up to 64 3x3x16 kernels
+    output_bytes: int = 56 * 1024
+    # Platform.
+    clock_hz: float = 100e6
+    axi_bus_bits: int = 32
+    name: str = "SIA"
+
+    @property
+    def num_pes(self) -> int:
+        return self.pe_rows * self.pe_cols
+
+    @property
+    def ops_per_pe_per_cycle(self) -> int:
+        """Mux-select + add per kernel-row tap: 2 ops per synapse, 3 taps."""
+        return 2 * self.muxes_per_pe
+
+    @property
+    def peak_gops(self) -> float:
+        """Peak throughput in GOPS (matches the paper's 38.4 at 100 MHz)."""
+        return self.num_pes * self.ops_per_pe_per_cycle * self.clock_hz / 1e9
+
+    @property
+    def membrane_half_bytes(self) -> int:
+        """Capacity of one ping-pong half (U1-State or U2-State)."""
+        return self.membrane_bytes // 2
+
+    @property
+    def max_tile_neurons(self) -> int:
+        """Neurons whose 16-bit membranes fit in one ping-pong half."""
+        return self.membrane_half_bytes // (self.psum_bits // 8)
+
+    def kernel_cycles(self, kernel_size: int) -> int:
+        """Cycles for one kernel application on one input channel.
+
+        The PE consumes one kernel row per cycle through its 3 muxes
+        (wider rows take ceil(K/3) passes) plus one final cycle to
+        produce the membrane contribution — 4 cycles for a 3x3 kernel,
+        exactly the paper's §III-A schedule.
+        """
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be >= 1")
+        row_passes = -(-kernel_size // self.muxes_per_pe)  # ceil division
+        return kernel_size * row_passes + 1
+
+
+#: The paper's FPGA prototype (PYNQ-Z2, 100 MHz).
+PYNQ_Z2 = ArchConfig()
+
+
+@dataclass
+class LayerConfig:
+    """Per-layer configuration streamed from the PS (Fig. 2)."""
+
+    kind: LayerKind
+    in_channels: int
+    out_channels: int
+    in_height: int
+    in_width: int
+    kernel_size: int = 3
+    stride: int = 1
+    padding: int = 0
+    lif_mode: bool = False          # mode bit: 0 = IF, 1 = LIF
+    leak_shift: int = 4             # LIF leak = 1 - 2**-leak_shift
+    threshold_int: int = 1024       # threshold in membrane LSBs
+    has_residual: bool = False
+    name: str = ""
+    # Folded BN coefficients, one pair per output channel, already in
+    # fixed point: y_int = (psum * g_int) >> frac + h_int.
+    g_int: Optional[np.ndarray] = field(default=None, repr=False)
+    h_int: Optional[np.ndarray] = field(default=None, repr=False)
+    g_frac_bits: int = 8
+    # Pre-pool-folding geometry (what the table rows / PS driver see):
+    # pooling folded into this layer expands the executed kernel and,
+    # for the classifier, the executed fan-in, but the weights the PS
+    # stores and streams are the logical ones.
+    logical_kernel: Optional[int] = None
+    logical_in_features: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.in_channels < 1 or self.out_channels < 1:
+            raise ValueError("channel counts must be positive")
+        if self.kind is LayerKind.CONV:
+            if self.kernel_size < 1 or self.stride < 1:
+                raise ValueError("invalid conv geometry")
+            if self.kernel_size > self.in_height + 2 * self.padding or (
+                self.kernel_size > self.in_width + 2 * self.padding
+            ):
+                raise ValueError(
+                    f"kernel {self.kernel_size} exceeds the padded input "
+                    f"({self.in_height}+2*{self.padding})"
+                )
+        if self.threshold_int <= 0:
+            raise ValueError("threshold_int must be positive")
+
+    @property
+    def out_height(self) -> int:
+        if self.kind is LayerKind.FC:
+            return 1
+        if self.kind is LayerKind.AVGPOOL:
+            return self.in_height // self.kernel_size
+        return (self.in_height + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    @property
+    def out_width(self) -> int:
+        if self.kind is LayerKind.FC:
+            return 1
+        if self.kind is LayerKind.AVGPOOL:
+            return self.in_width // self.kernel_size
+        return (self.in_width + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    @property
+    def out_neurons(self) -> int:
+        return self.out_channels * self.out_height * self.out_width
+
+    @property
+    def in_neurons(self) -> int:
+        return self.in_channels * self.in_height * self.in_width
+
+    @property
+    def dense_macs(self) -> int:
+        """Dense ANN-equivalent multiply-accumulates per inference pass."""
+        if self.kind is LayerKind.FC:
+            return self.in_channels * self.out_channels
+        if self.kind is LayerKind.AVGPOOL:
+            return self.out_neurons * self.kernel_size * self.kernel_size
+        return (
+            self.out_height
+            * self.out_width
+            * self.out_channels
+            * self.in_channels
+            * self.kernel_size
+            * self.kernel_size
+        )
+
+    @property
+    def weight_count(self) -> int:
+        if self.kind is LayerKind.FC:
+            return self.in_channels * self.out_channels
+        if self.kind is LayerKind.AVGPOOL:
+            return 0
+        return (
+            self.out_channels * self.in_channels * self.kernel_size * self.kernel_size
+        )

@@ -1,0 +1,258 @@
+"""Control and configuration logic: the Fig. 5 execution flow.
+
+The controller sequences one layer invocation on real memory models:
+weights stream into the 8 kB weight memory (in tiles when a layer's
+kernels exceed it), input spikes land in the spike-input memory, the PE
+array and aggregation core run tile-by-tile, membrane potentials go
+through the U1/U2 ping-pong protocol, and output spikes are written to
+the output memory.  It is deliberately single-sample and bit-true — the
+batched :class:`repro.hw.accelerator.SpikingInferenceAccelerator` is the
+fast path; this module exists to validate the memory organisation and
+to produce exact per-tile transfer/cycle traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.hw.aggregation import AggregationCore
+from repro.hw.config import ArchConfig, LayerKind
+from repro.hw.core import SpikingCore
+from repro.hw.mapper import MappedLayer, MappedNetwork
+from repro.hw.memory import MemoryMap
+
+
+@dataclass
+class TileTrace:
+    """Execution trace of one (layer, tile, timestep) invocation."""
+
+    layer: str
+    tile: int
+    timestep: int
+    weight_bytes: int
+    spike_in_bytes: int
+    spike_out_bytes: int
+    core_cycles: int
+    aggregation_cycles: int
+
+
+@dataclass
+class ControllerState:
+    traces: List[TileTrace] = field(default_factory=list)
+    weight_reloads: int = 0
+
+    def total_cycles(self) -> int:
+        return sum(t.core_cycles + t.aggregation_cycles for t in self.traces)
+
+
+class LayerController:
+    """Sequences layers through the memory system (single sample)."""
+
+    def __init__(self, network: MappedNetwork, event_driven: bool = True) -> None:
+        self.network = network
+        self.arch: ArchConfig = network.arch
+        self.memory = MemoryMap(self.arch)
+        self.core = SpikingCore(self.arch, event_driven=event_driven)
+        self.aggregation = AggregationCore(self.arch)
+        self.state = ControllerState()
+        self._membranes: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def weight_tiles(self, layer: MappedLayer) -> int:
+        """How many weight-memory loads a layer needs (8 kB at a time)."""
+        weight_bytes = int(layer.weights_int.astype(np.int8).nbytes)
+        return max(1, -(-weight_bytes // self.arch.weight_bytes))
+
+    def run_network(self, frame: np.ndarray, timesteps: int) -> np.ndarray:
+        """Run one sample through all layers for ``timesteps`` steps.
+
+        ``frame`` is a float (C, H, W) image.  Returns accumulated float
+        logits.  Mirrors :meth:`SpikingInferenceAccelerator.run` but
+        routes every membrane through the ping-pong buffer and enforces
+        memory capacities.
+        """
+        if frame.ndim != 3:
+            raise ValueError("controller runs single samples (C, H, W)")
+        frame_int = np.clip(
+            np.round(frame / self.network.input_scale), -128, 127
+        ).astype(np.int64)
+        self.memory.reset()
+        self._membranes.clear()
+        self.state = ControllerState()
+
+        logits_int: Optional[np.ndarray] = None
+        outputs: Dict[int, np.ndarray] = {}
+        for t in range(timesteps):
+            outputs.clear()
+            for idx, layer in enumerate(self.network.layers):
+                spikes_in = (
+                    frame_int if layer.input_index < 0 else outputs[layer.input_index]
+                )
+                if layer.spiking:
+                    outputs[idx] = self._execute_spiking_layer(
+                        idx, layer, spikes_in, outputs, t
+                    )
+                else:
+                    psum = self._execute_fc_layer(layer, spikes_in, t)
+                    logits_int = psum if logits_int is None else logits_int + psum
+        assert logits_int is not None
+        return logits_int.astype(np.float64) * self.network.layers[-1].output_scale
+
+    # ------------------------------------------------------------------
+    def _execute_spiking_layer(
+        self,
+        idx: int,
+        layer: MappedLayer,
+        spikes_in: np.ndarray,
+        outputs: Dict[int, np.ndarray],
+        timestep: int,
+    ) -> np.ndarray:
+        from repro.hw.accelerator import SpikingInferenceAccelerator  # traces reuse
+
+        c = layer.config
+        # Stage input spikes (binary planes are packed 8/byte on the bus).
+        spike_in_bytes = -(-int(np.prod(spikes_in.shape)) // 8)
+        if not layer.frame_input:
+            # The 128 B incoming-spike window holds one streaming chunk;
+            # larger planes stream through it chunk-by-chunk.
+            chunk = min(spike_in_bytes, self.arch.spike_in_bytes)
+            self.memory.spike_in.write("window", np.zeros(chunk, dtype=np.uint8))
+
+        # Partial sums for the whole layer (functional), then per-tile
+        # membrane traffic through the ping-pong protocol.
+        if layer.frame_input:
+            cols_psum = self._frame_psum(layer, frame_int=spikes_in)
+            core_cycles = 0
+        else:
+            cols_psum, core_stats = self.core.conv_timestep(
+                spikes_in, layer.weights_int, stride=c.stride, padding=c.padding
+            )
+            core_cycles = core_stats.cycles
+
+        residual = self._residual(layer, outputs)
+
+        key = f"L{idx}"
+        if key not in self._membranes:
+            membrane = self.aggregation.activation.initial_membrane(
+                cols_psum.shape, c.threshold_int, layer.v_init_fraction
+            )
+        else:
+            membrane = self._membranes[key]
+
+        # The ping-pong pair holds one layer tile at a time: the PS
+        # swaps per-layer membranes through DDR between invocations
+        # (``self._membranes`` models the DDR copy), and within an
+        # invocation the previous potentials are read from one half
+        # while updates land in the other (Fig. 3).
+        pp = self.memory.membrane
+        tiles = layer.spatial_tiles
+        flat_membrane = membrane.reshape(-1).copy()
+        tile_size = -(-flat_membrane.size // tiles)
+        for tile in range(tiles):
+            lo = tile * tile_size
+            hi = min(lo + tile_size, flat_membrane.size)
+            pp.read_bank.clear()
+            pp.preload("active-tile", flat_membrane[lo:hi].astype(np.int16))
+            stored = pp.read_membrane("active-tile")
+            flat_membrane[lo:hi] = stored.astype(np.int64)
+        membrane = flat_membrane.reshape(cols_psum.shape)
+
+        result, agg_cycles = self.aggregation.process(
+            cols_psum,
+            membrane,
+            c,
+            residual=residual,
+            reset_to_zero=layer.reset_to_zero,
+        )
+        self._membranes[key] = result.membrane
+
+        # Updated potentials stream into the opposite half, then roles
+        # swap for the next invocation.
+        updated_flat = result.membrane.reshape(-1)
+        for tile in range(tiles):
+            lo = tile * tile_size
+            hi = min(lo + tile_size, updated_flat.size)
+            pp.write_bank.clear()
+            pp.write_membrane("active-tile", updated_flat[lo:hi].astype(np.int16))
+        pp.toggle()
+
+        # Output spikes to output memory (packed; drained by the PS
+        # before the next layer writes).
+        spikes_out = result.spikes.astype(np.int64)
+        out_bytes = -(-int(spikes_out.size) // 8)
+        self.memory.output.write(
+            "current-layer-spikes",
+            np.packbits(spikes_out.reshape(-1).astype(np.uint8)),
+        )
+
+        weight_bytes = int(layer.weights_int.astype(np.int8).nbytes)
+        self.state.weight_reloads += self.weight_tiles(layer)
+        self.state.traces.append(
+            TileTrace(
+                layer=layer.name,
+                tile=tiles,
+                timestep=timestep,
+                weight_bytes=weight_bytes,
+                spike_in_bytes=spike_in_bytes,
+                spike_out_bytes=out_bytes,
+                core_cycles=core_cycles,
+                aggregation_cycles=agg_cycles,
+            )
+        )
+        return spikes_out
+
+    def _frame_psum(self, layer: MappedLayer, frame_int: np.ndarray) -> np.ndarray:
+        from repro.tensor.functional import im2col
+
+        c = layer.config
+        cols, oh, ow = im2col(frame_int[None], c.kernel_size, c.stride, c.padding)
+        w_mat = layer.weights_int.reshape(c.out_channels, -1).astype(np.int64)
+        psum = cols @ w_mat.T
+        return psum.reshape(oh, ow, c.out_channels).transpose(2, 0, 1)
+
+    def _residual(
+        self, layer: MappedLayer, outputs: Dict[int, np.ndarray]
+    ) -> Optional[np.ndarray]:
+        if layer.residual_input_index is None:
+            return None
+        from repro.hw.fixed import fixed_mul, saturate
+
+        source = outputs[layer.residual_input_index]
+        if layer.residual_identity_int is not None:
+            # Residual partial sums occupy the 128 kB residual memory.
+            res_bytes = int(source.size) * 2
+            self.memory.residual.write("partial", np.zeros(min(res_bytes, 8), np.uint8))
+            return source * layer.residual_identity_int
+        proj = layer.residual_projection
+        psum, _ = self.core.conv_timestep(
+            source, proj.weights_int, stride=proj.stride, padding=0
+        )
+        scaled = fixed_mul(
+            np.asarray(psum, dtype=np.int64),
+            proj.g_int.reshape(-1, 1, 1),
+            proj.g_frac_bits,
+            self.arch.psum_bits + proj.g_frac_bits,
+        )
+        return saturate(scaled + proj.h_int.reshape(-1, 1, 1), self.arch.psum_bits)
+
+    def _execute_fc_layer(
+        self, layer: MappedLayer, spikes_in: np.ndarray, timestep: int
+    ) -> np.ndarray:
+        flat = spikes_in.reshape(-1)
+        psum, core_stats = self.core.fc_timestep(flat, layer.weights_int)
+        self.state.traces.append(
+            TileTrace(
+                layer=layer.name,
+                tile=1,
+                timestep=timestep,
+                weight_bytes=int(layer.weights_int.astype(np.int8).nbytes),
+                spike_in_bytes=-(-flat.size // 8),
+                spike_out_bytes=0,
+                core_cycles=core_stats.cycles,
+                aggregation_cycles=0,
+            )
+        )
+        return psum.astype(np.int64)

@@ -1,0 +1,190 @@
+"""The spiking core: an 8x8 array of PEs executing spiking convolution.
+
+Functionally the core computes, for one timestep, the integer partial
+sums ``psum[c_out, y, x] = sum_{spiking taps} w_int`` — a convolution of
+the binary spike plane with the INT8 kernels, saturated to the 16-bit
+partial-sum width.  The model is vectorised with im2col for speed but
+its cycle accounting is derived from (and tested against) the bit-true
+:class:`repro.hw.pe.ProcessingElement` schedule:
+
+* one cycle per 3-tap kernel-row segment that contains at least one
+  spike (event-driven gating skips silent segments);
+* one finalize cycle per kernel application (output pixel x input
+  channel);
+* output channels are processed in groups of 64 (one kernel per PE),
+  groups run sequentially.
+
+Fully-connected layers are executed as 1x1 convolutions over a 1x1
+spatial grid with the input neurons playing the role of channels, which
+is how the reconfigurable core supports them (paper §III-A cites [27],
+[28] for the mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.config import ArchConfig, PYNQ_Z2
+from repro.hw.fixed import saturate
+from repro.tensor.functional import im2col
+
+
+@dataclass
+class CoreRunStats:
+    """Cycle and activity accounting for one layer-timestep on the core."""
+
+    cycles: int = 0
+    row_cycles: int = 0
+    finalize_cycles: int = 0
+    active_segments: int = 0
+    total_segments: int = 0
+    synaptic_ops: int = 0
+    channel_groups: int = 1
+
+    @property
+    def segment_activity(self) -> float:
+        """Fraction of kernel-row segments that carried at least one spike."""
+        if self.total_segments == 0:
+            return 0.0
+        return self.active_segments / self.total_segments
+
+
+class SpikingCore:
+    """Vectorised functional + cycle model of the 8x8 PE array."""
+
+    def __init__(self, arch: ArchConfig = PYNQ_Z2, event_driven: bool = True) -> None:
+        self.arch = arch
+        self.event_driven = event_driven
+
+    # ------------------------------------------------------------------
+    def conv_timestep(
+        self,
+        spikes: np.ndarray,
+        weights_int: np.ndarray,
+        stride: int = 1,
+        padding: int = 0,
+    ) -> tuple[np.ndarray, CoreRunStats]:
+        """Run one timestep of spiking convolution.
+
+        Parameters
+        ----------
+        spikes:
+            Binary spike plane, shape (C_in, H, W), values in {0, 1}.
+        weights_int:
+            INT8 kernels, shape (C_out, C_in, K, K).
+
+        Returns
+        -------
+        (psum, stats):
+            ``psum`` has shape (C_out, OH, OW), saturated to the
+            16-bit partial-sum width; ``stats`` carries the cycle
+            accounting described in the module docstring.
+        """
+        spikes = np.asarray(spikes)
+        weights_int = np.asarray(weights_int)
+        squeeze = spikes.ndim == 3
+        if squeeze:
+            spikes = spikes[None]
+        if spikes.ndim != 4:
+            raise ValueError("spikes must be (C_in, H, W) or (N, C_in, H, W)")
+        if weights_int.ndim != 4:
+            raise ValueError("weights must be (C_out, C_in, K, K)")
+        if spikes.shape[1] != weights_int.shape[1]:
+            raise ValueError("input channel mismatch")
+        if not np.isin(spikes, (0, 1)).all():
+            raise ValueError("spike plane must be binary")
+        lo, hi = -(2 ** (self.arch.adder_bits - 1)), 2 ** (self.arch.adder_bits - 1) - 1
+        if weights_int.min() < lo or weights_int.max() > hi:
+            raise ValueError(f"weights exceed the {self.arch.adder_bits}-bit datapath")
+
+        n = spikes.shape[0]
+        c_out, c_in, k, _ = weights_int.shape
+        cols, oh, ow = im2col(
+            spikes.astype(np.int64), k, stride, padding
+        )  # (N*OH*OW, C_in*K*K)
+        w_mat = weights_int.reshape(c_out, -1).astype(np.int64)
+        psum = saturate(cols @ w_mat.T, self.arch.psum_bits)  # (N*OH*OW, C_out)
+        psum = psum.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
+        if squeeze:
+            psum = psum[0]
+
+        # Cycle stats are totals across the batch (divide by N for a
+        # per-inference figure).
+        stats = self._account_cycles(cols, n * oh * ow, 1, c_in, c_out, k)
+        return psum, stats
+
+    def fc_timestep(
+        self, spikes: np.ndarray, weights_int: np.ndarray
+    ) -> tuple[np.ndarray, CoreRunStats]:
+        """One timestep of a fully-connected layer.
+
+        ``spikes`` is a binary vector (in_features,), ``weights_int`` is
+        (out_features, in_features).  Mapped as a 1x1 'convolution': the
+        PEs stream the input vector in 3-tap segments, one output neuron
+        per PE, 64 at a time.
+        """
+        spikes = np.asarray(spikes)
+        squeeze = spikes.ndim == 1
+        if squeeze:
+            spikes = spikes[None]
+        weights_int = np.asarray(weights_int)
+        if weights_int.shape[1] != spikes.shape[1]:
+            raise ValueError("feature mismatch")
+        psum = saturate(
+            spikes.astype(np.int64) @ weights_int.T.astype(np.int64),
+            self.arch.psum_bits,
+        )
+        if squeeze:
+            psum = psum[0]
+
+        m = self.arch.muxes_per_pe
+        pad = (-spikes.shape[1]) % m
+        padded = np.pad(spikes, ((0, 0), (0, pad)))
+        segments = padded.reshape(spikes.shape[0], -1, m)
+        active = int(segments.any(axis=2).sum())
+        total = int(segments.shape[0] * segments.shape[1])
+        groups = -(-weights_int.shape[0] // self.arch.num_pes)
+        row_cycles = (active if self.event_driven else total) * groups
+        finalize = groups * spikes.shape[0]  # one psum hand-off per group pass
+        stats = CoreRunStats(
+            cycles=row_cycles + finalize,
+            row_cycles=row_cycles,
+            finalize_cycles=finalize,
+            active_segments=active * groups,
+            total_segments=total * groups,
+            synaptic_ops=int(spikes.sum()) * weights_int.shape[0],
+            channel_groups=groups,
+        )
+        return psum, stats
+
+    # ------------------------------------------------------------------
+    def _account_cycles(
+        self, cols: np.ndarray, oh: int, ow: int, c_in: int, c_out: int, k: int
+    ) -> CoreRunStats:
+        """Derive the PE-schedule cycle count from the im2col matrix."""
+        m = self.arch.muxes_per_pe
+        # cols: (pixels, C_in*K*K) -> (pixels, C_in, K rows, K taps)
+        windows = cols.reshape(oh * ow, c_in, k, k)
+        pad = (-k) % m
+        if pad:
+            windows = np.pad(windows, ((0, 0), (0, 0), (0, 0), (0, pad)))
+        segments = windows.reshape(oh * ow, c_in, k, -1, m)
+        seg_active = segments.any(axis=-1)  # (pixels, C_in, K, segs)
+        active = int(seg_active.sum())
+        total = int(seg_active.size)
+        synops = int(cols.sum()) * c_out
+
+        groups = -(-c_out // self.arch.num_pes)
+        row_cycles = (active if self.event_driven else total) * groups
+        finalize = oh * ow * c_in * groups  # 1 per kernel application
+        return CoreRunStats(
+            cycles=row_cycles + finalize,
+            row_cycles=row_cycles,
+            finalize_cycles=finalize,
+            active_segments=active * groups,
+            total_segments=total * groups,
+            synaptic_ops=synops,
+            channel_groups=groups,
+        )

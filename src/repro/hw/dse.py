@@ -1,0 +1,204 @@
+"""Design-space exploration over SIA architecture parameters.
+
+The paper's title promises a *design methodology*; its §III-V walk one
+point of the space (8x8 PEs, 16 BN lanes, 100 MHz, the §III-D memory
+map) to silicon-ready numbers.  This module generalises that walk: it
+sweeps architecture knobs (PE array geometry, BN-lane count, clock,
+memory sizes), evaluates each candidate with the same resource /
+throughput / power / latency models that reproduce Tables I-IV, applies
+the platform's capacity constraints, and extracts the Pareto frontier —
+i.e. it turns the paper's single design point into the methodology the
+title describes.
+
+Objectives (maximise unless noted): peak GOPS, GOPS/W, GOPS/DSP;
+resource usage must fit the target device.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.hw.config import ArchConfig, PYNQ_Z2
+from repro.hw.power import PowerConstants, PowerModel
+from repro.hw.resources import PYNQ_Z2_AVAILABLE, ResourceModel, ThroughputModel
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated architecture candidate."""
+
+    arch: ArchConfig
+    gops: float
+    gops_per_watt: float
+    gops_per_dsp: float
+    power_watts: float
+    luts: int
+    ffs: int
+    dsps: int
+    brams: int
+    fits: bool
+    violations: Tuple[str, ...] = ()
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.arch.pe_rows}x{self.arch.pe_cols}PE/"
+            f"{self.arch.num_bn_multipliers}BN@{self.arch.clock_hz / 1e6:.0f}MHz"
+        )
+
+
+@dataclass
+class SweepSpec:
+    """The swept axes; defaults bracket the paper's design point."""
+
+    pe_rows: Sequence[int] = (4, 8, 16)
+    pe_cols: Sequence[int] = (4, 8, 16)
+    bn_lanes: Sequence[int] = (8, 16, 32)
+    clock_mhz: Sequence[float] = (50, 100, 150, 200)
+    square_arrays_only: bool = True
+
+    def candidates(self, base: ArchConfig = PYNQ_Z2) -> Iterable[ArchConfig]:
+        for rows, cols, lanes, mhz in itertools.product(
+            self.pe_rows, self.pe_cols, self.bn_lanes, self.clock_mhz
+        ):
+            if self.square_arrays_only and rows != cols:
+                continue
+            yield dataclasses.replace(
+                base,
+                pe_rows=rows,
+                pe_cols=cols,
+                num_bn_multipliers=lanes,
+                clock_hz=mhz * 1e6,
+                name=f"SIA-{rows}x{cols}",
+            )
+
+
+class DesignSpaceExplorer:
+    """Sweep + constrain + rank architecture candidates."""
+
+    # Derating: clocks above this need timing closure margins the
+    # 7-series fabric is unlikely to meet for this datapath.
+    MAX_FABRIC_MHZ = 250.0
+
+    def __init__(
+        self,
+        available: Optional[Dict[str, int]] = None,
+        power_constants: PowerConstants = PowerConstants(),
+    ) -> None:
+        self.available = dict(available or PYNQ_Z2_AVAILABLE)
+        self.power_constants = power_constants
+
+    # ------------------------------------------------------------------
+    def evaluate(self, arch: ArchConfig, activity: float = 1.0) -> DesignPoint:
+        """Score one candidate with the Tables-III/IV models."""
+        resources = ResourceModel(arch).report()
+        used = resources.used
+        violations = tuple(
+            f"{key}: {used[key]} > {self.available[key]}"
+            for key in ("LUT", "FF", "DSP", "BRAM")
+            if used[key] > self.available[key]
+        )
+        if arch.clock_hz / 1e6 > self.MAX_FABRIC_MHZ:
+            violations = violations + (
+                f"clock: {arch.clock_hz / 1e6:.0f} MHz > "
+                f"{self.MAX_FABRIC_MHZ:.0f} MHz fabric limit",
+            )
+
+        # Power scales with datapath size relative to the calibrated
+        # 64-PE/16-lane baseline.
+        base = PowerModel(arch, self.power_constants)
+        pe_scale = arch.num_pes / 64.0
+        lane_scale = arch.num_bn_multipliers / 16.0
+        c = self.power_constants
+        scaled = PowerConstants(
+            ps_watts=c.ps_watts,
+            pl_static_watts=c.pl_static_watts,
+            pe_array_dynamic_watts=c.pe_array_dynamic_watts * pe_scale,
+            aggregation_dynamic_watts=c.aggregation_dynamic_watts * lane_scale,
+            memory_dynamic_watts=c.memory_dynamic_watts,
+            interconnect_dynamic_watts=c.interconnect_dynamic_watts,
+        )
+        power = PowerModel(arch, scaled).total_watts(
+            activity=activity, clock_hz=arch.clock_hz
+        )
+        gops = arch.peak_gops
+        dsps = used["DSP"]
+        return DesignPoint(
+            arch=arch,
+            gops=round(gops, 2),
+            gops_per_watt=round(gops / power, 2),
+            gops_per_dsp=round(gops / dsps, 2),
+            power_watts=round(power, 3),
+            luts=used["LUT"],
+            ffs=used["FF"],
+            dsps=dsps,
+            brams=used["BRAM"],
+            fits=not violations,
+            violations=violations,
+        )
+
+    def sweep(
+        self,
+        spec: SweepSpec = SweepSpec(),
+        base: ArchConfig = PYNQ_Z2,
+        activity: float = 1.0,
+        feasible_only: bool = False,
+    ) -> List[DesignPoint]:
+        points = [self.evaluate(a, activity) for a in spec.candidates(base)]
+        if feasible_only:
+            points = [p for p in points if p.fits]
+        return points
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def pareto_front(
+        points: Sequence[DesignPoint],
+        objectives: Sequence[str] = ("gops", "-luts", "-power_watts"),
+    ) -> List[DesignPoint]:
+        """Non-dominated subset.
+
+        Objectives are attribute names, maximised by default; a ``-``
+        prefix minimises (e.g. ``"-luts"``).  The default frontier
+        trades throughput against fabric area and power — on a
+        PS-dominated board, pure (GOPS, GOPS/W) degenerates to "biggest
+        wins", which is exactly why the methodology must include
+        resource objectives.
+        """
+
+        def value(point: DesignPoint, objective: str) -> float:
+            if objective.startswith("-"):
+                return -float(getattr(point, objective[1:]))
+            return float(getattr(point, objective))
+
+        feasible = [p for p in points if p.fits]
+        front: List[DesignPoint] = []
+        for p in feasible:
+            dominated = False
+            for q in feasible:
+                if q is p:
+                    continue
+                as_good = all(value(q, o) >= value(p, o) for o in objectives)
+                strictly = any(value(q, o) > value(p, o) for o in objectives)
+                if as_good and strictly:
+                    dominated = True
+                    break
+            if not dominated:
+                front.append(p)
+        return sorted(front, key=lambda p: value(p, objectives[0]))
+
+    @staticmethod
+    def best(
+        points: Sequence[DesignPoint], objective: str = "gops_per_watt"
+    ) -> DesignPoint:
+        feasible = [p for p in points if p.fits]
+        if not feasible:
+            raise ValueError("no feasible design point")
+        return max(feasible, key=lambda p: getattr(p, objective))
+
+
+def paper_design_point() -> DesignPoint:
+    """The paper's shipped configuration, scored by the same models."""
+    return DesignSpaceExplorer().evaluate(PYNQ_Z2)

@@ -1,0 +1,122 @@
+"""Fault injection into the accelerator's memories.
+
+Edge accelerators care about resilience to memory upsets (SEUs in BRAM,
+weight corruption during transfer).  This module injects controlled bit
+flips into a mapped network's weight memory image or per-layer
+batch-norm coefficients and measures the accuracy impact with the
+bit-true simulator — an extension experiment enabled by having the
+integer datapath model (a float simulation would understate the damage
+of high-order-bit flips).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hw.accelerator import SpikingInferenceAccelerator
+from repro.hw.mapper import MappedNetwork
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """Result of one fault-injection trial."""
+
+    flipped_bits: int
+    bit_error_rate: float
+    baseline_accuracy: float
+    faulty_accuracy: float
+
+    @property
+    def accuracy_drop(self) -> float:
+        return self.baseline_accuracy - self.faulty_accuracy
+
+
+def _clone_network(network: MappedNetwork) -> MappedNetwork:
+    """Deep-copy a mapped network so injection never touches the original."""
+    return copy.deepcopy(network)
+
+
+def flip_weight_bits(
+    network: MappedNetwork,
+    bit_error_rate: float,
+    rng: np.random.Generator,
+    bits: int = 8,
+) -> tuple[MappedNetwork, int]:
+    """Return a copy of ``network`` with random weight bits flipped.
+
+    Each stored weight bit flips independently with probability
+    ``bit_error_rate``.  Weights stay within the signed ``bits`` range
+    (two's-complement flips, as a real memory upset would produce).
+    Returns (faulty network, number of flipped bits).
+    """
+    if not 0.0 <= bit_error_rate <= 1.0:
+        raise ValueError("bit_error_rate must be in [0, 1]")
+    faulty = _clone_network(network)
+    total_flips = 0
+    mask_all = (1 << bits) - 1
+    for layer in faulty.layers:
+        w = layer.weights_int.astype(np.int64)
+        unsigned = w & mask_all  # two's-complement view
+        flip_mask = np.zeros_like(unsigned)
+        for bit in range(bits):
+            flips = rng.random(unsigned.shape) < bit_error_rate
+            flip_mask |= flips.astype(np.int64) << bit
+            total_flips += int(flips.sum())
+        corrupted = unsigned ^ flip_mask
+        # Back to signed.
+        signed = np.where(corrupted >= 1 << (bits - 1), corrupted - (1 << bits), corrupted)
+        layer.weights_int = signed
+    return faulty, total_flips
+
+
+def flip_threshold_bits(
+    network: MappedNetwork,
+    layer_index: int,
+    bit: int,
+    bits: int = 16,
+) -> MappedNetwork:
+    """Flip one bit of one layer's threshold register (a targeted SEU)."""
+    if not 0 <= bit < bits:
+        raise ValueError(f"bit must be in [0, {bits})")
+    faulty = _clone_network(network)
+    layer = faulty.layers[layer_index]
+    corrupted = layer.config.threshold_int ^ (1 << bit)
+    if corrupted <= 0:
+        corrupted = 1  # hardware register cannot hold a non-positive threshold
+    layer.config.threshold_int = corrupted
+    return faulty
+
+
+def weight_fault_sweep(
+    network: MappedNetwork,
+    x: np.ndarray,
+    y: np.ndarray,
+    bit_error_rates: List[float],
+    timesteps: int = 8,
+    seed: int = 0,
+    batch_size: int = 128,
+) -> List[FaultReport]:
+    """Accuracy vs weight-memory bit-error rate (the robustness curve)."""
+    baseline = SpikingInferenceAccelerator(network).accuracy(
+        x, y, timesteps=timesteps, batch_size=batch_size
+    )
+    rng = np.random.default_rng(seed)
+    reports: List[FaultReport] = []
+    for rate in bit_error_rates:
+        faulty, flips = flip_weight_bits(network, rate, rng)
+        accuracy = SpikingInferenceAccelerator(faulty).accuracy(
+            x, y, timesteps=timesteps, batch_size=batch_size
+        )
+        reports.append(
+            FaultReport(
+                flipped_bits=flips,
+                bit_error_rate=rate,
+                baseline_accuracy=baseline,
+                faulty_accuracy=accuracy,
+            )
+        )
+    return reports

@@ -1,0 +1,61 @@
+"""Saturating fixed-point arithmetic helpers for the integer datapath.
+
+All hardware-side quantities are plain numpy integer arrays; these
+helpers centralise width clamping so every block saturates exactly the
+way an N-bit two's-complement register would.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def int_limits(bits: int) -> Tuple[int, int]:
+    """(min, max) of a signed two's-complement integer of ``bits``."""
+    if bits < 2:
+        raise ValueError("need at least 2 bits for signed values")
+    return -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+
+
+def saturate(values: np.ndarray, bits: int) -> np.ndarray:
+    """Clamp to the signed ``bits``-wide range (hardware saturation)."""
+    lo, hi = int_limits(bits)
+    return np.clip(values, lo, hi)
+
+
+def sat_add(a: np.ndarray, b: np.ndarray, bits: int) -> np.ndarray:
+    """Saturating add of two integer arrays at ``bits`` width."""
+    return saturate(a.astype(np.int64) + b.astype(np.int64), bits)
+
+
+def quantize_to_fixed(
+    values: np.ndarray, frac_bits: int, bits: int
+) -> np.ndarray:
+    """Round real values to a signed fixed-point grid with ``frac_bits``.
+
+    Returns the integer representation (int32/int64), saturated to
+    ``bits``.  ``real ~= returned / 2**frac_bits``.
+    """
+    scaled = np.round(np.asarray(values, dtype=np.float64) * (1 << frac_bits))
+    return saturate(scaled, bits).astype(np.int64)
+
+
+def fixed_to_float(values: np.ndarray, frac_bits: int) -> np.ndarray:
+    """Convert fixed-point integers back to floats."""
+    return np.asarray(values, dtype=np.float64) / (1 << frac_bits)
+
+
+def fixed_mul(
+    a_int: np.ndarray, coeff_int: np.ndarray, frac_bits: int, out_bits: int
+) -> np.ndarray:
+    """Fixed-point multiply with arithmetic right shift and saturation.
+
+    Computes ``(a * coeff) >> frac_bits`` with round-to-nearest (adding
+    half an LSB before the shift), the behaviour of the aggregation
+    core's DSP multiply for eq. (2).
+    """
+    product = a_int.astype(np.int64) * coeff_int.astype(np.int64)
+    rounded = (product + (1 << (frac_bits - 1))) >> frac_bits
+    return saturate(rounded, out_bits)

@@ -1,0 +1,191 @@
+"""The SIA's configuration-register ABI (the PS->PL driver contract).
+
+Paper Fig. 2 shows "configuration data" flowing from the processor into
+the control/configuration block over AXI4-Lite.  This module pins that
+interface down the way a hardware release would: a register map with
+addresses and bit-fields, an encoder that packs a
+:class:`repro.hw.config.LayerConfig` into 32-bit register writes, and a
+decoder that reconstructs the configuration — so the driver ABI is
+testable (encode/decode round-trips) and the mapper's output has a
+concrete wire format.
+
+Register map (word addresses, 32-bit registers):
+
+====  =================  ==========================================
+addr  name               fields (msb:lsb)
+====  =================  ==========================================
+0x00  CTRL               0: start, 1: soft reset, 2: write enable
+0x01  LAYER_KIND         1:0 kind (0 conv, 1 fc, 2 avgpool)
+0x02  GEOM_IN            31:20 in_channels, 19:10 height, 9:0 width
+0x03  GEOM_OUT           31:20 out_channels, 19:10 height, 9:0 width
+0x04  KERNEL             19:12 padding, 11:8 stride, 7:0 kernel
+0x05  NEURON             16: lif mode, 15:8 leak shift, 7:0 reserved
+0x06  THRESHOLD          15:0 threshold (membrane LSBs)
+0x07  TIMESTEPS          7:0 T
+0x08  FLAGS              0: has residual, 1: frame input
+====  =================  ==========================================
+
+BN coefficient pairs (G, H) stream through a separate data port; their
+count is implied by GEOM_OUT.out_channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.hw.config import LayerConfig, LayerKind
+
+WORD_MASK = 0xFFFFFFFF
+
+REG_CTRL = 0x00
+REG_LAYER_KIND = 0x01
+REG_GEOM_IN = 0x02
+REG_GEOM_OUT = 0x03
+REG_KERNEL = 0x04
+REG_NEURON = 0x05
+REG_THRESHOLD = 0x06
+REG_TIMESTEPS = 0x07
+REG_FLAGS = 0x08
+
+_KIND_CODES = {LayerKind.CONV: 0, LayerKind.FC: 1, LayerKind.AVGPOOL: 2}
+_KIND_FROM_CODE = {v: k for k, v in _KIND_CODES.items()}
+
+# Field capacity limits implied by the packing below.
+MAX_CHANNELS = (1 << 12) - 1      # 4095
+MAX_SPATIAL = (1 << 10) - 1       # 1023
+MAX_KERNEL = (1 << 8) - 1
+MAX_STRIDE = (1 << 4) - 1
+MAX_PADDING = (1 << 8) - 1
+MAX_THRESHOLD = (1 << 16) - 1
+MAX_TIMESTEPS = (1 << 8) - 1
+
+
+class EncodingError(ValueError):
+    """A configuration value does not fit its register field."""
+
+
+def _check(value: int, limit: int, field: str) -> int:
+    if not 0 <= value <= limit:
+        raise EncodingError(f"{field}={value} exceeds field capacity {limit}")
+    return value
+
+
+@dataclass(frozen=True)
+class RegisterWrite:
+    """One AXI4-Lite configuration write."""
+
+    address: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= WORD_MASK:
+            raise EncodingError(f"register value {self.value:#x} exceeds 32 bits")
+
+
+def encode_layer(
+    config: LayerConfig,
+    timesteps: int = 8,
+    frame_input: bool = False,
+) -> List[RegisterWrite]:
+    """Pack a layer configuration into its register writes."""
+    geom_in = (
+        (_check(config.in_channels, MAX_CHANNELS, "in_channels") << 20)
+        | (_check(config.in_height, MAX_SPATIAL, "in_height") << 10)
+        | _check(config.in_width, MAX_SPATIAL, "in_width")
+    )
+    geom_out = (
+        (_check(config.out_channels, MAX_CHANNELS, "out_channels") << 20)
+        | (_check(config.out_height, MAX_SPATIAL, "out_height") << 10)
+        | _check(config.out_width, MAX_SPATIAL, "out_width")
+    )
+    kernel = (
+        (_check(config.padding, MAX_PADDING, "padding") << 12)
+        | (_check(config.stride, MAX_STRIDE, "stride") << 8)
+        | _check(config.kernel_size, MAX_KERNEL, "kernel_size")
+    )
+    neuron = (int(config.lif_mode) << 16) | (
+        _check(config.leak_shift, 0xFF, "leak_shift") << 8
+    )
+    flags = int(config.has_residual) | (int(frame_input) << 1)
+    return [
+        RegisterWrite(REG_LAYER_KIND, _KIND_CODES[config.kind]),
+        RegisterWrite(REG_GEOM_IN, geom_in),
+        RegisterWrite(REG_GEOM_OUT, geom_out),
+        RegisterWrite(REG_KERNEL, kernel),
+        RegisterWrite(REG_NEURON, neuron),
+        RegisterWrite(
+            REG_THRESHOLD, _check(config.threshold_int, MAX_THRESHOLD, "threshold")
+        ),
+        RegisterWrite(REG_TIMESTEPS, _check(timesteps, MAX_TIMESTEPS, "timesteps")),
+        RegisterWrite(REG_FLAGS, flags),
+    ]
+
+
+@dataclass(frozen=True)
+class DecodedLayer:
+    """Configuration reconstructed from register state."""
+
+    kind: LayerKind
+    in_channels: int
+    in_height: int
+    in_width: int
+    out_channels: int
+    out_height: int
+    out_width: int
+    kernel_size: int
+    stride: int
+    padding: int
+    lif_mode: bool
+    leak_shift: int
+    threshold_int: int
+    timesteps: int
+    has_residual: bool
+    frame_input: bool
+
+
+def decode_layer(writes: List[RegisterWrite]) -> DecodedLayer:
+    """Inverse of :func:`encode_layer` (the RTL's view of the registers)."""
+    regs: Dict[int, int] = {w.address: w.value for w in writes}
+    required = {
+        REG_LAYER_KIND, REG_GEOM_IN, REG_GEOM_OUT, REG_KERNEL,
+        REG_NEURON, REG_THRESHOLD, REG_TIMESTEPS, REG_FLAGS,
+    }
+    missing = required - set(regs)
+    if missing:
+        raise EncodingError(f"missing register writes: {sorted(missing)}")
+    kind_code = regs[REG_LAYER_KIND] & 0x3
+    if kind_code not in _KIND_FROM_CODE:
+        raise EncodingError(f"unknown layer kind code {kind_code}")
+    geom_in, geom_out = regs[REG_GEOM_IN], regs[REG_GEOM_OUT]
+    kernel = regs[REG_KERNEL]
+    neuron = regs[REG_NEURON]
+    flags = regs[REG_FLAGS]
+    return DecodedLayer(
+        kind=_KIND_FROM_CODE[kind_code],
+        in_channels=(geom_in >> 20) & 0xFFF,
+        in_height=(geom_in >> 10) & 0x3FF,
+        in_width=geom_in & 0x3FF,
+        out_channels=(geom_out >> 20) & 0xFFF,
+        out_height=(geom_out >> 10) & 0x3FF,
+        out_width=geom_out & 0x3FF,
+        kernel_size=kernel & 0xFF,
+        stride=(kernel >> 8) & 0xF,
+        padding=(kernel >> 12) & 0xFF,
+        lif_mode=bool((neuron >> 16) & 1),
+        leak_shift=(neuron >> 8) & 0xFF,
+        threshold_int=regs[REG_THRESHOLD] & 0xFFFF,
+        timesteps=regs[REG_TIMESTEPS] & 0xFF,
+        has_residual=bool(flags & 1),
+        frame_input=bool((flags >> 1) & 1),
+    )
+
+
+def encode_network(
+    configs: List[LayerConfig], timesteps: int = 8
+) -> List[Tuple[int, List[RegisterWrite]]]:
+    """Register programmes for a whole network, (layer index, writes)."""
+    return [
+        (idx, encode_layer(cfg, timesteps=timesteps, frame_input=idx == 0))
+        for idx, cfg in enumerate(configs)
+    ]

@@ -1,0 +1,519 @@
+"""Compile a converted SNN into the SIA's integer layer programme.
+
+The mapper is the "software" half of the hardware-software co-design:
+it takes a converted network (INT8-fake-quantised convolutions +
+IF/LIF neurons, see :mod:`repro.snn.convert`) and emits, per layer,
+exactly what the PS streams to the accelerator:
+
+* INT8 kernel weights (the 8 kB weight memory image);
+* 16-bit fixed-point batch-norm coefficients G and H (eq. 2), which
+  absorb the weight-quantisation scale ``q_w``, the incoming spike
+  amplitude (the previous layer's threshold) and the layer's
+  fixed-point grid;
+* the 16-bit threshold and the IF/LIF mode bit.
+
+Fixed-point convention: every spiking layer uses an output grid whose
+LSB is ``threshold / 2**membrane_frac_bits``, so ``threshold_int`` is
+the constant ``2**membrane_frac_bits`` and all layer-specific scaling
+lives in G/H.  This keeps the activation unit trivial (a compare and a
+subtract), as in the RTL.
+
+Average pooling is folded into the *following* layer: a 2x2 avg-pool
+followed by a KxK conv becomes a 2Kx2K stride-2 conv whose integer
+weights are the original taps replicated over each pooling window, with
+the 1/4 averaging factor absorbed into G.  This keeps every PE input a
+binary spike and exercises the kernel-size reconfigurability the paper
+demonstrates in Table II.  Global average pooling before the classifier
+folds into the FC weights the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.hw.config import ArchConfig, LayerConfig, LayerKind, PYNQ_Z2
+from repro.hw.fixed import int_limits, quantize_to_fixed
+from repro.models.resnet import BasicBlock, ResNet
+from repro.models.vgg import VGG
+from repro.nn.module import Module
+from repro.snn.neurons import IFNeuron, LIFNeuron
+
+
+# ----------------------------------------------------------------------
+# Mapped-layer records
+# ----------------------------------------------------------------------
+@dataclass
+class ProjectionSpec:
+    """A 1x1 projection shortcut executed as an auxiliary conv pass."""
+
+    weights_int: np.ndarray
+    g_int: np.ndarray
+    h_int: np.ndarray
+    g_frac_bits: int
+    stride: int
+
+
+@dataclass
+class MappedLayer:
+    """One accelerator layer invocation."""
+
+    name: str
+    config: LayerConfig
+    weights_int: np.ndarray
+    input_index: int                      # -1 = network input
+    frame_input: bool = False             # PS-side INT8 frame convolution
+    spiking: bool = True                  # False for the output (logit) layer
+    output_scale: float = 1.0             # logits = psum * output_scale
+    v_init_fraction: float = 0.5
+    reset_to_zero: bool = False
+    # Residual support (ResNet): contribution added before activation.
+    residual_input_index: Optional[int] = None
+    residual_identity_int: Optional[int] = None
+    residual_projection: Optional[ProjectionSpec] = None
+    # Bookkeeping for reports.
+    threshold_float: float = 0.0
+    pool_folded: int = 1                  # pooling factor folded into this layer
+
+    @property
+    def spatial_tiles(self) -> int:
+        """Output tiles needed so one tile's membranes fit a ping-pong half."""
+        return max(1, -(-self.config.out_neurons // _max_tile_neurons(self.config)))
+
+
+def _max_tile_neurons(config: LayerConfig) -> int:
+    # Kept as a function hook so tests can reason about tiling; the
+    # actual capacity limit comes from the arch at mapping time and is
+    # stored by the mapper below.
+    return getattr(config, "_max_tile_neurons", 16384)
+
+
+@dataclass
+class MappedNetwork:
+    """The full layer programme plus network-level metadata."""
+
+    layers: List[MappedLayer]
+    arch: ArchConfig
+    input_scale: float                    # INT8 input quantisation scale
+    input_shape: Tuple[int, int, int]
+    model_name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("mapped network has no layers")
+
+    @property
+    def num_spiking_layers(self) -> int:
+        return sum(1 for l in self.layers if l.spiking)
+
+    def total_weight_bytes(self) -> int:
+        return sum(int(l.weights_int.astype(np.int8).nbytes) for l in self.layers)
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.model_name or 'network'}: {len(self.layers)} mapped layers "
+            f"({self.num_spiking_layers} spiking)"
+        ]
+        for idx, layer in enumerate(self.layers):
+            c = layer.config
+            lines.append(
+                f"  [{idx:2d}] {layer.name:<24} {c.kind.value:<5} "
+                f"{c.in_channels}x{c.in_height}x{c.in_width} -> "
+                f"{c.out_channels}x{c.out_height}x{c.out_width} "
+                f"k={c.kernel_size} s={c.stride} tiles={layer.spatial_tiles}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Quantisation helpers
+# ----------------------------------------------------------------------
+def _integer_weights(conv: Module, bits: int) -> Tuple[np.ndarray, float]:
+    """INT weights + scale for a (possibly fake-quantised) conv/linear."""
+    if isinstance(conv, (nn.QuantConv2d, nn.QuantLinear)):
+        return conv.integer_weights()
+    weights = conv.weight.data
+    from repro.nn.quant import quantize_weight_int8
+
+    return quantize_weight_int8(weights, bits=bits)
+
+
+def _fold_bn(
+    bn: Optional[nn.BatchNorm2d],
+    weight_scale: float,
+    input_amplitude: float,
+    out_lsb: float,
+    arch: ArchConfig,
+    extra_gain: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray, int, dict]:
+    """Fixed-point G/H such that current_int = psum*g>>frac + h.
+
+    ``input_amplitude`` is the value one incoming spike represents (the
+    previous spiking layer's threshold, or the input-pixel scale for the
+    frame layer); ``extra_gain`` carries folded pooling factors.
+    Returns (g_int, h_int, frac_bits, report) where the report records
+    any saturation (useful when auditing precision).
+    """
+    if bn is not None:
+        g_f, h_f = bn.fold_coefficients()
+        channels = bn.num_features
+    else:
+        channels = None  # filled by caller via broadcasting
+        g_f, h_f = np.array([1.0]), np.array([0.0])
+    gain = weight_scale * input_amplitude * extra_gain / out_lsb
+    g_real = g_f * gain
+    h_real = h_f / out_lsb
+    frac = arch.bn_frac_bits
+    g_int = quantize_to_fixed(g_real, frac, arch.bn_bits)
+    h_int = quantize_to_fixed(h_real, 0, arch.bn_bits)
+    lo, hi = int_limits(arch.bn_bits)
+    report = {
+        "g_saturated": int(
+            ((g_real * (1 << frac)) > hi).sum() + ((g_real * (1 << frac)) < lo).sum()
+        ),
+        "h_saturated": int((h_real > hi).sum() + (h_real < lo).sum()),
+    }
+    return g_int, h_int, frac, report
+
+
+def _expand_pool_into_conv(
+    weights: np.ndarray, pool: int
+) -> np.ndarray:
+    """Replicate conv taps over each pooling window (see module docstring).
+
+    (C_out, C_in, K, K) -> (C_out, C_in, pool*K, pool*K); the 1/pool^2
+    averaging factor is NOT applied here (it goes into G).
+    """
+    return np.repeat(np.repeat(weights, pool, axis=2), pool, axis=3)
+
+
+def _expand_pool_into_fc(
+    weights: np.ndarray, channels: int, height: int, width: int
+) -> np.ndarray:
+    """Fold a global average pool into FC weights.
+
+    FC weights (out, C) become (out, C*H*W) by replicating each channel
+    weight across the spatial positions; the 1/(H*W) factor is absorbed
+    into the logit output scale by the caller.
+    """
+    out_features = weights.shape[0]
+    expanded = np.repeat(weights[:, :, None], height * width, axis=2)
+    return expanded.reshape(out_features, channels * height * width)
+
+
+def _spiking_threshold(module: Module) -> Tuple[float, bool, int]:
+    """(threshold, lif_mode, leak_shift) of a neuron layer."""
+    if isinstance(module, LIFNeuron):
+        # leak = 1 - 2**-shift  ->  shift = -log2(1 - leak)
+        shift = int(round(-np.log2(max(1.0 - module.leak, 2 ** -8))))
+        return module.threshold, True, shift
+    if isinstance(module, IFNeuron):
+        return module.threshold, False, 4
+    raise TypeError(f"expected a spiking neuron, got {type(module).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Network walkers
+# ----------------------------------------------------------------------
+class _MapperState:
+    """Carries geometry/scale context while walking the network."""
+
+    def __init__(
+        self, arch: ArchConfig, input_shape: Tuple[int, int, int], input_scale: float
+    ) -> None:
+        self.arch = arch
+        self.channels, self.height, self.width = input_shape
+        self.amplitude = input_scale      # value of one incoming "spike"/pixel LSB
+        self.frame_domain = True          # until the first spiking layer
+        self.pending_pool = 1             # avg-pool factor awaiting folding
+        self.last_index = -1              # producer of the current activations
+        self.layers: List[MappedLayer] = []
+
+    def emit(self, layer: MappedLayer) -> int:
+        object.__setattr__(
+            layer.config, "_max_tile_neurons", self.arch.max_tile_neurons
+        )
+        self.layers.append(layer)
+        self.last_index = len(self.layers) - 1
+        return self.last_index
+
+
+def _map_conv_block(
+    state: _MapperState,
+    conv: Module,
+    bn: Optional[nn.BatchNorm2d],
+    neuron: Optional[Module],
+    name: str,
+    arch: ArchConfig,
+    input_index: Optional[int] = None,
+    residual: Optional[dict] = None,
+) -> int:
+    """Map conv(+bn)(+activation) into one accelerator layer."""
+    w_int, w_scale = _integer_weights(conv, arch.adder_bits)
+    pool = state.pending_pool
+    state.pending_pool = 1
+    if pool > 1:
+        w_int = _expand_pool_into_conv(w_int, pool)
+    kernel = conv.kernel_size * pool
+    stride = conv.stride * pool
+    padding = conv.padding * pool
+
+    if neuron is not None:
+        threshold, lif_mode, leak_shift = _spiking_threshold(neuron)
+        out_lsb = threshold / (1 << arch.membrane_frac_bits)
+        threshold_int = 1 << arch.membrane_frac_bits
+        reset_to_zero = getattr(neuron, "reset", None) is not None and (
+            neuron.reset.value == "zero"
+        )
+        v_init = neuron.v_init_fraction
+    else:
+        # Projection / pre-activation pass: grid chosen by the caller.
+        raise ValueError("conv blocks must end in a spiking neuron")
+
+    extra_gain = 1.0 / (pool * pool)
+    g_int, h_int, frac, _ = _fold_bn(
+        bn, w_scale, state.amplitude, out_lsb, arch, extra_gain
+    )
+    if bn is None:
+        # Broadcast identity BN over output channels.
+        g_int = np.repeat(g_int, conv.out_channels)
+        h_int = np.repeat(h_int, conv.out_channels)
+
+    config = LayerConfig(
+        kind=LayerKind.CONV,
+        in_channels=state.channels,
+        out_channels=conv.out_channels,
+        in_height=state.height,
+        in_width=state.width,
+        kernel_size=kernel,
+        stride=stride,
+        padding=padding,
+        lif_mode=lif_mode,
+        leak_shift=leak_shift,
+        threshold_int=threshold_int,
+        has_residual=residual is not None,
+        name=name,
+        g_int=g_int,
+        h_int=h_int,
+        g_frac_bits=frac,
+        logical_kernel=conv.kernel_size,
+    )
+    layer = MappedLayer(
+        name=name,
+        config=config,
+        weights_int=w_int,
+        input_index=state.last_index if input_index is None else input_index,
+        frame_input=state.frame_domain,
+        threshold_float=threshold,
+        pool_folded=pool,
+        v_init_fraction=v_init,
+        reset_to_zero=reset_to_zero,
+    )
+    if residual is not None:
+        layer.residual_input_index = residual["input_index"]
+        layer.residual_identity_int = residual.get("identity_int")
+        layer.residual_projection = residual.get("projection")
+
+    state.frame_domain = False
+    state.amplitude = threshold
+    state.channels = conv.out_channels
+    state.height = config.out_height
+    state.width = config.out_width
+    return state.emit(layer)
+
+
+def _map_output_fc(
+    state: _MapperState,
+    fc: Module,
+    name: str,
+    arch: ArchConfig,
+    spatial: Optional[Tuple[int, int, int]] = None,
+    pool_scale: float = 1.0,
+) -> int:
+    """Map the classifier as a non-spiking psum-accumulating layer."""
+    w_int, w_scale = _integer_weights(fc, arch.adder_bits)
+    if spatial is not None:
+        channels, height, width = spatial
+        w_int = _expand_pool_into_fc(w_int, channels, height, width)
+        in_features = channels * height * width
+    else:
+        in_features = w_int.shape[1]
+    config = LayerConfig(
+        kind=LayerKind.FC,
+        in_channels=in_features,
+        out_channels=w_int.shape[0],
+        in_height=1,
+        in_width=1,
+        kernel_size=1,
+        name=name,
+        threshold_int=1,  # unused: non-spiking output layer
+        logical_in_features=fc.in_features,
+    )
+    layer = MappedLayer(
+        name=name,
+        config=config,
+        weights_int=w_int,
+        input_index=state.last_index,
+        spiking=False,
+        output_scale=w_scale * state.amplitude * pool_scale,
+        threshold_float=0.0,
+    )
+    return state.emit(layer)
+
+
+def _map_vgg(model: VGG, state: _MapperState, arch: ArchConfig) -> None:
+    modules = list(model.features)
+    idx = 0
+    block = 0
+    while idx < len(modules):
+        module = modules[idx]
+        if isinstance(module, (nn.AvgPool2d, nn.MaxPool2d)):
+            if isinstance(module, nn.MaxPool2d):
+                raise ValueError(
+                    "max-pool cannot be folded into the adder-only datapath; "
+                    "build the VGG with pool='avg' for hardware mapping"
+                )
+            state.pending_pool *= module.kernel_size
+            idx += 1
+            continue
+        if isinstance(module, (nn.Conv2d,)):
+            bn = modules[idx + 1] if isinstance(modules[idx + 1], nn.BatchNorm2d) else None
+            act_idx = idx + (2 if bn is not None else 1)
+            neuron = modules[act_idx]
+            if not isinstance(neuron, IFNeuron):
+                raise ValueError(
+                    f"expected a spiking activation after conv #{block}, got "
+                    f"{type(neuron).__name__}; convert the model first"
+                )
+            block += 1
+            _map_conv_block(state, module, bn, neuron, f"conv{block}", arch)
+            idx = act_idx + 1
+            continue
+        raise ValueError(f"unsupported module in VGG features: {type(module).__name__}")
+    # Trailing pool folds into the classifier spatially.
+    pool = state.pending_pool
+    state.pending_pool = 1
+    h, w = state.height, state.width
+    _map_output_fc(
+        state,
+        model.fc,
+        "fc",
+        arch,
+        spatial=(state.channels, h, w),
+        pool_scale=1.0 / (pool * pool) if pool > 1 else 1.0,
+    )
+
+
+def _map_resnet(model: ResNet, state: _MapperState, arch: ArchConfig) -> None:
+    if not isinstance(model.act1, IFNeuron):
+        raise ValueError("convert the model to an SNN before mapping")
+    _map_conv_block(state, model.conv1, model.bn1, model.act1, "stem", arch)
+
+    block_no = 0
+    for stage in (model.layer1, model.layer2, model.layer3, model.layer4):
+        for block in stage:
+            assert isinstance(block, BasicBlock)
+            block_no += 1
+            block_input_index = state.last_index
+            block_input_amplitude = state.amplitude
+            block_in_shape = (state.channels, state.height, state.width)
+
+            _map_conv_block(
+                state, block.conv1, block.bn1, block.act1, f"b{block_no}.conv1", arch
+            )
+
+            # Residual contribution on conv2's output grid.
+            out_threshold = block.act2.threshold
+            out_lsb = out_threshold / (1 << arch.membrane_frac_bits)
+            if isinstance(block.shortcut, nn.Identity):
+                identity_int = int(round(block_input_amplitude / out_lsb))
+                residual = {
+                    "input_index": block_input_index,
+                    "identity_int": identity_int,
+                }
+            else:
+                proj_conv = block.shortcut[0]
+                proj_bn = block.shortcut[1]
+                pw_int, pw_scale = _integer_weights(proj_conv, arch.adder_bits)
+                pg, ph, pfrac, _ = _fold_bn(
+                    proj_bn, pw_scale, block_input_amplitude, out_lsb, arch
+                )
+                residual = {
+                    "input_index": block_input_index,
+                    "projection": ProjectionSpec(
+                        weights_int=pw_int,
+                        g_int=pg,
+                        h_int=ph,
+                        g_frac_bits=pfrac,
+                        stride=proj_conv.stride,
+                    ),
+                }
+            _map_conv_block(
+                state,
+                block.conv2,
+                block.bn2,
+                block.act2,
+                f"b{block_no}.conv2",
+                arch,
+                residual=residual,
+            )
+
+    h, w = state.height, state.width
+    _map_output_fc(
+        state,
+        model.fc,
+        "fc",
+        arch,
+        spatial=(state.channels, h, w),
+        pool_scale=1.0 / (h * w),
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def map_network(
+    model: Module,
+    input_shape: Tuple[int, int, int] = (3, 32, 32),
+    arch: ArchConfig = PYNQ_Z2,
+    input_scale: Optional[float] = None,
+    calibration_input: Optional[np.ndarray] = None,
+) -> MappedNetwork:
+    """Compile a converted SNN model into an accelerator programme.
+
+    Parameters
+    ----------
+    model:
+        A converted network (:func:`repro.snn.convert.convert_to_snn`).
+        ResNet and VGG topologies are supported.
+    input_scale:
+        INT8 quantisation scale of the input frame.  When None it is
+        derived from ``calibration_input`` (max-abs / 127) or defaults
+        to 1/127 for inputs already in [-1, 1].
+    """
+    if input_scale is None:
+        if calibration_input is not None:
+            input_scale = float(np.abs(calibration_input).max()) / 127.0
+        else:
+            input_scale = 1.0 / 127.0
+    state = _MapperState(arch, input_shape, input_scale)
+    if isinstance(model, ResNet):
+        _map_resnet(model, state, arch)
+        name = "resnet"
+    elif isinstance(model, VGG):
+        _map_vgg(model, state, arch)
+        name = "vgg"
+    else:
+        raise TypeError(
+            f"no mapping rule for {type(model).__name__}; supported: ResNet, VGG"
+        )
+    return MappedNetwork(
+        layers=state.layers,
+        arch=arch,
+        input_scale=input_scale,
+        input_shape=input_shape,
+        model_name=name,
+    )

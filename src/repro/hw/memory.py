@@ -1,0 +1,153 @@
+"""Memory organisation: BRAM banks, the memory map, ping-pong buffers.
+
+Models paper §III-D: the PL-side memory is partitioned into spike-input
+memory (128 B incoming spikes + 128 kB residual partial sums + 64 kB
+membrane potentials), 8 kB weight memory (up to 64 kernels), and 56 kB
+output spike memory.  The 64 kB membrane region operates as a ping-pong
+pair (U1-State / U2-State) so the PE array can write timestep t's
+potentials while the activation unit reads timestep t-1's (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.hw.config import ArchConfig, PYNQ_Z2
+
+
+class MemoryError_(Exception):
+    """Raised on capacity overflows or ping-pong protocol violations."""
+
+
+class BramBank:
+    """A byte-addressable on-chip memory with capacity enforcement."""
+
+    def __init__(self, name: str, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self._store: Dict[str, np.ndarray] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def used_bytes(self) -> int:
+        return sum(int(a.nbytes) for a in self._store.values())
+
+    def write(self, key: str, array: np.ndarray) -> None:
+        """Store an array under ``key``; raises if the bank would overflow."""
+        new_usage = self.used_bytes() - (
+            int(self._store[key].nbytes) if key in self._store else 0
+        ) + int(array.nbytes)
+        if new_usage > self.capacity_bytes:
+            raise MemoryError_(
+                f"{self.name}: writing {array.nbytes} B for {key!r} exceeds "
+                f"capacity {self.capacity_bytes} B (would use {new_usage} B)"
+            )
+        self._store[key] = array
+        self.bytes_written += int(array.nbytes)
+
+    def read(self, key: str) -> np.ndarray:
+        if key not in self._store:
+            raise MemoryError_(f"{self.name}: no entry {key!r}")
+        array = self._store[key]
+        self.bytes_read += int(array.nbytes)
+        return array
+
+    def clear(self) -> None:
+        self._store.clear()
+
+
+class PingPongBuffer:
+    """The U1/U2 membrane-state pair (paper Fig. 3).
+
+    At any timestep one half is in *read* mode (previous potentials feed
+    the activation unit) and the other is in *write* mode (updated
+    potentials from the PEs).  :meth:`toggle` swaps the roles at the
+    timestep boundary.  Reading and writing the same half in one
+    timestep raises — that is the hazard the ping-pong protocol exists
+    to prevent, and a scheduling bug if it happens in simulation.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        half = capacity_bytes // 2
+        self.banks = (BramBank("U1-State", half), BramBank("U2-State", half))
+        self._read_idx = 0
+        self._read_done: set = set()
+        self._write_done: set = set()
+
+    @property
+    def read_bank(self) -> BramBank:
+        return self.banks[self._read_idx]
+
+    @property
+    def write_bank(self) -> BramBank:
+        return self.banks[1 - self._read_idx]
+
+    def read_membrane(self, key: str) -> np.ndarray:
+        self._read_done.add(key)
+        if key in self._write_done:
+            raise MemoryError_(
+                f"ping-pong hazard: {key!r} read after write in the same timestep"
+            )
+        return self.read_bank.read(key)
+
+    def write_membrane(self, key: str, array: np.ndarray) -> None:
+        self._write_done.add(key)
+        self.write_bank.write(key, array)
+
+    def preload(self, key: str, array: np.ndarray) -> None:
+        """Initial membrane load (before the first timestep) into the read bank."""
+        self.read_bank.write(key, array)
+
+    def toggle(self) -> None:
+        """Swap read/write roles at a timestep boundary."""
+        self._read_idx = 1 - self._read_idx
+        self._read_done.clear()
+        self._write_done.clear()
+
+    def reset(self) -> None:
+        for bank in self.banks:
+            bank.clear()
+        self._read_idx = 0
+        self._read_done.clear()
+        self._write_done.clear()
+
+
+@dataclass
+class MemoryMap:
+    """The full PL memory system of the SIA."""
+
+    arch: ArchConfig = field(default_factory=lambda: PYNQ_Z2)
+
+    def __post_init__(self) -> None:
+        a = self.arch
+        self.spike_in = BramBank("spike-in", a.spike_in_bytes)
+        self.residual = BramBank("residual", a.residual_bytes)
+        self.weights = BramBank("weights", a.weight_bytes)
+        self.output = BramBank("output-spikes", a.output_bytes)
+        self.membrane = PingPongBuffer(a.membrane_bytes)
+
+    def total_bytes(self) -> int:
+        a = self.arch
+        return (
+            a.spike_in_bytes
+            + a.residual_bytes
+            + a.membrane_bytes
+            + a.weight_bytes
+            + a.output_bytes
+        )
+
+    def bram_blocks(self, block_bits: int = 18 * 1024) -> int:
+        """Number of BRAM primitives needed for the data memories alone."""
+        return -(-(self.total_bytes() * 8) // block_bits)
+
+    def reset(self) -> None:
+        self.spike_in.clear()
+        self.residual.clear()
+        self.weights.clear()
+        self.output.clear()
+        self.membrane.reset()

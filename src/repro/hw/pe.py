@@ -1,0 +1,126 @@
+"""One processing element: three 8-bit multiplexers and an 8-bit adder.
+
+This is the bit-true model of the paper's §III-A PE.  Each cycle the PE
+consumes one kernel row: three input spike bits select between the
+corresponding kernel weights and zero, and the adder tree folds the
+selected weights into the running partial sum.  After all kernel rows
+(one cycle per 3-wide row segment) a final cycle transfers the 16-bit
+partial sum to the aggregation core.
+
+The PE never multiplies — event-driven accumulation is what makes the
+design DSP-free (Table III: only the aggregation core's batch-norm
+multipliers use DSP slices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.hw.config import ArchConfig, PYNQ_Z2
+from repro.hw.fixed import saturate
+
+
+@dataclass
+class PECycleStats:
+    """Cycle/activity counters of one PE."""
+
+    cycles: int = 0
+    row_cycles: int = 0          # cycles spent folding kernel rows
+    finalize_cycles: int = 0     # cycles transferring psums out
+    active_rows: int = 0         # rows containing at least one spike
+    skipped_rows: int = 0        # rows gated off (no spikes, event-driven)
+    synaptic_ops: int = 0        # weights actually accumulated
+
+
+class ProcessingElement:
+    """Bit-true PE model with cycle accounting.
+
+    Parameters
+    ----------
+    arch:
+        Architecture constants (mux count, operand widths).
+    event_driven:
+        When True (hardware behaviour), rows whose spike bits are all
+        zero are skipped in zero cycles by the row scheduler; when
+        False every row costs a cycle (dense mode, used for the
+        event-driven-vs-dense ablation).
+    """
+
+    def __init__(self, arch: ArchConfig = PYNQ_Z2, event_driven: bool = True) -> None:
+        self.arch = arch
+        self.event_driven = event_driven
+        self.stats = PECycleStats()
+        self._psum = 0
+
+    def reset(self) -> None:
+        self._psum = 0
+
+    @property
+    def psum(self) -> int:
+        return self._psum
+
+    def accumulate_row(self, spikes: Sequence[int], weights: Sequence[int]) -> int:
+        """Fold one kernel-row segment (up to 3 taps) into the partial sum.
+
+        ``spikes`` are binary selects; ``weights`` are signed 8-bit
+        integers.  Returns the number of cycles consumed (0 when the row
+        is gated off in event-driven mode).
+        """
+        if len(spikes) != len(weights):
+            raise ValueError("spikes/weights length mismatch")
+        if len(spikes) > self.arch.muxes_per_pe:
+            raise ValueError(
+                f"row segment wider than the PE's {self.arch.muxes_per_pe} muxes"
+            )
+        lo, hi = -(2 ** (self.arch.adder_bits - 1)), 2 ** (self.arch.adder_bits - 1) - 1
+        any_spike = False
+        contribution = 0
+        for s, w in zip(spikes, weights):
+            if s not in (0, 1):
+                raise ValueError("spike bits must be 0 or 1")
+            if not lo <= w <= hi:
+                raise ValueError(f"weight {w} exceeds {self.arch.adder_bits}-bit range")
+            if s:
+                any_spike = True
+                contribution += w
+                self.stats.synaptic_ops += 1
+        if self.event_driven and not any_spike:
+            self.stats.skipped_rows += 1
+            return 0
+        self._psum = int(saturate(np.int64(self._psum + contribution), self.arch.psum_bits))
+        self.stats.cycles += 1
+        self.stats.row_cycles += 1
+        self.stats.active_rows += 1
+        return 1
+
+    def compute_kernel(
+        self, spike_window: np.ndarray, weights: np.ndarray
+    ) -> Tuple[int, int]:
+        """Apply one KxK kernel to one KxK spike window.
+
+        Iterates the kernel rows in segments of (at most) 3 taps, then
+        spends the final transfer cycle.  Returns ``(psum, cycles)``.
+        The partial sum accumulates on top of the PE's current state so
+        multi-channel kernels chain naturally.
+        """
+        spike_window = np.asarray(spike_window)
+        weights = np.asarray(weights)
+        if spike_window.shape != weights.shape:
+            raise ValueError("window/weight shape mismatch")
+        k_rows, k_cols = spike_window.shape
+        cycles = 0
+        m = self.arch.muxes_per_pe
+        for row in range(k_rows):
+            for col in range(0, k_cols, m):
+                cycles += self.accumulate_row(
+                    spike_window[row, col : col + m].tolist(),
+                    weights[row, col : col + m].tolist(),
+                )
+        # Final cycle: hand the partial sum to the aggregation core.
+        cycles += 1
+        self.stats.cycles += 1
+        self.stats.finalize_cycles += 1
+        return self._psum, cycles

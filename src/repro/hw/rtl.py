@@ -1,0 +1,306 @@
+"""Parametric Verilog skeletons for the SIA datapath blocks.
+
+A hardware-methodology release ships RTL; this module generates
+synthesizable-style Verilog for the paper's core blocks directly from
+an :class:`ArchConfig`, so the generated code always matches the models
+(same mux count, operand widths, threshold width, memory geometry):
+
+* ``pe.v`` — one processing element: three weight/zero multiplexers
+  selected by spike bits, an accumulating saturating adder, and the
+  row-gating that implements event-driven skipping;
+* ``pe_array.v`` — the PE grid with shared spike-row broadcast and
+  per-PE kernel weights;
+* ``activation_unit.v`` — membrane update, IF/LIF mode mux
+  (subtract-shift leak), threshold compare, reset-by-subtraction;
+* ``bn_lane.v`` — one aggregation-core lane: fixed-point multiply
+  (maps to a DSP slice), rounding shift, bias add, saturation;
+* ``membrane_pingpong.v`` — the U1/U2 dual-bank state memory with
+  role-swap control.
+
+The generator is intentionally template-based (no IR): its value is
+that the parameters are *derived*, not copy-pasted, and the structure
+is asserted by tests (port widths, mux counts, balanced blocks).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Dict
+
+from repro.hw.config import ArchConfig, PYNQ_Z2
+
+
+def _header(name: str, arch: ArchConfig) -> str:
+    return textwrap.dedent(
+        f"""\
+        // {name} — generated from ArchConfig(name={arch.name!r},
+        //   pe={arch.pe_rows}x{arch.pe_cols}, muxes/pe={arch.muxes_per_pe},
+        //   weight={arch.adder_bits}b, psum={arch.psum_bits}b,
+        //   bn={arch.bn_bits}b, clock={arch.clock_hz / 1e6:.0f} MHz)
+        // Do not edit: regenerate via repro.hw.rtl.
+        """
+    )
+
+
+def generate_pe(arch: ArchConfig = PYNQ_Z2) -> str:
+    """One processing element: muxes + saturating accumulator."""
+    w = arch.adder_bits
+    p = arch.psum_bits
+    m = arch.muxes_per_pe
+    taps = "\n".join(
+        f"    wire signed [{w - 1}:0] tap{i} = spike[{i}] ? weight{i} : "
+        f"{{{w}{{1'b0}}}};"
+        for i in range(m)
+    )
+    tap_sum = " + ".join(f"tap{i}" for i in range(m))
+    weight_ports = ",\n".join(
+        f"    input  wire signed [{w - 1}:0] weight{i}" for i in range(m)
+    )
+    return _header("processing_element", arch) + textwrap.dedent(
+        f"""\
+        module processing_element #(
+            parameter PSUM_W = {p}
+        ) (
+            input  wire              clk,
+            input  wire              rst,
+            input  wire              row_valid,   // event gate: any spike in row
+            input  wire              finalize,    // transfer psum to aggregation
+            input  wire [{m - 1}:0]        spike,
+        {weight_ports},
+            output reg  signed [PSUM_W-1:0] psum,
+            output reg               psum_valid
+        );
+        {taps}
+            wire signed [PSUM_W:0] sum_ext =
+                {{psum[PSUM_W-1], psum}} + {{{{(PSUM_W+1-{w + 2}){{1'b0}}}}, {tap_sum}}};
+            wire signed [PSUM_W-1:0] sum_sat =
+                (sum_ext >  $signed({{1'b0, {{(PSUM_W-1){{1'b1}}}}}})) ? {{1'b0, {{(PSUM_W-1){{1'b1}}}}}} :
+                (sum_ext < -$signed({{1'b0, {{(PSUM_W-1){{1'b1}}}}}})) ? {{1'b1, {{(PSUM_W-1){{1'b0}}}}}} :
+                sum_ext[PSUM_W-1:0];
+
+            always @(posedge clk) begin
+                if (rst) begin
+                    psum       <= {{PSUM_W{{1'b0}}}};
+                    psum_valid <= 1'b0;
+                end else begin
+                    // Event-driven gating: silent rows cost no update.
+                    if (row_valid)
+                        psum <= sum_sat;
+                    psum_valid <= finalize;
+                    if (finalize)
+                        psum <= {{PSUM_W{{1'b0}}}};
+                end
+            end
+        endmodule
+        """
+    )
+
+
+def generate_pe_array(arch: ArchConfig = PYNQ_Z2) -> str:
+    """The PE grid with a shared spike-row broadcast."""
+    rows, cols = arch.pe_rows, arch.pe_cols
+    w = arch.adder_bits
+    m = arch.muxes_per_pe
+    p = arch.psum_bits
+    return _header("pe_array", arch) + textwrap.dedent(
+        f"""\
+        module pe_array (
+            input  wire                       clk,
+            input  wire                       rst,
+            input  wire                       row_valid,
+            input  wire                       finalize,
+            input  wire [{m - 1}:0]                 spike_row,      // broadcast to all PEs
+            input  wire [{rows * cols * m * w - 1}:0] weights_flat, // per-PE kernel taps
+            output wire [{rows * cols * p - 1}:0]   psums_flat,
+            output wire [{rows * cols - 1}:0]        psum_valids
+        );
+            genvar gi;
+            generate
+                for (gi = 0; gi < {rows * cols}; gi = gi + 1) begin : pe_row
+                    processing_element #(.PSUM_W({p})) pe_i (
+                        .clk(clk),
+                        .rst(rst),
+                        .row_valid(row_valid),
+                        .finalize(finalize),
+                        .spike(spike_row),
+        {_weight_hookups(m, w)}
+                        .psum(psums_flat[gi*{p} +: {p}]),
+                        .psum_valid(psum_valids[gi])
+                    );
+                end
+            endgenerate
+        endmodule
+        """
+    )
+
+
+def _weight_hookups(m: int, w: int) -> str:
+    lines = []
+    for i in range(m):
+        lines.append(
+            f"                .weight{i}(weights_flat[(gi*{m}+{i})*{w} +: {w}]),"
+        )
+    return "\n".join(lines)
+
+
+def generate_activation_unit(arch: ArchConfig = PYNQ_Z2) -> str:
+    """Membrane update + IF/LIF + threshold compare + reset-by-subtract."""
+    p = arch.psum_bits
+    return _header("activation_unit", arch) + textwrap.dedent(
+        f"""\
+        module activation_unit #(
+            parameter V_W = {p}
+        ) (
+            input  wire                   clk,
+            input  wire                   rst,
+            input  wire                   valid_in,
+            input  wire                   lif_mode,      // 0: IF, 1: LIF
+            input  wire [7:0]             leak_shift,
+            input  wire                   reset_to_zero, // 0: subtract (default)
+            input  wire signed [V_W-1:0]  current,       // batch-normed psum
+            input  wire signed [V_W-1:0]  v_in,          // from ping-pong read bank
+            input  wire signed [V_W-1:0]  threshold,
+            output reg                    spike,
+            output reg  signed [V_W-1:0]  v_out,         // to ping-pong write bank
+            output reg                    valid_out
+        );
+            // LIF leak: v -= v >>> leak_shift (arithmetic shift).
+            wire signed [V_W-1:0] leaked =
+                lif_mode ? (v_in - (v_in >>> leak_shift)) : v_in;
+            wire signed [V_W:0] v_next_ext = {{leaked[V_W-1], leaked}}
+                                           + {{current[V_W-1], current}};
+            wire signed [V_W-1:0] v_next =
+                (v_next_ext >  $signed({{1'b0, {{(V_W-1){{1'b1}}}}}})) ? {{1'b0, {{(V_W-1){{1'b1}}}}}} :
+                (v_next_ext < -$signed({{1'b0, {{(V_W-1){{1'b1}}}}}})) ? {{1'b1, {{(V_W-1){{1'b0}}}}}} :
+                v_next_ext[V_W-1:0];
+            wire fired = (v_next >= threshold);
+
+            always @(posedge clk) begin
+                if (rst) begin
+                    spike     <= 1'b0;
+                    v_out     <= {{V_W{{1'b0}}}};
+                    valid_out <= 1'b0;
+                end else begin
+                    valid_out <= valid_in;
+                    if (valid_in) begin
+                        spike <= fired;
+                        v_out <= fired ? (reset_to_zero ? {{V_W{{1'b0}}}}
+                                                        : v_next - threshold)
+                                       : v_next;
+                    end
+                end
+            end
+        endmodule
+        """
+    )
+
+
+def generate_bn_lane(arch: ArchConfig = PYNQ_Z2) -> str:
+    """One batch-norm lane: (psum * G) >> frac + H, saturated."""
+    p = arch.psum_bits
+    b = arch.bn_bits
+    frac = arch.bn_frac_bits
+    return _header("bn_lane", arch) + textwrap.dedent(
+        f"""\
+        module bn_lane #(
+            parameter PSUM_W = {p},
+            parameter COEF_W = {b},
+            parameter FRAC   = {frac}
+        ) (
+            input  wire                        clk,
+            input  wire                        valid_in,
+            input  wire signed [PSUM_W-1:0]    psum,
+            input  wire signed [COEF_W-1:0]    g_coef,
+            input  wire signed [COEF_W-1:0]    h_coef,
+            output reg  signed [PSUM_W-1:0]    result,
+            output reg                         valid_out
+        );
+            // The multiply maps onto one DSP48 slice.
+            wire signed [PSUM_W+COEF_W-1:0] product = psum * g_coef;
+            wire signed [PSUM_W+COEF_W-1:0] rounded =
+                product + $signed({{{{(PSUM_W+COEF_W-FRAC){{1'b0}}}}, 1'b1, {{(FRAC-1){{1'b0}}}}}});
+            wire signed [PSUM_W+COEF_W-FRAC-1:0] shifted =
+                rounded >>> FRAC;
+            wire signed [PSUM_W+COEF_W-FRAC:0] with_bias =
+                shifted + {{{{(PSUM_W+COEF_W-FRAC-COEF_W+1){{h_coef[COEF_W-1]}}}}, h_coef}};
+            wire signed [PSUM_W-1:0] saturated =
+                (with_bias >  $signed({{1'b0, {{(PSUM_W-1){{1'b1}}}}}})) ? {{1'b0, {{(PSUM_W-1){{1'b1}}}}}} :
+                (with_bias < -$signed({{1'b0, {{(PSUM_W-1){{1'b1}}}}}})) ? {{1'b1, {{(PSUM_W-1){{1'b0}}}}}} :
+                with_bias[PSUM_W-1:0];
+
+            always @(posedge clk) begin
+                valid_out <= valid_in;
+                if (valid_in)
+                    result <= saturated;
+            end
+        endmodule
+        """
+    )
+
+
+def generate_membrane_pingpong(arch: ArchConfig = PYNQ_Z2) -> str:
+    """The U1/U2 dual-bank membrane memory with role swapping."""
+    p = arch.psum_bits
+    depth = arch.membrane_half_bytes // (p // 8)
+    addr_w = max(1, (depth - 1).bit_length())
+    return _header("membrane_pingpong", arch) + textwrap.dedent(
+        f"""\
+        module membrane_pingpong #(
+            parameter DATA_W = {p},
+            parameter DEPTH  = {depth},
+            parameter ADDR_W = {addr_w}
+        ) (
+            input  wire               clk,
+            input  wire               swap,       // toggle read/write roles
+            input  wire [ADDR_W-1:0]  read_addr,
+            output wire [DATA_W-1:0]  read_data,  // previous-timestep potential
+            input  wire               write_en,
+            input  wire [ADDR_W-1:0]  write_addr,
+            input  wire [DATA_W-1:0]  write_data  // updated potential
+        );
+            reg role;  // 0: U1 read / U2 write, 1: swapped
+            (* ram_style = "block" *) reg [DATA_W-1:0] u1_state [0:DEPTH-1];
+            (* ram_style = "block" *) reg [DATA_W-1:0] u2_state [0:DEPTH-1];
+
+            reg [DATA_W-1:0] u1_q, u2_q;
+            always @(posedge clk) begin
+                if (swap)
+                    role <= ~role;
+                u1_q <= u1_state[read_addr];
+                u2_q <= u2_state[read_addr];
+                if (write_en) begin
+                    if (role)
+                        u1_state[write_addr] <= write_data;
+                    else
+                        u2_state[write_addr] <= write_data;
+                end
+            end
+            assign read_data = role ? u2_q : u1_q;
+        endmodule
+        """
+    )
+
+
+def generate_all(arch: ArchConfig = PYNQ_Z2) -> Dict[str, str]:
+    """All datapath skeletons, keyed by file name."""
+    return {
+        "pe.v": generate_pe(arch),
+        "pe_array.v": generate_pe_array(arch),
+        "activation_unit.v": generate_activation_unit(arch),
+        "bn_lane.v": generate_bn_lane(arch),
+        "membrane_pingpong.v": generate_membrane_pingpong(arch),
+    }
+
+
+def write_rtl(directory, arch: ArchConfig = PYNQ_Z2) -> Dict[str, str]:
+    """Write every generated file under ``directory``; returns paths."""
+    from pathlib import Path
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = {}
+    for name, text in generate_all(arch).items():
+        path = directory / name
+        path.write_text(text, encoding="utf-8")
+        written[name] = str(path)
+    return written

@@ -1,0 +1,123 @@
+"""PS <-> PL data-traffic accounting for a mapped network.
+
+The paper's §III-D motivates its memory organisation with the
+observation that "SNNs require more data transfer operations between
+the processor and the programmable logic, as each input pattern is
+encoded with binary signals lasting T timesteps".  This module makes
+that statement quantitative: for a mapped network it reports, per layer
+and in total, the bytes moved per inference — weights, input spikes,
+output spikes, membrane swap traffic (for layers whose membranes exceed
+the ping-pong capacity), residual partial sums, and configuration — and
+the implied DDR bandwidth at a target frame rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.hw.config import ArchConfig, LayerKind
+from repro.hw.mapper import MappedLayer, MappedNetwork
+
+
+@dataclass(frozen=True)
+class LayerTraffic:
+    """Per-inference transfer volume of one layer (bytes)."""
+
+    name: str
+    weight_bytes: int
+    spike_in_bytes: int
+    spike_out_bytes: int
+    membrane_swap_bytes: int
+    residual_bytes: int
+    config_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return (
+            self.weight_bytes
+            + self.spike_in_bytes
+            + self.spike_out_bytes
+            + self.membrane_swap_bytes
+            + self.residual_bytes
+            + self.config_bytes
+        )
+
+
+@dataclass
+class TrafficReport:
+    layers: List[LayerTraffic]
+    timesteps: int
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(l.total_bytes for l in self.layers)
+
+    def bandwidth_bytes_per_second(self, inferences_per_second: float) -> float:
+        return self.total_bytes * inferences_per_second
+
+    def dominant_component(self) -> str:
+        sums = {
+            "weights": sum(l.weight_bytes for l in self.layers),
+            "spikes": sum(l.spike_in_bytes + l.spike_out_bytes for l in self.layers),
+            "membranes": sum(l.membrane_swap_bytes for l in self.layers),
+            "residuals": sum(l.residual_bytes for l in self.layers),
+            "config": sum(l.config_bytes for l in self.layers),
+        }
+        return max(sums, key=sums.get)
+
+
+class TrafficModel:
+    """Compute per-inference PS<->PL traffic for a mapped network."""
+
+    CONFIG_BYTES_PER_LAYER = 64  # geometry, mode, threshold, G/H pointers
+
+    def __init__(self, arch: ArchConfig) -> None:
+        self.arch = arch
+
+    def layer_traffic(self, layer: MappedLayer, timesteps: int) -> LayerTraffic:
+        c = layer.config
+        psum_bytes = self.arch.psum_bits // 8
+
+        weight_bytes = int(layer.weights_int.size)  # INT8, one load per layer
+        if layer.residual_projection is not None:
+            weight_bytes += int(layer.residual_projection.weights_int.size)
+
+        if layer.frame_input:
+            in_bits = c.in_neurons * self.arch.adder_bits  # INT8 frame
+        else:
+            in_bits = c.in_neurons  # binary spikes
+        spike_in = (-(-in_bits // 8)) * timesteps
+        spike_out = (-(-c.out_neurons // 8)) * timesteps if layer.spiking else 0
+
+        # Membrane swap: layers whose 16-bit state exceeds one ping-pong
+        # half stream the overflow through DDR every timestep (read +
+        # write).
+        state_bytes = c.out_neurons * psum_bytes
+        overflow = max(0, state_bytes - self.arch.membrane_half_bytes)
+        membrane_swap = 2 * overflow * timesteps if layer.spiking else 0
+
+        residual = 0
+        if layer.residual_input_index is not None:
+            residual = c.out_neurons * psum_bytes * timesteps
+
+        # BN coefficients ride along with configuration.
+        config = self.CONFIG_BYTES_PER_LAYER
+        if c.g_int is not None:
+            config += 2 * c.out_channels * (self.arch.bn_bits // 8)
+
+        return LayerTraffic(
+            name=layer.name,
+            weight_bytes=weight_bytes,
+            spike_in_bytes=spike_in,
+            spike_out_bytes=spike_out,
+            membrane_swap_bytes=membrane_swap,
+            residual_bytes=residual,
+            config_bytes=config,
+        )
+
+    def network_traffic(
+        self, network: MappedNetwork, timesteps: int = 8
+    ) -> TrafficReport:
+        layers = [self.layer_traffic(l, timesteps) for l in network.layers]
+        return TrafficReport(layers=layers, timesteps=timesteps)

@@ -1,0 +1,22 @@
+"""Model zoo: the networks the paper evaluates (ResNet-18, VGG-11).
+
+Both builders accept a ``width`` multiplier.  ``width=1.0`` reproduces
+the paper's full-size graphs (used by the hardware latency/mapping
+experiments, which only need layer geometry); smaller widths train in
+seconds-to-minutes on numpy and are used for accuracy experiments.
+"""
+
+from repro.models.resnet import BasicBlock, ResNet, resnet18
+from repro.models.vgg import VGG, vgg11
+from repro.models.registry import build_model, register_model, list_models
+
+__all__ = [
+    "ResNet",
+    "BasicBlock",
+    "resnet18",
+    "VGG",
+    "vgg11",
+    "build_model",
+    "register_model",
+    "list_models",
+]

@@ -1,0 +1,40 @@
+"""Name-based model registry used by examples and the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.nn.module import Module
+
+_REGISTRY: Dict[str, Callable[..., Module]] = {}
+
+
+def register_model(name: str):
+    """Decorator registering a builder under ``name``."""
+
+    def wrap(builder: Callable[..., Module]) -> Callable[..., Module]:
+        if name in _REGISTRY:
+            raise ValueError(f"model {name!r} already registered")
+        _REGISTRY[name] = builder
+        return builder
+
+    return wrap
+
+
+def build_model(name: str, **kwargs) -> Module:
+    """Instantiate a registered model by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[name](**kwargs)
+
+
+def list_models() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+# Register the paper's two networks.
+from repro.models.resnet import resnet18  # noqa: E402
+from repro.models.vgg import vgg11  # noqa: E402
+
+register_model("resnet18")(resnet18)
+register_model("vgg11")(vgg11)

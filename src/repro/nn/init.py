@@ -1,0 +1,33 @@
+"""Weight initialisation schemes (Kaiming / Xavier) used by the layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_normal(
+    shape, fan_in: int, rng: np.random.Generator, gain: float = np.sqrt(2.0)
+) -> np.ndarray:
+    """He-normal initialisation appropriate for ReLU networks."""
+    std = gain / np.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(
+    shape, fan_in: int, rng: np.random.Generator, gain: float = np.sqrt(2.0)
+) -> np.ndarray:
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape, fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

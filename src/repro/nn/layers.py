@@ -1,0 +1,216 @@
+"""Standard CNN layers: convolution, batch-norm, pooling, linear.
+
+All layers take and return :class:`repro.tensor.Tensor` in NCHW layout.
+Randomness is injected through an explicit ``rng`` argument (never global
+state) so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, functional as F
+
+
+def _default_rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng(0)
+
+
+class Conv2d(Module):
+    """2-D convolution layer (square kernels, symmetric padding).
+
+    The paper's accelerator accumulates kernels row-by-row in the PE; the
+    software layer is a plain cross-correlation so converted weights map
+    directly onto the hardware's weight memory layout
+    (C_out, C_in, K, K).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = _default_rng(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            init.kaiming_normal(
+                (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng
+            )
+        )
+        self.bias = Parameter(init.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, k={self.kernel_size}, "
+            f"s={self.stride}, p={self.padding}"
+        )
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` with weight shape (out, in)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = _default_rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), in_features, rng, gain=1.0)
+        )
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def extra_repr(self) -> str:
+        return f"{self.in_features}, {self.out_features}"
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over (N, H, W) per channel.
+
+    Running statistics are tracked with exponential moving averages and
+    used in eval mode.  The hardware folds the eval-mode transform into
+    two fixed-point coefficients per channel,
+    ``y = x * G + H`` (paper eq. 2); :meth:`fold_coefficients` exposes
+    exactly those values for the aggregation-core model.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(init.ones(num_features))
+        self.beta = Parameter(init.zeros(num_features))
+        self.register_buffer("running_mean", init.zeros(num_features))
+        self.register_buffer("running_var", init.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = x.data.mean(axis=(0, 2, 3))
+            var = x.data.var(axis=(0, 2, 3))
+            self._set_buffer(
+                "running_mean",
+                (1 - self.momentum) * self.running_mean + self.momentum * mean,
+            )
+            # Unbiased variance for the running estimate, as torch does.
+            n = x.data.shape[0] * x.data.shape[2] * x.data.shape[3]
+            unbiased = var * n / max(n - 1, 1)
+            self._set_buffer(
+                "running_var",
+                (1 - self.momentum) * self.running_var + self.momentum * unbiased,
+            )
+            mu = x.mean(axis=(0, 2, 3), keepdims=True)
+            centred = x - mu
+            variance = (centred * centred).mean(axis=(0, 2, 3), keepdims=True)
+            x_hat = centred * (variance + self.eps) ** -0.5
+        else:
+            shape = (1, self.num_features, 1, 1)
+            mu = Tensor(self.running_mean.reshape(shape))
+            var_t = Tensor(self.running_var.reshape(shape))
+            x_hat = (x - mu) * (var_t + self.eps) ** -0.5
+        g = self.gamma.reshape(1, self.num_features, 1, 1)
+        b = self.beta.reshape(1, self.num_features, 1, 1)
+        return x_hat * g + b
+
+    def fold_coefficients(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return per-channel (G, H) with ``y = x * G + H`` in eval mode.
+
+        These are the values the PS streams into the aggregation core
+        (paper §III-B): G = gamma / sqrt(var + eps),
+        H = beta - mean * G.
+        """
+        g = self.gamma.data / np.sqrt(self.running_var + self.eps)
+        h = self.beta.data - self.running_mean * g
+        return g.astype(np.float32), h.astype(np.float32)
+
+    def extra_repr(self) -> str:
+        return f"{self.num_features}, eps={self.eps}"
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+    def extra_repr(self) -> str:
+        return f"k={self.kernel_size}, s={self.stride}"
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+    def extra_repr(self) -> str:
+        return f"k={self.kernel_size}, s={self.stride}"
+
+
+class GlobalAvgPool2d(Module):
+    """Spatial global average pooling, (N, C, H, W) -> (N, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.p = p
+        self._rng = _default_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self._rng)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"

@@ -1,0 +1,6 @@
+"""Optimisers and learning-rate schedulers for the training substrate."""
+
+from repro.optim.optimizers import SGD, Adam, Optimizer, clip_grad_norm
+from repro.optim.schedulers import CosineSchedule, StepSchedule
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "StepSchedule", "CosineSchedule"]

@@ -1,0 +1,31 @@
+"""The paper's three-stage hardware-software co-optimisation pipeline.
+
+Stage 1  train an FP32 ANN with ReLU activations;
+Stage 2  swap ReLU -> L-level QuantReLU (learnable step) and weights ->
+         INT8 fake-quantised, then fine-tune;
+Stage 3  swap QuantReLU -> IF neurons (threshold = learned step,
+         membrane init = threshold/2, reset-by-subtraction) and run for
+         T timesteps.
+
+:func:`run_conversion_pipeline` executes all three stages and returns
+every intermediate accuracy, which is exactly the data behind the
+paper's Figs. 7 and 9.
+"""
+
+from repro.pipeline.trainer import Trainer, TrainConfig, evaluate_model
+from repro.pipeline.conversion import (
+    ConversionResult,
+    build_quantized_twin,
+    run_conversion_pipeline,
+    transfer_weights,
+)
+
+__all__ = [
+    "Trainer",
+    "TrainConfig",
+    "evaluate_model",
+    "ConversionResult",
+    "build_quantized_twin",
+    "transfer_weights",
+    "run_conversion_pipeline",
+]

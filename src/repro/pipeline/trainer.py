@@ -1,0 +1,136 @@
+"""Generic supervised training loop used by all pipeline stages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.data.loaders import DataLoader
+from repro.nn.module import Module
+from repro.optim import Adam, CosineSchedule, Optimizer, SGD, clip_grad_norm
+from repro.tensor import Tensor, functional as F, no_grad
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for one training stage."""
+
+    epochs: int = 10
+    batch_size: int = 64
+    lr: float = 2e-3
+    optimizer: str = "adam"  # "adam" | "sgd"
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    grad_clip: Optional[float] = 5.0
+    cosine_lr: bool = True
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch records of a training run."""
+
+    losses: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    test_accuracy: List[float] = field(default_factory=list)
+
+
+def evaluate_model(
+    model: Module, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+) -> float:
+    """Top-1 accuracy of an ANN in eval mode."""
+    was_training = model.training
+    model.eval()
+    correct = 0
+    with no_grad():
+        for start in range(0, len(x), batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size]
+            pred = model(Tensor(xb)).data.argmax(axis=-1)
+            correct += int((pred == yb).sum())
+    if was_training:
+        model.train()
+    return correct / len(x)
+
+
+class Trainer:
+    """Cross-entropy trainer with optional cosine LR and gradient clipping."""
+
+    def __init__(self, model: Module, config: TrainConfig) -> None:
+        self.model = model
+        self.config = config
+        self.optimizer = self._build_optimizer()
+        self.schedule = (
+            CosineSchedule(self.optimizer, config.epochs) if config.cosine_lr else None
+        )
+        self.history = TrainHistory()
+
+    def _build_optimizer(self) -> Optimizer:
+        cfg = self.config
+        params = list(self.model.parameters())
+        if cfg.optimizer == "adam":
+            return Adam(params, lr=cfg.lr, weight_decay=cfg.weight_decay)
+        if cfg.optimizer == "sgd":
+            return SGD(
+                params, lr=cfg.lr, momentum=cfg.momentum, weight_decay=cfg.weight_decay
+            )
+        raise ValueError(f"unknown optimizer {cfg.optimizer!r}")
+
+    def fit(
+        self,
+        train_x: np.ndarray,
+        train_y: np.ndarray,
+        test_x: Optional[np.ndarray] = None,
+        test_y: Optional[np.ndarray] = None,
+        epoch_callback: Optional[Callable[[int, float], None]] = None,
+    ) -> TrainHistory:
+        """Train for ``config.epochs``; records loss/accuracy history."""
+        cfg = self.config
+        loader = DataLoader(
+            train_x,
+            train_y,
+            batch_size=cfg.batch_size,
+            shuffle=True,
+            rng=np.random.default_rng(cfg.seed),
+        )
+        for epoch in range(cfg.epochs):
+            self.model.train()
+            epoch_loss = 0.0
+            batches = 0
+            for xb, yb in loader:
+                logits = self.model(Tensor(xb))
+                loss = F.cross_entropy(logits, yb)
+                self.optimizer.zero_grad()
+                loss.backward()
+                if cfg.grad_clip is not None:
+                    clip_grad_norm(self.model.parameters(), cfg.grad_clip)
+                self.optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            mean_loss = epoch_loss / max(batches, 1)
+            self.history.losses.append(mean_loss)
+            self.history.train_accuracy.append(
+                evaluate_model(self.model, train_x, train_y)
+            )
+            if test_x is not None and test_y is not None:
+                self.history.test_accuracy.append(
+                    evaluate_model(self.model, test_x, test_y)
+                )
+            if self.schedule is not None:
+                self.schedule.step()
+            if epoch_callback is not None:
+                epoch_callback(epoch, mean_loss)
+            if cfg.verbose:
+                test_part = (
+                    f" test={self.history.test_accuracy[-1]:.3f}"
+                    if self.history.test_accuracy
+                    else ""
+                )
+                print(
+                    f"epoch {epoch + 1}/{cfg.epochs} loss={mean_loss:.4f} "
+                    f"train={self.history.train_accuracy[-1]:.3f}{test_part}"
+                )
+        return self.history

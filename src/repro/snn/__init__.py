@@ -1,0 +1,45 @@
+"""Spiking runtime: neurons, ANN->SNN conversion and the spiking executor.
+
+Implements the paper's conversion step (Fig. 1, right): every
+:class:`repro.nn.QuantReLU` in a fine-tuned network is replaced in-place
+by an integrate-and-fire neuron whose firing threshold is the learned
+step size and whose membrane potential starts at threshold/2 (the QCFS
+optimum), using reset-by-subtraction.  The resulting stateful network is
+run for T timesteps by :class:`SpikingNetwork`.
+"""
+
+from repro.snn.neurons import IFNeuron, LIFNeuron, ResetMode
+from repro.snn.convert import convert_to_snn, spiking_layers
+from repro.snn.network import SpikingNetwork
+from repro.snn.metrics import SpikeStats, collect_spike_stats
+from repro.snn.surrogate import (
+    SurrogateIFLayer,
+    SurrogateSNN,
+    evaluate_surrogate_snn,
+    spike_with_surrogate,
+    train_surrogate_snn,
+)
+from repro.snn.analysis import (
+    conversion_error_curve,
+    layerwise_rate_error,
+    threshold_sweep,
+)
+
+__all__ = [
+    "SurrogateIFLayer",
+    "SurrogateSNN",
+    "spike_with_surrogate",
+    "train_surrogate_snn",
+    "evaluate_surrogate_snn",
+    "layerwise_rate_error",
+    "conversion_error_curve",
+    "threshold_sweep",
+    "IFNeuron",
+    "LIFNeuron",
+    "ResetMode",
+    "convert_to_snn",
+    "spiking_layers",
+    "SpikingNetwork",
+    "SpikeStats",
+    "collect_spike_stats",
+]

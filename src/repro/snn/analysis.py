@@ -1,0 +1,174 @@
+"""Conversion-error analysis: where does ANN-to-SNN fidelity go?
+
+Diagnostics used while co-optimising (and in the repository's tests and
+ablation benchmarks):
+
+* :func:`layerwise_rate_error` — compares each spiking layer's
+  time-averaged output against the quantised ANN's activation on the
+  same input, layer by layer, so error injection/compounding across
+  depth is visible;
+* :func:`conversion_error_curve` — network-level output error vs T,
+  the quantity whose decay makes the paper's 8-timestep operating
+  point work;
+* :func:`threshold_sweep` — accuracy sensitivity to mis-scaled
+  thresholds (why the *learned* step matters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.quant import QuantReLU
+from repro.snn.convert import reset_network_state, spiking_layers
+from repro.snn.network import SpikingNetwork
+from repro.tensor import Tensor, no_grad
+
+
+@dataclass(frozen=True)
+class LayerError:
+    name: str
+    relative_error: float
+    ann_mean_activation: float
+    snn_mean_rate_output: float
+
+
+def _quant_activations(model: Module, x: np.ndarray) -> List[np.ndarray]:
+    """Record every QuantReLU output of a quantised ANN in eval mode."""
+    records: List[np.ndarray] = []
+    quants = [m for m in model.modules() if isinstance(m, QuantReLU)]
+    originals = [q.forward for q in quants]
+
+    def wrap(q: QuantReLU, original):
+        def hooked(t: Tensor) -> Tensor:
+            out = original(t)
+            records.append(out.data.copy())
+            return out
+
+        return hooked
+
+    for q, orig in zip(quants, originals):
+        q.forward = wrap(q, orig)
+    try:
+        model.eval()
+        with no_grad():
+            model(Tensor(x))
+    finally:
+        for q, orig in zip(quants, originals):
+            q.forward = orig
+    return records
+
+
+def _snn_rate_outputs(
+    model: Module, x: np.ndarray, timesteps: int
+) -> List[np.ndarray]:
+    """Time-averaged output of every spiking layer over T steps."""
+    layers = spiking_layers(model)
+    sums: Dict[int, np.ndarray] = {}
+    originals = [l.forward for l in layers]
+
+    def wrap(idx: int, layer, original):
+        def hooked(t: Tensor) -> Tensor:
+            out = original(t)
+            if idx in sums:
+                sums[idx] = sums[idx] + out.data
+            else:
+                sums[idx] = out.data.copy()
+            return out
+
+        return hooked
+
+    for idx, (layer, orig) in enumerate(zip(layers, originals)):
+        layer.forward = wrap(idx, layer, orig)
+    try:
+        reset_network_state(model)
+        model.eval()
+        with no_grad():
+            inp = Tensor(x)
+            for _ in range(timesteps):
+                model(inp)
+    finally:
+        for layer, orig in zip(layers, originals):
+            layer.forward = orig
+    return [sums[i] / timesteps for i in range(len(layers))]
+
+
+def layerwise_rate_error(
+    quant_model: Module,
+    snn_model: Module,
+    x: np.ndarray,
+    timesteps: int = 8,
+) -> List[LayerError]:
+    """Per-layer relative error between SNN rates and ANN activations.
+
+    ``quant_model`` and ``snn_model`` must share parameters (the usual
+    twin construction); both are evaluated on the same batch.
+    """
+    ann_acts = _quant_activations(quant_model, x)
+    snn_rates = _snn_rate_outputs(snn_model, x, timesteps)
+    if len(ann_acts) != len(snn_rates):
+        raise ValueError(
+            f"layer count mismatch: {len(ann_acts)} quant vs {len(snn_rates)} spiking"
+        )
+    errors: List[LayerError] = []
+    for idx, (ann, snn) in enumerate(zip(ann_acts, snn_rates)):
+        denom = float(np.abs(ann).mean()) + 1e-9
+        errors.append(
+            LayerError(
+                name=f"layer{idx + 1}",
+                relative_error=float(np.abs(snn - ann).mean()) / denom,
+                ann_mean_activation=float(ann.mean()),
+                snn_mean_rate_output=float(snn.mean()),
+            )
+        )
+    return errors
+
+
+def conversion_error_curve(
+    quant_model: Module,
+    network: SpikingNetwork,
+    x: np.ndarray,
+    timesteps: Sequence[int] = (1, 2, 4, 8, 16),
+) -> Dict[int, float]:
+    """Relative output (logit) error vs number of timesteps."""
+    quant_model.eval()
+    with no_grad():
+        ref = quant_model(Tensor(x)).data
+    scale = float(np.abs(ref).mean()) + 1e-9
+    curve: Dict[int, float] = {}
+    max_t = max(timesteps)
+    outs = network.forward_per_step(x, max_t)
+    for t in timesteps:
+        avg = outs[t - 1] / t
+        curve[t] = float(np.abs(avg - ref).mean()) / scale
+    return curve
+
+
+def threshold_sweep(
+    network: SpikingNetwork,
+    x: np.ndarray,
+    y: np.ndarray,
+    scales: Sequence[float] = (0.5, 0.75, 1.0, 1.5, 2.0),
+    timesteps: int = 8,
+) -> Dict[float, float]:
+    """Accuracy vs a global multiplicative threshold mis-scaling.
+
+    Scaling every learned threshold by ``s != 1`` emulates skipping the
+    paper's threshold learning; accuracy should peak at (or near) 1.0.
+    Thresholds are restored afterwards.
+    """
+    layers = spiking_layers(network.model)
+    originals = [l.threshold for l in layers]
+    results: Dict[float, float] = {}
+    try:
+        for scale in scales:
+            for layer, base in zip(layers, originals):
+                layer.threshold = base * scale
+            results[scale] = network.accuracy(x, y, timesteps=timesteps)
+    finally:
+        for layer, base in zip(layers, originals):
+            layer.threshold = base
+    return results

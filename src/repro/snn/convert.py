@@ -1,0 +1,91 @@
+"""ANN-to-SNN conversion by in-place module surgery.
+
+This is step 3 of the paper's pipeline (Fig. 1): after a network has
+been fine-tuned with :class:`repro.nn.QuantReLU` activations, each
+QuantReLU is replaced by an IF (or LIF) neuron whose threshold is that
+layer's *learned* step size.  Weights, batch-norm parameters and biases
+are untouched — the hardware mapper quantises them separately when
+building the accelerator image.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.nn.module import Module
+from repro.nn.quant import QuantReLU
+from repro.snn.neurons import IFNeuron, LIFNeuron, ResetMode
+
+
+def convert_to_snn(
+    model: Module,
+    neuron: str = "if",
+    reset: ResetMode = ResetMode.SUBTRACT,
+    v_init_fraction: float = 0.5,
+    leak: float = 0.9375,
+) -> Module:
+    """Replace every QuantReLU in ``model`` with a spiking neuron, in place.
+
+    Parameters
+    ----------
+    model:
+        A network whose activations are :class:`repro.nn.QuantReLU`
+        (i.e. the output of the quantisation fine-tuning stage).
+    neuron:
+        ``"if"`` or ``"lif"`` — the accelerator's activation mode bit.
+    reset:
+        Reset mode (paper: reset-by-subtraction).
+    v_init_fraction:
+        Initial membrane potential / threshold (QCFS optimum: 0.5).
+    leak:
+        LIF leak factor (ignored for IF).
+
+    Returns
+    -------
+    The same model object, now stateful and spiking.  Raises ValueError
+    if the model contains no QuantReLU (converting a plain-ReLU network
+    is almost certainly a bug in the calling pipeline).
+    """
+    if neuron not in ("if", "lif"):
+        raise ValueError(f"neuron must be 'if' or 'lif', got {neuron!r}")
+    replaced = 0
+    for module in model.modules():
+        for name, child in list(module._modules.items()):
+            if isinstance(child, QuantReLU):
+                threshold = child.threshold
+                if neuron == "if":
+                    spiking = IFNeuron(
+                        threshold, reset=reset, v_init_fraction=v_init_fraction
+                    )
+                else:
+                    spiking = LIFNeuron(
+                        threshold,
+                        leak=leak,
+                        reset=reset,
+                        v_init_fraction=v_init_fraction,
+                    )
+                setattr(module, name, spiking)
+                replaced += 1
+    if replaced == 0:
+        raise ValueError(
+            "model contains no QuantReLU activations; run quantisation "
+            "fine-tuning before conversion"
+        )
+    return model
+
+
+def spiking_layers(model: Module) -> List[IFNeuron]:
+    """All spiking neuron layers of a converted model, in graph order."""
+    return [m for m in model.modules() if isinstance(m, IFNeuron)]
+
+
+def reset_network_state(model: Module) -> None:
+    """Re-arm every neuron's membrane potential for a new sample."""
+    for layer in spiking_layers(model):
+        layer.reset_state()
+
+
+def reset_network_stats(model: Module) -> None:
+    """Clear spike counters on every neuron layer."""
+    for layer in spiking_layers(model):
+        layer.reset_stats()

@@ -1,0 +1,62 @@
+"""Spike-activity statistics (paper Figs. 6 and 8).
+
+The paper reports the average number of spikes per neuron per timestep
+for every spiking layer, observing ≈0.12 overall for ResNet-18 and
+≈0.16 for VGG-11 with *no decreasing trend in deeper layers* — a
+consequence of reset-by-subtraction plus per-layer learned thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.snn.convert import reset_network_stats, spiking_layers
+from repro.snn.network import SpikingNetwork
+
+
+@dataclass(frozen=True)
+class SpikeStats:
+    """Per-layer and aggregate spike rates of one evaluation run."""
+
+    per_layer: List[float]  # average spikes / neuron / timestep, by depth
+    overall: float          # mean over layers weighted by neuron count
+    timesteps: int
+    samples: int
+
+    def layer_table(self) -> str:
+        """Render an aligned text table (layer #, rate)."""
+        lines = ["layer  avg_spikes_per_timestep"]
+        for idx, rate in enumerate(self.per_layer, start=1):
+            lines.append(f"{idx:>5}  {rate:.4f}")
+        lines.append(f"overall  {self.overall:.4f}")
+        return "\n".join(lines)
+
+
+def collect_spike_stats(
+    network: SpikingNetwork,
+    x: np.ndarray,
+    timesteps: int | None = None,
+    batch_size: int = 256,
+) -> SpikeStats:
+    """Run ``x`` through the network and gather spike-rate statistics.
+
+    The per-layer rate is ``total spikes / (neurons * timesteps *
+    samples)`` — exactly the quantity on the y-axis of paper Figs. 6/8.
+    """
+    steps = timesteps or network.timesteps
+    model: Module = network.model
+    reset_network_stats(model)
+    for start in range(0, len(x), batch_size):
+        network.forward(x[start : start + batch_size], steps)
+    layers = spiking_layers(model)
+    per_layer = [layer.average_spike_rate for layer in layers]
+    weights = np.array([layer.neuron_steps for layer in layers], dtype=np.float64)
+    counts = np.array([layer.spike_count for layer in layers], dtype=np.float64)
+    overall = float(counts.sum() / weights.sum()) if weights.sum() > 0 else 0.0
+    return SpikeStats(
+        per_layer=per_layer, overall=overall, timesteps=steps, samples=len(x)
+    )

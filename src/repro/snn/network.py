@@ -1,0 +1,114 @@
+"""Timestep-unrolled execution of a converted spiking network.
+
+``SpikingNetwork`` wraps a converted model and runs it for T timesteps
+with direct (constant-current) input encoding, accumulating the output
+logits.  Classification uses the accumulated logits — the standard
+readout for ANN-to-SNN converted networks and the one the accelerator's
+host-side software implements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.snn.convert import reset_network_state, spiking_layers
+from repro.tensor import Tensor, no_grad
+
+
+class SpikingNetwork:
+    """Run a converted SNN over time.
+
+    Parameters
+    ----------
+    model:
+        A model whose activations have been converted with
+        :func:`repro.snn.convert.convert_to_snn`.
+    timesteps:
+        Default number of timesteps T per inference.
+    """
+
+    def __init__(self, model: Module, timesteps: int = 8) -> None:
+        if timesteps < 1:
+            raise ValueError("timesteps must be >= 1")
+        if not spiking_layers(model):
+            raise ValueError("model has no spiking layers; convert it first")
+        self.model = model
+        self.model.eval()
+        self.timesteps = timesteps
+
+    def forward(
+        self, x: np.ndarray, timesteps: Optional[int] = None
+    ) -> np.ndarray:
+        """Accumulated logits after T timesteps for a batch ``x`` (N,C,H,W)."""
+        steps = timesteps or self.timesteps
+        reset_network_state(self.model)
+        total: Optional[np.ndarray] = None
+        inp = Tensor(x)
+        with no_grad():
+            for _ in range(steps):
+                logits = self.model(inp).data
+                total = logits.copy() if total is None else total + logits
+        return total
+
+    __call__ = forward
+
+    def forward_per_step(
+        self, x: np.ndarray, timesteps: Optional[int] = None
+    ) -> List[np.ndarray]:
+        """Cumulative logits after each timestep (for accuracy-vs-T curves).
+
+        Returns a list of length T where entry t is the logits summed
+        over timesteps 0..t.  One pass of this costs the same as a
+        single forward at the maximum T, so accuracy-vs-timesteps
+        figures (paper Figs. 7, 9) need only one sweep of the data.
+        """
+        steps = timesteps or self.timesteps
+        reset_network_state(self.model)
+        outputs: List[np.ndarray] = []
+        total: Optional[np.ndarray] = None
+        inp = Tensor(x)
+        with no_grad():
+            for _ in range(steps):
+                logits = self.model(inp).data
+                total = logits.copy() if total is None else total + logits
+                outputs.append(total.copy())
+        return outputs
+
+    def predict(self, x: np.ndarray, timesteps: Optional[int] = None) -> np.ndarray:
+        """Class predictions for a batch."""
+        return self.forward(x, timesteps).argmax(axis=-1)
+
+    def accuracy(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        timesteps: Optional[int] = None,
+        batch_size: int = 256,
+    ) -> float:
+        """Top-1 accuracy over a dataset, evaluated in batches."""
+        correct = 0
+        for start in range(0, len(x), batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size]
+            correct += int((self.predict(xb, timesteps) == yb).sum())
+        return correct / len(x)
+
+    def accuracy_per_step(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        timesteps: Optional[int] = None,
+        batch_size: int = 256,
+    ) -> List[float]:
+        """Accuracy after each timestep 1..T (paper Figs. 7 and 9)."""
+        steps = timesteps or self.timesteps
+        correct = np.zeros(steps, dtype=np.int64)
+        for start in range(0, len(x), batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size]
+            for t, logits in enumerate(self.forward_per_step(xb, steps)):
+                correct[t] += int((logits.argmax(axis=-1) == yb).sum())
+        return [c / len(x) for c in correct]

@@ -1,0 +1,132 @@
+"""Integrate-and-fire neuron models matching the accelerator's activation unit.
+
+The aggregation core (paper §III-B) supports two modes selected by a
+mode bit: IF (mode=0) and LIF (mode=1), both with per-layer 16-bit
+thresholds and **reset-by-subtraction** (the membrane keeps the residual
+above threshold after a spike, which preserves information across
+timesteps and is what makes low-latency conversion work).
+
+Neurons here are stateful :class:`repro.nn.Module` objects: one forward
+call advances one timestep.  ``reset_state()`` re-arms the membrane for
+a new input sample; the initial membrane potential is
+``v_init_fraction * threshold`` (0.5 by default — the QCFS optimum that
+centres the quantisation error).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+
+
+class ResetMode(str, enum.Enum):
+    """Post-spike membrane reset behaviour."""
+
+    SUBTRACT = "subtract"  # v <- v - threshold  (paper's choice)
+    ZERO = "zero"          # v <- 0
+
+
+class IFNeuron(Module):
+    """Integrate-and-fire layer.
+
+    Per timestep: ``v += x``; spike where ``v >= threshold``; reset by
+    subtraction (or to zero); output is ``spike * threshold`` so the
+    time-averaged output approximates the quantised ReLU it replaced.
+
+    Parameters
+    ----------
+    threshold:
+        Firing threshold (the learned QuantReLU step size).
+    reset:
+        Reset mode; the paper uses reset-by-subtraction.
+    v_init_fraction:
+        Initial membrane potential as a fraction of threshold (QCFS uses
+        0.5).
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        reset: ResetMode = ResetMode.SUBTRACT,
+        v_init_fraction: float = 0.5,
+    ) -> None:
+        super().__init__()
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = float(threshold)
+        self.reset = ResetMode(reset)
+        self.v_init_fraction = float(v_init_fraction)
+        self.v: Optional[np.ndarray] = None
+        # Spike bookkeeping for Fig. 6 / Fig. 8 statistics.
+        self.spike_count = 0
+        self.neuron_steps = 0
+        self.last_spikes: Optional[np.ndarray] = None
+
+    def reset_state(self) -> None:
+        """Re-arm the membrane for a new input sample."""
+        self.v = None
+
+    def reset_stats(self) -> None:
+        self.spike_count = 0
+        self.neuron_steps = 0
+
+    def _integrate(self, x: np.ndarray) -> np.ndarray:
+        if self.v is None:
+            self.v = np.full_like(x, self.threshold * self.v_init_fraction)
+        return self.v + x
+
+    def forward(self, x: Tensor) -> Tensor:
+        v = self._integrate(x.data)
+        spikes = (v >= self.threshold).astype(np.float32)
+        if self.reset is ResetMode.SUBTRACT:
+            self.v = v - spikes * self.threshold
+        else:
+            self.v = v * (1.0 - spikes)
+        self.spike_count += int(spikes.sum())
+        self.neuron_steps += int(spikes.size)
+        self.last_spikes = spikes
+        return Tensor(spikes * self.threshold)
+
+    @property
+    def average_spike_rate(self) -> float:
+        """Mean spikes per neuron per timestep since the last reset_stats."""
+        if self.neuron_steps == 0:
+            return 0.0
+        return self.spike_count / self.neuron_steps
+
+    def extra_repr(self) -> str:
+        return f"threshold={self.threshold:.4f}, reset={self.reset.value}"
+
+
+class LIFNeuron(IFNeuron):
+    """Leaky integrate-and-fire layer (the accelerator's mode bit = 1).
+
+    The leak is a multiplicative decay applied before integration:
+    ``v <- leak * v + x``.  A hardware-friendly default of 0.9375
+    (= 15/16, implementable as subtract-shift) is used.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        leak: float = 0.9375,
+        reset: ResetMode = ResetMode.SUBTRACT,
+        v_init_fraction: float = 0.5,
+    ) -> None:
+        super().__init__(threshold, reset=reset, v_init_fraction=v_init_fraction)
+        if not 0.0 < leak <= 1.0:
+            raise ValueError("leak must be in (0, 1]")
+        self.leak = float(leak)
+
+    def _integrate(self, x: np.ndarray) -> np.ndarray:
+        if self.v is None:
+            self.v = np.full_like(x, self.threshold * self.v_init_fraction)
+        return self.leak * self.v + x
+
+    def extra_repr(self) -> str:
+        return f"threshold={self.threshold:.4f}, leak={self.leak}, reset={self.reset.value}"

@@ -1,0 +1,21 @@
+"""Minimal-but-complete autograd tensor engine on top of numpy.
+
+This package is the training substrate for the reproduction: the paper
+trains ResNet-18 / VGG-11 in a standard deep-learning framework; offline
+we provide the equivalent machinery (reverse-mode autodiff, broadcasting,
+im2col convolutions, pooling, batch normalisation) implemented from
+scratch on numpy.
+
+Public API
+----------
+``Tensor``
+    The autograd-enabled n-d array.
+``no_grad``
+    Context manager disabling graph construction (inference mode).
+Functional ops live in :mod:`repro.tensor.functional`.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import functional
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]

@@ -1,0 +1,225 @@
+"""Neural-network functional primitives with custom autograd kernels.
+
+Convolution and pooling use explicit im2col/col2im kernels with
+hand-written backward passes (much faster than composing elementwise
+autograd ops, and numerically identical).
+
+Layout convention: NCHW, matching the paper's hardware mapping where a
+kernel's rows are streamed into the PE row-by-row.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, _unbroadcast
+
+
+# ----------------------------------------------------------------------
+# im2col / col2im
+# ----------------------------------------------------------------------
+def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold ``x`` (N, C, H, W) into columns (N*OH*OW, C*K*K).
+
+    Returns the column matrix together with the output spatial size.
+    """
+    n, c, h, w = x.shape
+    oh = _conv_output_size(h, kernel, stride, padding)
+    ow = _conv_output_size(w, kernel, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+    # Strided sliding-window view: (N, C, K, K, OH, OW)
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kernel, kernel, oh, ow),
+        strides=(sn, sc, sh, sw, sh * stride, sw * stride),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 4, 5, 1, 2, 3).reshape(n * oh * ow, c * kernel * kernel)
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold columns back onto an image, accumulating overlaps (im2col adjoint)."""
+    n, c, h, w = x_shape
+    oh = _conv_output_size(h, kernel, stride, padding)
+    ow = _conv_output_size(w, kernel, stride, padding)
+    hp, wp = h + 2 * padding, w + 2 * padding
+    x_padded = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    cols6 = cols.reshape(n, oh, ow, c, kernel, kernel).transpose(0, 3, 4, 5, 1, 2)
+    for ki in range(kernel):
+        h_stop = ki + stride * oh
+        for kj in range(kernel):
+            w_stop = kj + stride * ow
+            x_padded[:, :, ki:h_stop:stride, kj:w_stop:stride] += cols6[:, :, ki, kj]
+    if padding > 0:
+        return x_padded[:, :, padding:-padding, padding:-padding]
+    return x_padded
+
+
+# ----------------------------------------------------------------------
+# Convolution
+# ----------------------------------------------------------------------
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution (cross-correlation), NCHW.
+
+    ``weight`` has shape (C_out, C_in, K, K). Supports autograd w.r.t.
+    ``x``, ``weight`` and ``bias``.
+    """
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input {c_in} vs weight {c_in_w}")
+    if kh != kw:
+        raise ValueError("only square kernels are supported")
+    kernel = kh
+
+    cols, oh, ow = im2col(x.data, kernel, stride, padding)
+    w_mat = weight.data.reshape(c_out, -1)
+    out = cols @ w_mat.T  # (N*OH*OW, C_out)
+    if bias is not None:
+        out = out + bias.data
+    out_data = out.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray) -> None:
+        g_mat = g.transpose(0, 2, 3, 1).reshape(-1, c_out)
+        if weight.requires_grad:
+            gw = (g_mat.T @ cols).reshape(weight.shape)
+            weight._accumulate(gw)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(g_mat.sum(axis=0))
+        if x.requires_grad:
+            g_cols = g_mat @ w_mat
+            gx = col2im(g_cols, x.shape, kernel, stride, padding)
+            x._accumulate(gx)
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias``; weight shape (out, in)."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    cols, oh, ow = im2col(
+        x.data.reshape(n * c, 1, h, w), kernel, stride, padding=0
+    )  # (N*C*OH*OW, K*K)
+    argmax = cols.argmax(axis=1)
+    out_flat = cols[np.arange(cols.shape[0]), argmax]
+    out_data = out_flat.reshape(n, c, oh, ow)
+
+    def backward(g: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        g_flat = g.reshape(-1)
+        g_cols = np.zeros_like(cols)
+        g_cols[np.arange(cols.shape[0]), argmax] = g_flat
+        gx = col2im(g_cols, (n * c, 1, h, w), kernel, stride, padding=0)
+        x._accumulate(gx.reshape(x.shape))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    cols, oh, ow = im2col(x.data.reshape(n * c, 1, h, w), kernel, stride, padding=0)
+    out_data = cols.mean(axis=1).reshape(n, c, oh, ow)
+    scale = 1.0 / (kernel * kernel)
+
+    def backward(g: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        g_cols = np.repeat(g.reshape(-1, 1), kernel * kernel, axis=1) * scale
+        gx = col2im(g_cols, (n * c, 1, h, w), kernel, stride, padding=0)
+        x._accumulate(gx.reshape(x.shape))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Mean over the spatial dimensions, keeping (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+# ----------------------------------------------------------------------
+# Losses and classifiers
+# ----------------------------------------------------------------------
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax."""
+    shift = Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - shift
+    logsumexp = shifted.exp().sum(axis=axis, keepdims=True).log()
+    return shifted - logsumexp
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return log_softmax(x, axis=axis).exp()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between logits (N, C) and integer labels (N,)."""
+    targets = np.asarray(targets)
+    n = logits.shape[0]
+    logp = log_softmax(logits, axis=-1)
+    picked_data = logp.data[np.arange(n), targets]
+    out_data = np.float32(-picked_data.mean())
+
+    def backward(g: np.ndarray) -> None:
+        if not logp.requires_grad:
+            return
+        grad = np.zeros_like(logp.data)
+        grad[np.arange(n), targets] = -1.0 / n
+        logp._accumulate(grad * g)
+
+    return Tensor._make(np.asarray(out_data), (logp,), backward)
+
+
+def accuracy(logits: Tensor, targets: np.ndarray) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    pred = np.asarray(logits.data).argmax(axis=-1)
+    return float((pred == np.asarray(targets)).mean())
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout; identity in eval mode."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+    return x * Tensor(mask)

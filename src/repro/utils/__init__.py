@@ -1,0 +1,7 @@
+"""Shared utilities: seeding, model serialisation, simple run logging."""
+
+from repro.utils.serialization import load_state, save_state
+from repro.utils.seeding import seed_everything, spawn_rngs
+from repro.utils.logging import RunLogger
+
+__all__ = ["save_state", "load_state", "seed_everything", "spawn_rngs", "RunLogger"]

@@ -1,0 +1,47 @@
+"""Minimal structured run logging (stdout + optional JSONL file)."""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+
+class RunLogger:
+    """Collects timestamped metric records; optionally appends JSONL.
+
+    Designed for experiment scripts: cheap, dependency-free, and the
+    records stay inspectable in memory for tests.
+    """
+
+    def __init__(
+        self, name: str = "run", path: Optional[Union[str, Path]] = None
+    ) -> None:
+        self.name = name
+        self.path = Path(path) if path is not None else None
+        self.records: List[Dict[str, Any]] = []
+        self._start = time.time()
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def log(self, event: str, **fields: Any) -> Dict[str, Any]:
+        record = {
+            "run": self.name,
+            "event": event,
+            "elapsed_s": round(time.time() - self._start, 3),
+            **fields,
+        }
+        self.records.append(record)
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record) + "\n")
+        return record
+
+    def metrics(self, event: str) -> List[Dict[str, Any]]:
+        """All records of one event type."""
+        return [r for r in self.records if r["event"] == event]
+
+    def last(self, event: str) -> Optional[Dict[str, Any]]:
+        found = self.metrics(event)
+        return found[-1] if found else None

@@ -1,0 +1,54 @@
+"""Model checkpointing via compressed npz archives.
+
+``save_state``/``load_state`` round-trip a module's ``state_dict``
+(parameters and buffers) plus optional JSON-serialisable metadata —
+enough to cache trained pipelines between experiment runs without any
+pickle security surface.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+_META_KEY = "__repro_meta__"
+
+
+def save_state(
+    model: Module,
+    path: Union[str, Path],
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write a model's state dict (and metadata) to ``path`` (.npz)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"state dict may not contain the reserved key {_META_KEY!r}")
+    payload = dict(state)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_state(
+    model: Module, path: Union[str, Path]
+) -> Tuple[Module, Dict[str, Any]]:
+    """Load a checkpoint written by :func:`save_state` into ``model``.
+
+    Returns ``(model, metadata)``.  Raises KeyError/ValueError on
+    key/shape mismatches (propagated from ``load_state_dict``).
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        metadata = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+    model.load_state_dict(state)
+    return model, metadata

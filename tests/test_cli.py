@@ -1,0 +1,75 @@
+"""CLI smoke tests (hardware artefacts only; training paths are covered
+by the benchmarks)."""
+
+import pytest
+
+from repro.cli import ALL_ARTEFACTS, build_parser, main
+
+
+class TestParser:
+    def test_accepts_known_artefacts(self):
+        parser = build_parser()
+        args = parser.parse_args(["tab1", "tab3"])
+        assert args.artefacts == ["tab1", "tab3"]
+
+    def test_rejects_unknown(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["tab99"])
+
+    def test_all_artefacts_have_runners(self):
+        from repro.cli import _RUNNERS
+
+        assert set(ALL_ARTEFACTS) == set(_RUNNERS)
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["tab1"])
+        assert args.timesteps == 8
+        assert args.width == 0.125
+
+
+class TestHardwareArtefacts:
+    def test_tab1(self, capsys):
+        assert main(["tab1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "FC (512)" in out
+
+    def test_tab2(self, capsys):
+        assert main(["tab2"]) == 0
+        out = capsys.readouterr().out
+        assert "11x11" in out
+
+    def test_tab3(self, capsys):
+        assert main(["tab3"]) == 0
+        out = capsys.readouterr().out
+        assert "BRAM" in out
+        assert "95" in out
+
+    def test_tab4(self, capsys):
+        assert main(["tab4"]) == 0
+        out = capsys.readouterr().out
+        assert "This Work" in out
+        assert "DSP-efficiency" in out
+
+    def test_asic(self, capsys):
+        assert main(["asic"]) == 0
+        out = capsys.readouterr().out
+        assert "192" in out
+
+    def test_dse(self, capsys):
+        assert main(["dse"]) == 0
+        out = capsys.readouterr().out
+        assert "8x8PE/16BN@100MHz" in out
+        assert "Pareto" in out or "pareto" in out
+
+    def test_multiple_and_dedup(self, capsys):
+        assert main(["tab3", "tab3", "asic"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Table III") == 1
+
+    def test_all_skip_training(self, capsys):
+        assert main(["all", "--skip-training"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+        assert "Fig. 7" not in out

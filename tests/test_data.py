@@ -1,0 +1,129 @@
+"""Dataset, loader and encoding tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, SyntheticCIFAR, direct_encode, rate_encode, train_test_split
+
+
+class TestSyntheticCIFAR:
+    def test_shapes_and_dtypes(self):
+        ds = SyntheticCIFAR(num_train=50, num_test=20, seed=0)
+        assert ds.train_x.shape == (50, 3, 32, 32)
+        assert ds.test_x.shape == (20, 3, 32, 32)
+        assert ds.train_x.dtype == np.float32
+        assert ds.train_y.dtype == np.int64
+
+    def test_deterministic_by_seed(self):
+        a = SyntheticCIFAR(num_train=30, num_test=10, seed=5)
+        b = SyntheticCIFAR(num_train=30, num_test=10, seed=5)
+        assert np.array_equal(a.train_x, b.train_x)
+        assert np.array_equal(a.test_y, b.test_y)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticCIFAR(num_train=30, num_test=10, seed=1)
+        b = SyntheticCIFAR(num_train=30, num_test=10, seed=2)
+        assert not np.array_equal(a.train_x, b.train_x)
+
+    def test_all_classes_present(self):
+        ds = SyntheticCIFAR(num_train=500, num_test=100, seed=0)
+        assert set(np.unique(ds.train_y)) == set(range(10))
+
+    def test_class_structure_learnable(self):
+        # Nearest-prototype classifier should beat chance by a wide margin.
+        ds = SyntheticCIFAR(num_train=200, num_test=200, noise=0.3, seed=0)
+        protos = np.stack(
+            [ds.train_x[ds.train_y == k].mean(axis=0) for k in range(10)]
+        )
+        dists = ((ds.test_x[:, None] - protos[None]) ** 2).sum(axis=(2, 3, 4))
+        acc = (dists.argmin(axis=1) == ds.test_y).mean()
+        assert acc > 0.5
+
+    def test_noise_increases_difficulty(self):
+        def proto_acc(noise):
+            ds = SyntheticCIFAR(num_train=300, num_test=200, noise=noise, seed=0)
+            protos = np.stack(
+                [ds.train_x[ds.train_y == k].mean(axis=0) for k in range(10)]
+            )
+            dists = ((ds.test_x[:, None] - protos[None]) ** 2).sum(axis=(2, 3, 4))
+            return (dists.argmin(axis=1) == ds.test_y).mean()
+
+        assert proto_acc(0.1) >= proto_acc(2.5)
+
+    def test_splits(self):
+        ds = SyntheticCIFAR(num_train=10, num_test=5)
+        x, y = ds.train_split()
+        assert len(x) == len(y) == 10
+
+
+class TestTrainTestSplit:
+    def test_partition_sizes(self):
+        x = np.arange(100)[:, None]
+        y = np.arange(100)
+        tx, ty, vx, vy = train_test_split(x, y, test_fraction=0.25, seed=0)
+        assert len(tx) == 75 and len(vx) == 25
+        assert set(tx.ravel()) | set(vx.ravel()) == set(range(100))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_fraction=1.5)
+
+
+class TestDataLoader:
+    def test_batches_cover_everything(self):
+        x = np.arange(10)[:, None].astype(np.float32)
+        y = np.arange(10)
+        loader = DataLoader(x, y, batch_size=3, shuffle=False)
+        seen = np.concatenate([yb for _, yb in loader])
+        assert sorted(seen.tolist()) == list(range(10))
+        assert len(loader) == 4
+
+    def test_drop_last(self):
+        loader = DataLoader(np.zeros((10, 1)), np.zeros(10), batch_size=3, drop_last=True)
+        assert len(loader) == 3
+        assert sum(1 for _ in loader) == 3
+
+    def test_shuffle_changes_order(self):
+        x = np.arange(32)[:, None]
+        y = np.arange(32)
+        loader = DataLoader(x, y, batch_size=32, shuffle=True, rng=np.random.default_rng(0))
+        (x1, _), = list(loader)
+        assert not np.array_equal(x1.ravel(), np.arange(32))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DataLoader(np.zeros((3, 1)), np.zeros(4))
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(np.zeros((3, 1)), np.zeros(3), batch_size=0)
+
+
+class TestEncodings:
+    def test_direct_encode_repeats(self):
+        x = np.random.default_rng(0).normal(size=(2, 3, 4, 4)).astype(np.float32)
+        enc = direct_encode(x, 5)
+        assert enc.shape == (5, 2, 3, 4, 4)
+        assert np.array_equal(enc[0], enc[4])
+
+    def test_direct_encode_bad_timesteps(self):
+        with pytest.raises(ValueError):
+            direct_encode(np.zeros((1, 1, 2, 2)), 0)
+
+    def test_rate_encode_binary(self):
+        x = np.random.default_rng(0).random((2, 3, 8, 8)).astype(np.float32)
+        spikes = rate_encode(x, 16, rng=np.random.default_rng(1))
+        assert spikes.dtype == np.uint8
+        assert set(np.unique(spikes)).issubset({0, 1})
+
+    def test_rate_encode_rate_tracks_intensity(self):
+        x = np.array([0.0, 0.5, 1.0], np.float32)
+        spikes = rate_encode(x, 2000, rng=np.random.default_rng(2))
+        rates = spikes.mean(axis=0)
+        assert rates[0] == 0.0
+        assert rates[1] == pytest.approx(0.5, abs=0.05)
+        assert rates[2] == pytest.approx(1.0, abs=0.01)
+
+    def test_rate_encode_constant_input(self):
+        spikes = rate_encode(np.full(5, 3.0, np.float32), 10)
+        assert spikes.sum() == 0  # zero span -> zero probability

@@ -1,0 +1,118 @@
+"""Experiment-driver tests (shapes and consistency; heavy runs live in benchmarks)."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticCIFAR
+from repro.eval import (
+    accuracy_vs_timesteps_experiment,
+    asic_projection_experiment,
+    build_geometry_network,
+    render_table,
+    spike_rate_experiment,
+    table1_experiment,
+    table2_experiment,
+    table3_experiment,
+    table4_experiment,
+)
+from repro.eval.prior_art import PRIOR_ART, best_prior
+
+
+class TestGeometryNetworks:
+    def test_full_width_resnet_geometry(self):
+        mapped = build_geometry_network("resnet18", width=1.0)
+        assert len(mapped.layers) == 18
+        stem = mapped.layers[0].config
+        assert (stem.out_channels, stem.out_height) == (64, 32)
+        fc = mapped.layers[-1].config
+        assert fc.logical_in_features == 512
+        assert fc.out_channels == 10
+
+    def test_full_width_vgg_geometry(self):
+        mapped = build_geometry_network("vgg11", width=1.0)
+        assert len(mapped.layers) == 9
+        out_channels = [l.config.out_channels for l in mapped.layers[:-1]]
+        assert out_channels == [64, 128, 256, 256, 512, 512, 512, 512]
+
+
+class TestTableDrivers:
+    def test_table1_groups(self):
+        result = table1_experiment()
+        assert set(result) == {"resnet18", "vgg11"}
+        resnet_counts = [r["count"] for r in result["resnet18"] if "Conv" in r["label"]]
+        assert resnet_counts == [5, 4, 4, 4]
+
+    def test_table2_rows(self):
+        rows = table2_experiment()
+        assert [r["layer"] for r in rows] == [
+            "Conv (3x3,64)", "Conv (5x5,64)", "Conv (7x7,64)", "Conv (11x11,64)",
+        ]
+
+    def test_table3_keys(self):
+        rows = table3_experiment()
+        assert {r["parameter"] for r in rows} == {"LUT", "FF", "DSP", "BRAM", "LUTRAM", "BUFG"}
+
+    def test_table4_gains(self):
+        result = table4_experiment()
+        assert result["dsp_efficiency_gain"] > result["pe_efficiency_gain"]
+
+    def test_asic(self):
+        report = asic_projection_experiment()
+        assert report.gops == pytest.approx(192.0)
+
+
+class TestPriorArt:
+    def test_best_prior(self):
+        assert best_prior("gops_per_pe") == pytest.approx(0.343)
+        assert best_prior("gops_per_dsp") == pytest.approx(0.46)
+
+    def test_missing_metric(self):
+        with pytest.raises(AttributeError):
+            best_prior("nonexistent")
+
+    def test_rows_complete(self):
+        assert len(PRIOR_ART) == 5
+
+
+class TestRenderTable:
+    def test_renders_columns(self):
+        text = render_table([{"a": 1, "b": 2.5}], ["a", "b"])
+        assert "a" in text and "2.5" in text
+
+    def test_empty(self):
+        assert "empty" in render_table([], ["a"])
+
+    def test_missing_cells(self):
+        text = render_table([{"a": 1}], ["a", "b"])
+        assert "a" in text
+
+
+class TestAccuracyExperimentSmall:
+    """A miniature accuracy experiment: exercises the full driver quickly."""
+
+    @pytest.fixture(scope="class")
+    def curve(self):
+        ds = SyntheticCIFAR(num_train=200, num_test=80, noise=0.5, seed=21)
+        return accuracy_vs_timesteps_experiment(
+            "vgg11",
+            dataset=ds,
+            width=0.125,
+            max_timesteps=8,
+            ann_epochs=2,
+            finetune_epochs=1,
+        )
+
+    def test_curve_fields(self, curve):
+        assert len(curve.per_step_accuracy) == 8
+        assert 0.0 <= curve.ann_accuracy <= 1.0
+        assert 0.0 <= curve.quant_accuracy <= 1.0
+
+    def test_spike_rates_from_curve(self, curve):
+        ds = SyntheticCIFAR(num_train=200, num_test=80, noise=0.5, seed=21)
+        stats = spike_rate_experiment(curve, ds, timesteps=4, max_samples=40)
+        assert len(stats.per_layer) == 8
+        assert all(0.0 <= r <= 1.0 for r in stats.per_layer)
+
+    def test_within_of_ann_helper(self, curve):
+        t = curve.within_of_ann(margin=1.0)  # trivially satisfied
+        assert t == 1

@@ -1,0 +1,63 @@
+"""Markdown report-generator tests."""
+
+import pytest
+
+from repro.eval.report import (
+    asic_section,
+    build_hardware_report,
+    table1_section,
+    table2_section,
+    table3_section,
+    table4_section,
+    write_hardware_report,
+)
+
+
+class TestSections:
+    def test_table1_contains_both_networks(self):
+        text = table1_section()
+        assert "resnet18" in text and "vgg11" in text
+        assert "FC (512)" in text
+        assert "58.9" in text  # paper FC value appears
+
+    def test_table2_rows(self):
+        text = table2_section()
+        for k in (3, 5, 7, 11):
+            assert f"({k}x{k},64)" in text
+
+    def test_table3_exact_values(self):
+        text = table3_section()
+        assert "11932" in text
+        assert "| BRAM | 95 | 95 |" in text
+
+    def test_table4_headline(self):
+        text = table4_section()
+        assert "This Work" in text
+        assert "DSP-efficiency gain" in text
+
+    def test_asic_values(self):
+        text = asic_section()
+        assert "192" in text
+        assert "11.0" in text
+
+
+class TestFullReport:
+    def test_report_is_valid_markdown_tables(self):
+        text = build_hardware_report()
+        # Every table row line must have matching pipe counts with its header.
+        blocks = [b for b in text.split("\n\n") if b.startswith("|")]
+        assert blocks, "no tables rendered"
+        for block in blocks:
+            lines = block.strip().splitlines()
+            width = lines[0].count("|")
+            assert all(l.count("|") == width for l in lines), block[:80]
+
+    def test_custom_title(self):
+        text = build_hardware_report(title="# custom")
+        assert text.startswith("# custom")
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report" / "hw.md"
+        text = write_hardware_report(path)
+        assert path.exists()
+        assert path.read_text() == text

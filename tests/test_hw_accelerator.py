@@ -1,0 +1,172 @@
+"""Full-accelerator tests: integer SIA vs float SNN, controller parity."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticCIFAR
+from repro.hw import SpikingInferenceAccelerator, map_network
+from repro.hw.controller import LayerController
+from repro.pipeline import build_quantized_twin
+from repro.snn import SpikingNetwork, convert_to_snn
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """Converted VGG + mapped SIA + a batch of frames (module-scoped)."""
+    ds = SyntheticCIFAR(num_train=64, num_test=32, noise=0.6, seed=7)
+    model = build_quantized_twin("vgg11", width=0.125, num_classes=10, levels=2, seed=0)
+    # Populate BN stats so eval-mode folding is meaningful.
+    from repro.pipeline.trainer import Trainer, TrainConfig
+
+    Trainer(model, TrainConfig(epochs=1, lr=1e-3)).fit(ds.train_x, ds.train_y)
+    convert_to_snn(model)
+    mapped = map_network(model, calibration_input=ds.train_x)
+    sia = SpikingInferenceAccelerator(mapped)
+    # Float SNN twin with identical parameters.
+    twin = build_quantized_twin("vgg11", width=0.125, num_classes=10, levels=2, seed=0)
+    twin.load_state_dict(
+        {
+            k: v
+            for k, v in _snapshot(model).items()
+        }
+    )
+    return ds, model, mapped, sia
+
+
+def _snapshot(converted_model):
+    # Converted models lose QuantReLU params, so capture what remains.
+    return converted_model.state_dict()
+
+
+class TestFunctionalRun:
+    def test_logits_shape(self, setup):
+        ds, _, _, sia = setup
+        logits, report = sia.run(ds.test_x[:8], timesteps=4)
+        assert logits.shape == (8, 10)
+        assert report.batch_size == 8
+        assert report.timesteps == 4
+
+    def test_deterministic(self, setup):
+        ds, _, _, sia = setup
+        a, _ = sia.run(ds.test_x[:4], timesteps=4)
+        b, _ = sia.run(ds.test_x[:4], timesteps=4)
+        assert np.array_equal(a, b)
+
+    def test_batch_invariance(self, setup):
+        ds, _, _, sia = setup
+        full, _ = sia.run(ds.test_x[:6], timesteps=3)
+        parts = [sia.run(ds.test_x[i : i + 2], timesteps=3)[0] for i in (0, 2, 4)]
+        assert np.allclose(full, np.concatenate(parts))
+
+    def test_agrees_with_float_snn(self, setup):
+        ds, model, _, sia = setup
+        snn = SpikingNetwork(model, timesteps=8)
+        float_logits = snn.forward(ds.test_x[:24], 8)
+        int_logits, _ = sia.run(ds.test_x[:24], timesteps=8)
+        agreement = (float_logits.argmax(1) == int_logits.argmax(1)).mean()
+        # INT8 weights + 16-bit fixed-point BN: predictions should agree
+        # on the overwhelming majority of samples.
+        assert agreement >= 0.85
+
+    def test_input_validation(self, setup):
+        _, _, _, sia = setup
+        with pytest.raises(ValueError):
+            sia.run(np.zeros((3, 32, 32), np.float32))
+        with pytest.raises(ValueError):
+            sia.run(np.zeros((1, 3, 32, 32), np.float32), timesteps=0)
+
+    def test_accuracy_helper(self, setup):
+        ds, _, _, sia = setup
+        preds = sia.predict(ds.test_x[:10], timesteps=4)
+        acc = sia.accuracy(ds.test_x[:10], preds, timesteps=4, batch_size=4)
+        assert acc == 1.0
+
+
+class TestRunReport:
+    def test_spike_rates_recorded(self, setup):
+        ds, _, _, sia = setup
+        _, report = sia.run(ds.test_x[:8], timesteps=4)
+        rates = report.spike_rates()
+        assert len(rates) == 8  # spiking conv layers
+        assert all(0.0 <= r <= 1.0 for r in rates)
+
+    def test_cycles_positive_and_scale_with_batch(self, setup):
+        ds, _, _, sia = setup
+        _, small = sia.run(ds.test_x[:2], timesteps=4)
+        _, large = sia.run(ds.test_x[:8], timesteps=4)
+        assert large.total_core_cycles > small.total_core_cycles
+        assert small.cycles_per_inference > 0
+
+    def test_synaptic_ops_counted(self, setup):
+        ds, _, _, sia = setup
+        _, report = sia.run(ds.test_x[:4], timesteps=4)
+        assert report.total_synaptic_ops > 0
+
+    def test_frame_layer_has_no_pl_cycles(self, setup):
+        ds, _, _, sia = setup
+        _, report = sia.run(ds.test_x[:4], timesteps=4)
+        assert report.layers[0].core_cycles == 0  # PS-side frame conv
+        assert report.layers[1].core_cycles > 0
+
+
+class TestEventDrivenAblation:
+    def test_dense_mode_costs_more_cycles(self, setup):
+        ds, _, mapped, _ = setup
+        sparse = SpikingInferenceAccelerator(mapped, event_driven=True)
+        dense = SpikingInferenceAccelerator(mapped, event_driven=False)
+        _, rs = sparse.run(ds.test_x[:4], timesteps=4)
+        _, rd = dense.run(ds.test_x[:4], timesteps=4)
+        assert rd.total_core_cycles > rs.total_core_cycles
+        # Functional results identical: gating only skips zero work.
+        a, _ = sparse.run(ds.test_x[:4], timesteps=4)
+        b, _ = dense.run(ds.test_x[:4], timesteps=4)
+        assert np.array_equal(a, b)
+
+
+class TestControllerParity:
+    def test_single_sample_matches_batched(self, setup):
+        ds, _, mapped, sia = setup
+        ctrl = LayerController(mapped)
+        for i in range(3):
+            single = ctrl.run_network(ds.test_x[i], timesteps=4)
+            batched, _ = sia.run(ds.test_x[i : i + 1], timesteps=4)
+            assert np.allclose(single, batched[0])
+
+    def test_traces_cover_all_layers_and_steps(self, setup):
+        ds, _, mapped, _ = setup
+        ctrl = LayerController(mapped)
+        ctrl.run_network(ds.test_x[0], timesteps=3)
+        traces = ctrl.state.traces
+        assert len(traces) == 3 * len(mapped.layers)
+        assert all(t.core_cycles >= 0 for t in traces)
+
+    def test_weight_tile_accounting(self, setup):
+        _, _, mapped, _ = setup
+        ctrl = LayerController(mapped)
+        assert ctrl.weight_tiles(mapped.layers[0]) >= 1
+
+    def test_rejects_batch_input(self, setup):
+        ds, _, mapped, _ = setup
+        ctrl = LayerController(mapped)
+        with pytest.raises(ValueError):
+            ctrl.run_network(ds.test_x[:2], timesteps=2)
+
+
+class TestResnetAccelerator:
+    def test_residual_network_runs_and_agrees(self):
+        ds = SyntheticCIFAR(num_train=32, num_test=16, noise=0.6, seed=9)
+        model = build_quantized_twin(
+            "resnet18", width=0.125, num_classes=10, levels=2, seed=1
+        )
+        from repro.pipeline.trainer import Trainer, TrainConfig
+
+        Trainer(model, TrainConfig(epochs=1, lr=1e-3)).fit(ds.train_x, ds.train_y)
+        convert_to_snn(model)
+        mapped = map_network(model, calibration_input=ds.train_x)
+        sia = SpikingInferenceAccelerator(mapped)
+        snn = SpikingNetwork(model, timesteps=6)
+        float_logits = snn.forward(ds.test_x, 6)
+        int_logits, report = sia.run(ds.test_x, timesteps=6)
+        agreement = (float_logits.argmax(1) == int_logits.argmax(1)).mean()
+        assert agreement >= 0.8
+        assert len(report.spike_rates()) == 17

@@ -1,0 +1,153 @@
+"""Aggregation-core tests: fixed-point BN and the activation unit."""
+
+import numpy as np
+import pytest
+
+from repro.hw.aggregation import ActivationUnit, AggregationCore, BatchNormUnit
+from repro.hw.config import LayerConfig, LayerKind, PYNQ_Z2
+from repro.hw.fixed import quantize_to_fixed
+
+
+def make_layer(threshold_int=1024, lif=False, **kw):
+    return LayerConfig(
+        kind=LayerKind.CONV,
+        in_channels=2,
+        out_channels=3,
+        in_height=4,
+        in_width=4,
+        kernel_size=3,
+        padding=1,
+        threshold_int=threshold_int,
+        lif_mode=lif,
+        **kw,
+    )
+
+
+class TestBatchNormUnit:
+    def test_matches_float_reference(self):
+        rng = np.random.default_rng(0)
+        psum = rng.integers(-2000, 2000, size=(3, 4, 4))
+        g_real = rng.uniform(-2, 2, size=3)
+        h_real = rng.integers(-500, 500, size=3).astype(np.float64)
+        g_int = quantize_to_fixed(g_real, 8, 16)
+        h_int = h_real.astype(np.int64)
+        bn = BatchNormUnit()
+        out = bn.apply(psum, g_int, h_int, 8)
+        ref = psum * (g_int / 256.0)[:, None, None] + h_real[:, None, None]
+        assert np.abs(out - ref).max() <= 1.0
+
+    def test_batched_broadcast(self):
+        psum = np.ones((5, 3, 2, 2), np.int64) * 256
+        g_int = np.array([256, 512, 1024])  # 1.0, 2.0, 4.0 at frac=8
+        h_int = np.array([0, 10, -10])
+        out = BatchNormUnit().apply(psum, g_int, h_int, 8)
+        assert out.shape == (5, 3, 2, 2)
+        assert np.array_equal(out[0, :, 0, 0], [256, 522, 1014])
+
+    def test_rejects_oversized_coeffs(self):
+        bn = BatchNormUnit()
+        with pytest.raises(ValueError):
+            bn.apply(np.ones((1, 2, 2), np.int64), np.array([70000]), np.array([0]), 8)
+
+    def test_rejects_low_rank(self):
+        with pytest.raises(ValueError):
+            BatchNormUnit().apply(np.ones(4, np.int64), np.array([1]), np.array([0]), 8)
+
+    def test_output_saturates_16bit(self):
+        out = BatchNormUnit().apply(
+            np.full((1, 1, 1), 32767, np.int64), np.array([32767]), np.array([32767]), 8
+        )
+        assert out.max() == 32767
+
+
+class TestActivationUnit:
+    def test_if_step_spikes_and_subtracts(self):
+        unit = ActivationUnit()
+        membrane = np.array([500, 100], np.int64)
+        result = unit.step(np.array([600, 100], np.int64), membrane, threshold_int=1024)
+        assert result.spikes.tolist() == [1, 0]
+        assert result.membrane.tolist() == [76, 200]  # 1100-1024, 200
+
+    def test_reset_to_zero(self):
+        unit = ActivationUnit()
+        result = unit.step(
+            np.array([1200], np.int64),
+            np.array([0], np.int64),
+            threshold_int=1024,
+            reset_to_zero=True,
+        )
+        assert result.membrane.tolist() == [0]
+
+    def test_lif_leak_shift(self):
+        unit = ActivationUnit()
+        membrane = np.array([1600], np.int64)
+        result = unit.step(
+            np.array([0], np.int64), membrane, threshold_int=10**6, lif_mode=True, leak_shift=4
+        )
+        # v = 1600 - 1600>>4 = 1600 - 100 = 1500.
+        assert result.membrane.tolist() == [1500]
+
+    def test_initial_membrane_half_threshold(self):
+        unit = ActivationUnit()
+        v = unit.initial_membrane((2, 2), threshold_int=1024, v_init_fraction=0.5)
+        assert np.all(v == 512)
+
+    def test_membrane_saturates(self):
+        unit = ActivationUnit()
+        result = unit.step(
+            np.array([32767], np.int64), np.array([32767], np.int64), threshold_int=10**6
+        )
+        assert result.membrane.max() <= 32767
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ActivationUnit().step(np.array([0]), np.array([0]), threshold_int=0)
+
+    def test_spike_count(self):
+        unit = ActivationUnit()
+        result = unit.step(
+            np.array([2000, 2000, 10], np.int64), np.zeros(3, np.int64), threshold_int=1024
+        )
+        assert result.spike_count == 2
+
+
+class TestAggregationCore:
+    def test_process_pipeline(self):
+        core = AggregationCore()
+        layer = make_layer(
+            g_int=quantize_to_fixed(np.ones(3), 8, 16),
+            h_int=np.zeros(3, dtype=np.int64),
+        )
+        psum = np.full((3, 4, 4), 600, np.int64)
+        membrane = core.activation.initial_membrane(psum.shape, 1024, 0.5)
+        result, cycles = core.process(psum, membrane, layer)
+        # 512 + 600 = 1112 >= 1024 -> all spike.
+        assert result.spikes.all()
+        assert cycles == -(-48 // core.neurons_per_cycle)
+
+    def test_residual_added_before_threshold(self):
+        core = AggregationCore()
+        layer = make_layer(
+            g_int=quantize_to_fixed(np.ones(3), 8, 16),
+            h_int=np.zeros(3, dtype=np.int64),
+        )
+        psum = np.full((3, 4, 4), 300, np.int64)
+        residual = np.full((3, 4, 4), 300, np.int64)
+        membrane = core.activation.initial_membrane(psum.shape, 1024, 0.5)
+        with_res, _ = core.process(psum, membrane.copy(), layer, residual=residual)
+        without, _ = core.process(psum, membrane.copy(), layer)
+        assert with_res.spike_count > without.spike_count
+
+    def test_no_bn_passthrough(self):
+        core = AggregationCore()
+        layer = make_layer()  # g_int None
+        psum = np.full((3, 4, 4), 2000, np.int64)
+        membrane = np.zeros_like(psum)
+        result, _ = core.process(psum, membrane, layer)
+        assert result.spikes.all()
+
+    def test_cycles_scale_with_neurons(self):
+        core = AggregationCore()
+        assert core.cycles_for(16) == 1
+        assert core.cycles_for(17) == 2
+        assert core.cycles_for(64 * 16) == 64

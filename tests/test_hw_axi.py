@@ -1,0 +1,50 @@
+"""AXI transfer-cost model tests."""
+
+import pytest
+
+from repro.hw.axi import AxiModel, AxiTimings
+from repro.hw.config import PYNQ_Z2
+
+
+class TestAxiModel:
+    def test_word_size(self):
+        assert AxiModel().word_bytes == 4
+
+    def test_words_round_up(self):
+        axi = AxiModel()
+        assert axi.words_for(1) == 1
+        assert axi.words_for(4) == 1
+        assert axi.words_for(5) == 2
+
+    def test_burst_time_scales_linearly(self):
+        axi = AxiModel()
+        t1 = axi.burst_seconds(4 * 100)
+        t2 = axi.burst_seconds(4 * 200)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_burst_uses_clock(self):
+        timings = AxiTimings(burst_cycles_per_word=1.0)
+        axi = AxiModel(PYNQ_Z2, timings)
+        assert axi.burst_seconds(4) == pytest.approx(1.0 / PYNQ_Z2.clock_hz)
+
+    def test_mmio_much_slower_than_burst(self):
+        axi = AxiModel()
+        nbytes = 4 * 1000
+        assert axi.mmio_seconds(nbytes) > 100 * axi.burst_seconds(nbytes)
+
+    def test_mmio_matches_fc_observation(self):
+        # 512x10 INT8 weights = 1280 words -> ~58 ms at 45.25 us/word,
+        # the Table I FC anomaly this model explains.
+        axi = AxiModel(PYNQ_Z2, AxiTimings(mmio_seconds_per_word=45.253e-6))
+        seconds = axi.mmio_seconds(512 * 10)
+        assert 0.05 < seconds < 0.07
+
+    def test_bytes_accounted(self):
+        axi = AxiModel()
+        axi.burst_seconds(100)
+        axi.mmio_seconds(50)
+        assert axi.bytes_transferred == 150
+
+    def test_invoke_overhead(self):
+        axi = AxiModel(PYNQ_Z2, AxiTimings(invoke_overhead_seconds=1e-3))
+        assert axi.invoke_seconds() == 1e-3

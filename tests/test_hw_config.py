@@ -1,0 +1,111 @@
+"""ArchConfig / LayerConfig invariant tests."""
+
+import numpy as np
+import pytest
+
+from repro.hw.config import ArchConfig, LayerConfig, LayerKind, PYNQ_Z2
+
+
+class TestArchConfig:
+    def test_paper_constants(self):
+        assert PYNQ_Z2.num_pes == 64
+        assert PYNQ_Z2.muxes_per_pe == 3
+        assert PYNQ_Z2.adder_bits == 8
+        assert PYNQ_Z2.psum_bits == 16
+        assert PYNQ_Z2.clock_hz == 100e6
+
+    def test_memory_map_sizes(self):
+        # Paper §III-D.
+        assert PYNQ_Z2.spike_in_bytes == 128
+        assert PYNQ_Z2.residual_bytes == 128 * 1024
+        assert PYNQ_Z2.membrane_bytes == 64 * 1024
+        assert PYNQ_Z2.weight_bytes == 8 * 1024
+        assert PYNQ_Z2.output_bytes == 56 * 1024
+
+    def test_ops_accounting(self):
+        # 3 mux-selects + 3 adds = 6 ops per PE per cycle.
+        assert PYNQ_Z2.ops_per_pe_per_cycle == 6
+        assert PYNQ_Z2.peak_gops == pytest.approx(38.4)
+
+    def test_membrane_halves(self):
+        assert PYNQ_Z2.membrane_half_bytes == 32 * 1024
+        assert PYNQ_Z2.max_tile_neurons == 16384
+
+    @pytest.mark.parametrize("k,cycles", [(1, 2), (3, 4), (5, 11), (7, 22), (9, 28), (11, 45)])
+    def test_kernel_cycles(self, k, cycles):
+        assert PYNQ_Z2.kernel_cycles(k) == cycles
+
+    def test_kernel_cycles_invalid(self):
+        with pytest.raises(ValueError):
+            PYNQ_Z2.kernel_cycles(0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PYNQ_Z2.pe_rows = 16  # dataclass(frozen=True)
+
+    def test_custom_geometry(self):
+        arch = ArchConfig(pe_rows=16, pe_cols=4, clock_hz=200e6)
+        assert arch.num_pes == 64
+        assert arch.peak_gops == pytest.approx(76.8)
+
+
+class TestLayerConfig:
+    def make(self, **kw):
+        defaults = dict(
+            kind=LayerKind.CONV, in_channels=16, out_channels=32,
+            in_height=16, in_width=16, kernel_size=3, stride=1, padding=1,
+        )
+        defaults.update(kw)
+        return LayerConfig(**defaults)
+
+    def test_conv_output_geometry(self):
+        cfg = self.make()
+        assert (cfg.out_height, cfg.out_width) == (16, 16)
+        strided = self.make(stride=2)
+        assert (strided.out_height, strided.out_width) == (8, 8)
+
+    def test_no_padding_shrinks(self):
+        cfg = self.make(padding=0)
+        assert cfg.out_height == 14
+
+    def test_out_neurons_and_macs(self):
+        cfg = self.make()
+        assert cfg.out_neurons == 32 * 16 * 16
+        assert cfg.dense_macs == 16 * 16 * 32 * 16 * 9
+        assert cfg.weight_count == 32 * 16 * 9
+
+    def test_fc_geometry(self):
+        fc = LayerConfig(
+            kind=LayerKind.FC, in_channels=512, out_channels=10,
+            in_height=1, in_width=1, kernel_size=1,
+        )
+        assert fc.out_neurons == 10
+        assert fc.dense_macs == 5120
+        assert fc.weight_count == 5120
+
+    def test_avgpool_geometry(self):
+        pool = LayerConfig(
+            kind=LayerKind.AVGPOOL, in_channels=8, out_channels=8,
+            in_height=8, in_width=8, kernel_size=2,
+        )
+        assert (pool.out_height, pool.out_width) == (4, 4)
+        assert pool.weight_count == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(in_channels=0)
+        with pytest.raises(ValueError):
+            self.make(kernel_size=0)
+        with pytest.raises(ValueError):
+            self.make(threshold_int=0)
+
+    def test_bn_fields_optional(self):
+        cfg = self.make()
+        assert cfg.g_int is None
+        cfg2 = self.make(g_int=np.ones(32, np.int64), h_int=np.zeros(32, np.int64))
+        assert cfg2.g_int.shape == (32,)
+
+    def test_logical_fields_default_none(self):
+        cfg = self.make()
+        assert cfg.logical_kernel is None
+        assert cfg.logical_in_features is None

@@ -1,0 +1,91 @@
+"""Controller-specific tests: memory protocol, traces, tiling behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticCIFAR
+from repro.hw.controller import LayerController
+from repro.hw.mapper import map_network
+from repro.pipeline import build_quantized_twin
+from repro.snn import convert_to_snn
+
+
+@pytest.fixture(scope="module")
+def small_mapped():
+    ds = SyntheticCIFAR(num_train=32, num_test=8, noise=0.6, seed=23)
+    model = build_quantized_twin("vgg11", width=0.125, num_classes=10, levels=2, seed=0)
+    from repro.pipeline.trainer import TrainConfig, Trainer
+
+    Trainer(model, TrainConfig(epochs=1, lr=1e-3)).fit(ds.train_x, ds.train_y)
+    convert_to_snn(model)
+    return map_network(model, calibration_input=ds.train_x), ds
+
+
+class TestMemoryProtocol:
+    def test_membrane_banks_toggle_per_layer(self, small_mapped):
+        mapped, ds = small_mapped
+        ctrl = LayerController(mapped)
+        start_bank = ctrl.memory.membrane.read_bank
+        ctrl.run_network(ds.test_x[0], timesteps=1)
+        # 8 spiking layers = 8 toggles per timestep: even count returns
+        # to the starting read bank.
+        assert ctrl.memory.membrane.read_bank is start_bank
+
+    def test_output_memory_holds_last_layer(self, small_mapped):
+        mapped, ds = small_mapped
+        ctrl = LayerController(mapped)
+        ctrl.run_network(ds.test_x[0], timesteps=2)
+        packed = ctrl.memory.output.read("current-layer-spikes")
+        assert packed.dtype == np.uint8
+
+    def test_memory_reset_between_runs(self, small_mapped):
+        mapped, ds = small_mapped
+        ctrl = LayerController(mapped)
+        a = ctrl.run_network(ds.test_x[0], timesteps=2)
+        b = ctrl.run_network(ds.test_x[0], timesteps=2)
+        assert np.allclose(a, b)
+
+
+class TestTraces:
+    def test_trace_fields(self, small_mapped):
+        mapped, ds = small_mapped
+        ctrl = LayerController(mapped)
+        ctrl.run_network(ds.test_x[0], timesteps=2)
+        trace = ctrl.state.traces[0]
+        assert trace.layer == mapped.layers[0].name
+        assert trace.weight_bytes > 0
+        assert trace.timestep == 0
+
+    def test_total_cycles_accumulate(self, small_mapped):
+        mapped, ds = small_mapped
+        ctrl = LayerController(mapped)
+        ctrl.run_network(ds.test_x[0], timesteps=1)
+        one = ctrl.state.total_cycles()
+        ctrl.run_network(ds.test_x[0], timesteps=4)
+        four = ctrl.state.total_cycles()
+        assert four > one
+
+    def test_weight_reloads_counted(self, small_mapped):
+        mapped, ds = small_mapped
+        ctrl = LayerController(mapped)
+        ctrl.run_network(ds.test_x[0], timesteps=2)
+        # At least one weight tile per spiking layer per timestep.
+        assert ctrl.state.weight_reloads >= 2 * (len(mapped.layers) - 1)
+
+
+class TestWeightTiling:
+    def test_small_layer_single_tile(self, small_mapped):
+        mapped, _ = small_mapped
+        ctrl = LayerController(mapped)
+        assert ctrl.weight_tiles(mapped.layers[0]) == 1
+
+    def test_large_layer_multiple_tiles(self):
+        model = build_quantized_twin(
+            "vgg11", width=1.0, num_classes=10, levels=2, seed=0
+        )
+        convert_to_snn(model)
+        mapped = map_network(model)
+        ctrl = LayerController(mapped)
+        # conv8 at full width: 512x512x3x3 = 2.25 MB >> 8 kB.
+        big = [l for l in mapped.layers if l.weights_int.size > 8 * 1024][0]
+        assert ctrl.weight_tiles(big) > 1

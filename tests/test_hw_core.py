@@ -1,0 +1,184 @@
+"""Spiking-core tests: functional correctness and cycle accounting."""
+
+import numpy as np
+import pytest
+
+from repro.hw.config import PYNQ_Z2
+from repro.hw.core import SpikingCore
+from repro.hw.pe import ProcessingElement
+
+
+def reference_conv(spikes, weights, stride=1, padding=0):
+    """Integer conv reference via float conv on small arrays."""
+    from repro.tensor import Tensor
+    from repro.tensor.functional import conv2d
+
+    out = conv2d(
+        Tensor(spikes[None].astype(np.float32)),
+        Tensor(weights.astype(np.float32)),
+        stride=stride,
+        padding=padding,
+    )
+    return np.round(out.data[0]).astype(np.int64)
+
+
+class TestConvFunctional:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(0)
+        spikes = (rng.random((4, 8, 8)) < 0.3).astype(np.int64)
+        weights = rng.integers(-128, 128, size=(6, 4, 3, 3))
+        core = SpikingCore()
+        psum, _ = core.conv_timestep(spikes, weights, stride=1, padding=1)
+        ref = reference_conv(spikes, weights, 1, 1)
+        assert np.array_equal(psum, ref)
+
+    def test_batched_matches_loop(self):
+        rng = np.random.default_rng(1)
+        spikes = (rng.random((3, 2, 6, 6)) < 0.4).astype(np.int64)
+        weights = rng.integers(-20, 20, size=(4, 2, 3, 3))
+        core = SpikingCore()
+        batched, _ = core.conv_timestep(spikes, weights, padding=1)
+        for i in range(3):
+            single, _ = core.conv_timestep(spikes[i], weights, padding=1)
+            assert np.array_equal(batched[i], single)
+
+    def test_saturation_applied(self):
+        spikes = np.ones((1, 3, 3), np.int64)
+        weights = np.full((1, 1, 3, 3), 127, np.int64)
+        # 9 taps x 127 = 1143, fits; chain many channels to overflow.
+        spikes_many = np.ones((64, 3, 3), np.int64)
+        weights_many = np.full((1, 64, 3, 3), 127, np.int64)
+        core = SpikingCore()
+        psum, _ = core.conv_timestep(spikes_many, weights_many)
+        assert psum.max() == 32767
+
+    def test_rejects_non_binary(self):
+        core = SpikingCore()
+        with pytest.raises(ValueError):
+            core.conv_timestep(np.full((1, 4, 4), 2, np.int64), np.ones((1, 1, 3, 3), np.int64))
+
+    def test_rejects_wide_weights(self):
+        core = SpikingCore()
+        with pytest.raises(ValueError):
+            core.conv_timestep(
+                np.ones((1, 4, 4), np.int64), np.full((1, 1, 3, 3), 300, np.int64)
+            )
+
+    def test_rejects_channel_mismatch(self):
+        core = SpikingCore()
+        with pytest.raises(ValueError):
+            core.conv_timestep(np.ones((2, 4, 4), np.int64), np.ones((1, 3, 3, 3), np.int64))
+
+
+class TestConvCycles:
+    def test_dense_cycle_count_formula(self):
+        # 4x4 input, 3x3 kernel, no padding -> 2x2 output, 1 in-channel.
+        spikes = np.ones((1, 4, 4), np.int64)
+        weights = np.ones((1, 1, 3, 3), np.int64)
+        core = SpikingCore(event_driven=False)
+        _, stats = core.conv_timestep(spikes, weights)
+        # 4 pixels x (3 rows + 1 finalize) = 16 cycles.
+        assert stats.cycles == 16
+        assert stats.finalize_cycles == 4
+
+    def test_event_driven_cheaper_on_sparse(self):
+        rng = np.random.default_rng(0)
+        spikes = (rng.random((2, 8, 8)) < 0.05).astype(np.int64)
+        weights = rng.integers(-5, 5, size=(3, 2, 3, 3))
+        dense = SpikingCore(event_driven=False)
+        sparse = SpikingCore(event_driven=True)
+        _, d = dense.conv_timestep(spikes, weights, padding=1)
+        _, s = sparse.conv_timestep(spikes, weights, padding=1)
+        assert s.cycles < d.cycles
+        assert s.finalize_cycles == d.finalize_cycles
+
+    def test_all_zero_spikes_only_finalize(self):
+        core = SpikingCore(event_driven=True)
+        spikes = np.zeros((1, 4, 4), np.int64)
+        _, stats = core.conv_timestep(spikes, np.ones((1, 1, 3, 3), np.int64))
+        assert stats.row_cycles == 0
+        assert stats.cycles == stats.finalize_cycles
+
+    def test_channel_groups_scale_cycles(self):
+        spikes = np.ones((1, 6, 6), np.int64)
+        w64 = np.ones((64, 1, 3, 3), np.int64)
+        w65 = np.ones((65, 1, 3, 3), np.int64)
+        core = SpikingCore()
+        _, s64 = core.conv_timestep(spikes, w64)
+        _, s65 = core.conv_timestep(spikes, w65)
+        assert s64.channel_groups == 1
+        assert s65.channel_groups == 2
+        assert s65.cycles == 2 * s64.cycles
+
+    def test_segment_activity_fraction(self):
+        spikes = np.zeros((1, 4, 4), np.int64)
+        spikes[0, 0, 0] = 1
+        core = SpikingCore()
+        _, stats = core.conv_timestep(spikes, np.ones((1, 1, 3, 3), np.int64))
+        assert 0.0 < stats.segment_activity < 1.0
+
+    def test_wide_kernel_segments(self):
+        # 5-wide rows need two 3-tap segments per row.
+        spikes = np.ones((1, 5, 5), np.int64)
+        weights = np.ones((1, 1, 5, 5), np.int64)
+        core = SpikingCore(event_driven=False)
+        _, stats = core.conv_timestep(spikes, weights)
+        # 1 pixel x 5 rows x 2 segments + 1 finalize.
+        assert stats.cycles == 11 == PYNQ_Z2.kernel_cycles(5)
+
+    def test_cycle_model_matches_bit_true_pe(self):
+        """Vectorised core accounting == explicit PE simulation."""
+        rng = np.random.default_rng(3)
+        spikes = (rng.random((2, 5, 5)) < 0.4).astype(np.int64)
+        weights = rng.integers(-10, 10, size=(1, 2, 3, 3))
+        core = SpikingCore(event_driven=True)
+        psum, stats = core.conv_timestep(spikes, weights)
+
+        pe_cycles = 0
+        pe = ProcessingElement(event_driven=True)
+        oh = ow = 3
+        for i in range(oh):
+            for j in range(ow):
+                pe.reset()
+                total = 0
+                for c in range(2):
+                    window = spikes[c, i : i + 3, j : j + 3]
+                    _, cyc = pe.compute_kernel(window, weights[0, c])
+                    total += cyc
+                pe_cycles += total
+                assert pe.psum == psum[0, i, j]
+        assert stats.cycles == pe_cycles
+
+
+class TestFcPath:
+    def test_matches_matmul(self):
+        rng = np.random.default_rng(0)
+        spikes = (rng.random(20) < 0.5).astype(np.int64)
+        weights = rng.integers(-50, 50, size=(7, 20))
+        core = SpikingCore()
+        psum, _ = core.fc_timestep(spikes, weights)
+        assert np.array_equal(psum, weights @ spikes)
+
+    def test_batched(self):
+        rng = np.random.default_rng(1)
+        spikes = (rng.random((4, 12)) < 0.5).astype(np.int64)
+        weights = rng.integers(-5, 5, size=(3, 12))
+        core = SpikingCore()
+        psum, _ = core.fc_timestep(spikes, weights)
+        assert psum.shape == (4, 3)
+        assert np.array_equal(psum, spikes @ weights.T)
+
+    def test_event_driven_segment_cycles(self):
+        spikes = np.zeros(12, np.int64)
+        spikes[0] = 1  # one active 3-tap segment out of 4
+        core = SpikingCore(event_driven=True)
+        _, stats = core.fc_timestep(spikes, np.ones((2, 12), np.int64))
+        assert stats.row_cycles == 1
+        dense = SpikingCore(event_driven=False)
+        _, d = dense.fc_timestep(spikes, np.ones((2, 12), np.int64))
+        assert d.row_cycles == 4
+
+    def test_feature_mismatch(self):
+        core = SpikingCore()
+        with pytest.raises(ValueError):
+            core.fc_timestep(np.ones(5, np.int64), np.ones((2, 6), np.int64))

@@ -1,0 +1,133 @@
+"""Design-space exploration tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.hw.config import ArchConfig, PYNQ_Z2
+from repro.hw.dse import DesignSpaceExplorer, SweepSpec, paper_design_point
+
+
+class TestEvaluate:
+    def test_paper_point_matches_tables(self):
+        point = paper_design_point()
+        assert point.gops == pytest.approx(38.4)
+        assert point.dsps == 17
+        assert point.brams == 95
+        assert point.fits
+        assert point.label == "8x8PE/16BN@100MHz"
+
+    def test_infeasible_point_flagged(self):
+        huge = dataclasses.replace(PYNQ_Z2, pe_rows=64, pe_cols=64)
+        point = DesignSpaceExplorer().evaluate(huge)
+        assert not point.fits
+        assert any("LUT" in v for v in point.violations)
+
+    def test_clock_limit(self):
+        hot = dataclasses.replace(PYNQ_Z2, clock_hz=400e6)
+        point = DesignSpaceExplorer().evaluate(hot)
+        assert not point.fits
+        assert any("clock" in v for v in point.violations)
+
+    def test_power_scales_with_array(self):
+        explorer = DesignSpaceExplorer()
+        small = explorer.evaluate(dataclasses.replace(PYNQ_Z2, pe_rows=4, pe_cols=4))
+        large = explorer.evaluate(dataclasses.replace(PYNQ_Z2, pe_rows=16, pe_cols=16))
+        assert large.power_watts > small.power_watts
+        assert large.gops > small.gops
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return DesignSpaceExplorer().sweep(SweepSpec())
+
+    def test_candidate_count(self, points):
+        # 3 square arrays x 3 lane counts x 4 clocks.
+        assert len(points) == 36
+
+    def test_rectangular_arrays_excluded_by_default(self, points):
+        assert all(p.arch.pe_rows == p.arch.pe_cols for p in points)
+
+    def test_rectangular_arrays_optional(self):
+        spec = SweepSpec(pe_rows=(4, 8), pe_cols=(4, 8), bn_lanes=(16,),
+                         clock_mhz=(100,), square_arrays_only=False)
+        points = DesignSpaceExplorer().sweep(spec)
+        assert len(points) == 4
+
+    def test_feasible_only_filter(self):
+        # Include candidates that cannot fit (32x32 PEs, 300 MHz clock).
+        spec = SweepSpec(
+            pe_rows=(8, 32), pe_cols=(8, 32), bn_lanes=(16,),
+            clock_mhz=(100, 300),
+        )
+        explorer = DesignSpaceExplorer()
+        everything = explorer.sweep(spec)
+        feasible = explorer.sweep(spec, feasible_only=True)
+        assert len(feasible) < len(everything)
+        assert all(p.fits for p in feasible)
+
+    def test_paper_point_in_sweep(self, points):
+        labels = {p.label for p in points}
+        assert "8x8PE/16BN@100MHz" in labels
+
+
+class TestParetoFront:
+    @pytest.fixture(scope="class")
+    def explorer(self):
+        return DesignSpaceExplorer()
+
+    @pytest.fixture(scope="class")
+    def points(self, explorer):
+        return explorer.sweep(SweepSpec())
+
+    def test_front_is_nondominated(self, explorer, points):
+        objectives = ("gops", "-luts", "-power_watts")
+        front = explorer.pareto_front(points, objectives=objectives)
+        assert front
+        for p in front:
+            for q in front:
+                if p is q:
+                    continue
+                as_good = (
+                    q.gops >= p.gops
+                    and q.luts <= p.luts
+                    and q.power_watts <= p.power_watts
+                )
+                strictly = (
+                    q.gops > p.gops
+                    or q.luts < p.luts
+                    or q.power_watts < p.power_watts
+                )
+                assert not (as_good and strictly)
+
+    def test_minimised_objectives_create_tradeoff(self, explorer, points):
+        front = explorer.pareto_front(points)
+        assert len(front) >= 3
+        # The frontier spans small-cheap to big-fast designs.
+        assert min(p.luts for p in front) < max(p.luts for p in front)
+        assert min(p.gops for p in front) < max(p.gops for p in front)
+
+    def test_front_members_feasible(self, explorer, points):
+        assert all(p.fits for p in explorer.pareto_front(points))
+
+    def test_best_by_objective(self, explorer, points):
+        best_gops = explorer.best(points, "gops")
+        best_eff = explorer.best(points, "gops_per_watt")
+        assert best_gops.gops >= best_eff.gops
+
+    def test_best_requires_feasible(self, explorer):
+        huge = dataclasses.replace(PYNQ_Z2, pe_rows=64, pe_cols=64)
+        point = explorer.evaluate(huge)
+        with pytest.raises(ValueError):
+            explorer.best([point])
+
+    def test_paper_point_is_reasonable(self, explorer, points):
+        """The shipped 8x8 design should be near (not wildly off) the front."""
+        paper = paper_design_point()
+        front = explorer.pareto_front(points, objectives=("gops", "gops_per_watt"))
+        best_eff_at_paper_gops = max(
+            (p.gops_per_watt for p in front if p.gops <= paper.gops * 2),
+            default=0.0,
+        )
+        assert paper.gops_per_watt > 0.4 * best_eff_at_paper_gops

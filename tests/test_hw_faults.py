@@ -1,0 +1,116 @@
+"""Fault-injection tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticCIFAR
+from repro.hw import SpikingInferenceAccelerator, map_network
+from repro.hw.faults import (
+    flip_threshold_bits,
+    flip_weight_bits,
+    weight_fault_sweep,
+)
+from repro.pipeline import TrainConfig, Trainer, build_quantized_twin
+from repro.snn import convert_to_snn
+
+
+@pytest.fixture(scope="module")
+def mapped_and_data():
+    ds = SyntheticCIFAR(num_train=200, num_test=80, noise=0.6, seed=31)
+    model = build_quantized_twin("vgg11", width=0.125, num_classes=10, levels=2, seed=0)
+    Trainer(model, TrainConfig(epochs=2, lr=1e-3)).fit(ds.train_x, ds.train_y)
+    convert_to_snn(model)
+    return map_network(model, calibration_input=ds.train_x), ds
+
+
+class TestFlipWeightBits:
+    def test_zero_rate_is_identity(self, mapped_and_data):
+        mapped, _ = mapped_and_data
+        faulty, flips = flip_weight_bits(mapped, 0.0, np.random.default_rng(0))
+        assert flips == 0
+        for a, b in zip(mapped.layers, faulty.layers):
+            assert np.array_equal(a.weights_int, b.weights_int)
+
+    def test_original_untouched(self, mapped_and_data):
+        mapped, _ = mapped_and_data
+        before = mapped.layers[1].weights_int.copy()
+        flip_weight_bits(mapped, 0.2, np.random.default_rng(1))
+        assert np.array_equal(mapped.layers[1].weights_int, before)
+
+    def test_flip_count_scales_with_rate(self, mapped_and_data):
+        mapped, _ = mapped_and_data
+        _, few = flip_weight_bits(mapped, 0.001, np.random.default_rng(2))
+        _, many = flip_weight_bits(mapped, 0.05, np.random.default_rng(2))
+        assert many > few > 0
+
+    def test_weights_stay_in_range(self, mapped_and_data):
+        mapped, _ = mapped_and_data
+        faulty, _ = flip_weight_bits(mapped, 0.3, np.random.default_rng(3))
+        for layer in faulty.layers:
+            assert layer.weights_int.min() >= -128
+            assert layer.weights_int.max() <= 127
+
+    def test_invalid_rate(self, mapped_and_data):
+        mapped, _ = mapped_and_data
+        with pytest.raises(ValueError):
+            flip_weight_bits(mapped, 1.5, np.random.default_rng(0))
+
+    def test_faulty_network_still_runs(self, mapped_and_data):
+        mapped, ds = mapped_and_data
+        faulty, _ = flip_weight_bits(mapped, 0.01, np.random.default_rng(4))
+        logits, _ = SpikingInferenceAccelerator(faulty).run(ds.test_x[:4], timesteps=4)
+        assert logits.shape == (4, 10)
+
+
+class TestFlipThresholdBits:
+    def test_targeted_flip(self, mapped_and_data):
+        mapped, _ = mapped_and_data
+        original = mapped.layers[1].config.threshold_int
+        faulty = flip_threshold_bits(mapped, layer_index=1, bit=3)
+        assert faulty.layers[1].config.threshold_int == original ^ 8
+        assert mapped.layers[1].config.threshold_int == original
+
+    def test_threshold_stays_positive(self, mapped_and_data):
+        mapped, _ = mapped_and_data
+        # threshold_int = 1024 = bit 10; flipping it would zero the register.
+        faulty = flip_threshold_bits(mapped, layer_index=1, bit=10)
+        assert faulty.layers[1].config.threshold_int >= 1
+
+    def test_bit_range_checked(self, mapped_and_data):
+        mapped, _ = mapped_and_data
+        with pytest.raises(ValueError):
+            flip_threshold_bits(mapped, 0, bit=16)
+
+    def test_high_bit_flip_degrades_more(self, mapped_and_data):
+        mapped, ds = mapped_and_data
+        base_acc = SpikingInferenceAccelerator(mapped).accuracy(
+            ds.test_x, ds.test_y, timesteps=4
+        )
+        # Flipping bit 14 makes the threshold enormous (layer goes silent).
+        big = flip_threshold_bits(mapped, layer_index=1, bit=14)
+        big_acc = SpikingInferenceAccelerator(big).accuracy(
+            ds.test_x, ds.test_y, timesteps=4
+        )
+        assert big_acc <= base_acc
+
+
+class TestWeightFaultSweep:
+    def test_sweep_monotone_tendency(self, mapped_and_data):
+        mapped, ds = mapped_and_data
+        reports = weight_fault_sweep(
+            mapped, ds.test_x, ds.test_y,
+            bit_error_rates=[0.0, 0.05], timesteps=4, seed=0,
+        )
+        assert len(reports) == 2
+        assert reports[0].accuracy_drop == pytest.approx(0.0, abs=1e-9)
+        # 5% BER mangles INT8 weights badly; accuracy must suffer.
+        assert reports[1].faulty_accuracy <= reports[0].faulty_accuracy
+        assert reports[1].flipped_bits > 0
+
+    def test_baseline_shared(self, mapped_and_data):
+        mapped, ds = mapped_and_data
+        reports = weight_fault_sweep(
+            mapped, ds.test_x[:40], ds.test_y[:40],
+            bit_error_rates=[0.001, 0.01], timesteps=4,
+        )
+        assert reports[0].baseline_accuracy == reports[1].baseline_accuracy

@@ -1,0 +1,78 @@
+"""Fixed-point arithmetic tests."""
+
+import numpy as np
+import pytest
+
+from repro.hw.fixed import (
+    fixed_mul,
+    fixed_to_float,
+    int_limits,
+    quantize_to_fixed,
+    sat_add,
+    saturate,
+)
+
+
+class TestLimitsAndSaturate:
+    def test_limits_int8(self):
+        assert int_limits(8) == (-128, 127)
+
+    def test_limits_int16(self):
+        assert int_limits(16) == (-32768, 32767)
+
+    def test_limits_reject_tiny(self):
+        with pytest.raises(ValueError):
+            int_limits(1)
+
+    def test_saturate_clamps_both_sides(self):
+        x = np.array([-1000, -128, 0, 127, 1000])
+        out = saturate(x, 8)
+        assert out.tolist() == [-128, -128, 0, 127, 127]
+
+    def test_saturate_idempotent(self):
+        x = np.array([-200, 300])
+        assert np.array_equal(saturate(saturate(x, 8), 8), saturate(x, 8))
+
+    def test_sat_add_overflow(self):
+        a = np.array([30000], np.int64)
+        b = np.array([10000], np.int64)
+        assert sat_add(a, b, 16).tolist() == [32767]
+
+    def test_sat_add_underflow(self):
+        assert sat_add(np.array([-30000]), np.array([-10000]), 16).tolist() == [-32768]
+
+
+class TestQuantizeToFixed:
+    def test_roundtrip_error(self):
+        values = np.linspace(-3, 3, 101)
+        fixed = quantize_to_fixed(values, frac_bits=8, bits=16)
+        back = fixed_to_float(fixed, 8)
+        assert np.abs(back - values).max() <= 0.5 / 256 + 1e-12
+
+    def test_saturates(self):
+        fixed = quantize_to_fixed(np.array([1e6]), frac_bits=8, bits=16)
+        assert fixed[0] == 32767
+
+    def test_rounds_to_nearest(self):
+        fixed = quantize_to_fixed(np.array([0.0059]), frac_bits=8, bits=16)
+        assert fixed[0] == 2  # 0.0059*256 = 1.51 -> 2
+
+
+class TestFixedMul:
+    def test_matches_float_multiply(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(-1000, 1000, size=100)
+        coeff_real = rng.uniform(-2, 2, size=100)
+        coeff = quantize_to_fixed(coeff_real, 8, 16)
+        out = fixed_mul(a, coeff, 8, 32)
+        ref = a * fixed_to_float(coeff, 8)
+        assert np.abs(out - ref).max() <= 0.51
+
+    def test_rounding_half_up(self):
+        # (1 * 128) >> 8 with the +half rounding = 1 (0.5 rounds up).
+        out = fixed_mul(np.array([1]), np.array([128]), 8, 16)
+        assert out[0] == 1
+
+    def test_saturates_output(self):
+        out = fixed_mul(np.array([32767]), np.array([32767]), 8, 16)
+        assert out[0] == 32767

@@ -1,0 +1,135 @@
+"""Configuration-register ABI tests (encode/decode round-trips)."""
+
+import pytest
+
+from repro.hw.config import LayerConfig, LayerKind
+from repro.hw.isa import (
+    EncodingError,
+    MAX_CHANNELS,
+    MAX_THRESHOLD,
+    REG_FLAGS,
+    REG_THRESHOLD,
+    RegisterWrite,
+    decode_layer,
+    encode_layer,
+    encode_network,
+)
+
+
+def make_config(**kw):
+    defaults = dict(
+        kind=LayerKind.CONV, in_channels=64, out_channels=128,
+        in_height=32, in_width=32, kernel_size=3, stride=2, padding=1,
+        threshold_int=1024, lif_mode=False, leak_shift=4,
+    )
+    defaults.update(kw)
+    return LayerConfig(**defaults)
+
+
+class TestRoundTrip:
+    def test_conv_roundtrip(self):
+        cfg = make_config()
+        decoded = decode_layer(encode_layer(cfg, timesteps=8))
+        assert decoded.kind is LayerKind.CONV
+        assert decoded.in_channels == 64
+        assert decoded.out_channels == 128
+        assert decoded.in_height == decoded.in_width == 32
+        assert decoded.kernel_size == 3
+        assert decoded.stride == 2
+        assert decoded.padding == 1
+        assert decoded.threshold_int == 1024
+        assert decoded.timesteps == 8
+        assert not decoded.lif_mode
+
+    def test_fc_roundtrip(self):
+        cfg = LayerConfig(
+            kind=LayerKind.FC, in_channels=512, out_channels=10,
+            in_height=1, in_width=1, kernel_size=1,
+        )
+        decoded = decode_layer(encode_layer(cfg))
+        assert decoded.kind is LayerKind.FC
+        assert decoded.in_channels == 512
+        assert decoded.out_channels == 10
+
+    def test_lif_and_leak(self):
+        cfg = make_config(lif_mode=True, leak_shift=5)
+        decoded = decode_layer(encode_layer(cfg))
+        assert decoded.lif_mode
+        assert decoded.leak_shift == 5
+
+    def test_flags(self):
+        cfg = make_config(has_residual=True)
+        decoded = decode_layer(encode_layer(cfg, frame_input=True))
+        assert decoded.has_residual
+        assert decoded.frame_input
+
+    def test_output_geometry_consistent(self):
+        cfg = make_config()
+        decoded = decode_layer(encode_layer(cfg))
+        assert decoded.out_height == cfg.out_height
+        assert decoded.out_width == cfg.out_width
+
+    def test_extreme_values(self):
+        cfg = make_config(
+            in_channels=MAX_CHANNELS, out_channels=MAX_CHANNELS,
+            threshold_int=MAX_THRESHOLD,
+        )
+        decoded = decode_layer(encode_layer(cfg))
+        assert decoded.in_channels == MAX_CHANNELS
+        assert decoded.threshold_int == MAX_THRESHOLD
+
+
+class TestValidation:
+    def test_oversized_field_rejected(self):
+        cfg = make_config(in_channels=MAX_CHANNELS + 1)
+        with pytest.raises(EncodingError):
+            encode_layer(cfg)
+
+    def test_oversized_timesteps(self):
+        with pytest.raises(EncodingError):
+            encode_layer(make_config(), timesteps=300)
+
+    def test_register_value_width(self):
+        with pytest.raises(EncodingError):
+            RegisterWrite(0, 1 << 32)
+
+    def test_missing_register_rejected(self):
+        writes = encode_layer(make_config())
+        partial = [w for w in writes if w.address != REG_THRESHOLD]
+        with pytest.raises(EncodingError):
+            decode_layer(partial)
+
+    def test_unknown_kind_code(self):
+        writes = encode_layer(make_config())
+        bad = [
+            RegisterWrite(w.address, 3) if w.address == 0x01 else w for w in writes
+        ]
+        with pytest.raises(EncodingError):
+            decode_layer(bad)
+
+
+class TestNetworkEncoding:
+    def test_mapped_network_encodes(self):
+        from repro.eval import build_geometry_network
+
+        mapped = build_geometry_network("vgg11", width=0.25)
+        configs = [l.config for l in mapped.layers]
+        programmes = encode_network(configs, timesteps=8)
+        assert len(programmes) == len(configs)
+        # First layer carries the frame-input flag.
+        first_writes = dict((w.address, w.value) for w in programmes[0][1])
+        assert first_writes[REG_FLAGS] & 0x2
+        later_writes = dict((w.address, w.value) for w in programmes[1][1])
+        assert not (later_writes[REG_FLAGS] & 0x2)
+
+    def test_full_width_resnet_fits_fields(self):
+        from repro.eval import build_geometry_network
+
+        mapped = build_geometry_network("resnet18", width=1.0)
+        for layer in mapped.layers[:-1]:
+            decode_layer(encode_layer(layer.config))
+        # The pool-expanded FC fan-in (8192) exceeds the 12-bit channel
+        # field — the driver streams FC weights instead, so encoding it
+        # must fail loudly rather than wrap silently.
+        with pytest.raises(EncodingError):
+            encode_layer(mapped.layers[-1].config)

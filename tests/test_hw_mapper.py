@@ -1,0 +1,200 @@
+"""Mapper tests: geometry, pool folding, BN folding, residuals."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import SyntheticCIFAR
+from repro.hw.config import LayerKind, PYNQ_Z2
+from repro.hw.mapper import (
+    _expand_pool_into_conv,
+    _expand_pool_into_fc,
+    map_network,
+)
+from repro.pipeline import build_quantized_twin, transfer_weights
+from repro.snn import convert_to_snn
+
+
+@pytest.fixture(scope="module")
+def converted_vgg():
+    model = build_quantized_twin("vgg11", width=0.125, num_classes=10, levels=2, seed=0)
+    convert_to_snn(model)
+    return model
+
+
+@pytest.fixture(scope="module")
+def converted_resnet():
+    model = build_quantized_twin("resnet18", width=0.125, num_classes=10, levels=2, seed=0)
+    convert_to_snn(model)
+    return model
+
+
+class TestPoolExpansion:
+    def test_conv_expansion_shape(self):
+        w = np.arange(2 * 3 * 3 * 3).reshape(2, 3, 3, 3)
+        out = _expand_pool_into_conv(w, 2)
+        assert out.shape == (2, 3, 6, 6)
+        # Each tap replicated over its 2x2 window.
+        assert np.array_equal(out[0, 0, :2, :2], np.full((2, 2), w[0, 0, 0, 0]))
+
+    def test_conv_expansion_is_exact(self):
+        """conv(avgpool(x), w) == conv(x, expand(w), stride*2) / 4."""
+        from repro.tensor import Tensor
+        from repro.tensor.functional import avg_pool2d, conv2d
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 3, 8, 8)).astype(np.float32)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        pooled = avg_pool2d(Tensor(x), 2)
+        ref = conv2d(pooled, Tensor(w), stride=1, padding=1).data
+        expanded = _expand_pool_into_conv(w, 2).astype(np.float32)
+        fused = conv2d(Tensor(x), Tensor(expanded), stride=2, padding=2).data / 4.0
+        assert np.allclose(fused, ref, atol=1e-4)
+
+    def test_fc_expansion_shape_and_order(self):
+        w = np.arange(10 * 4).reshape(10, 4)
+        out = _expand_pool_into_fc(w, channels=4, height=2, width=2)
+        assert out.shape == (10, 16)
+        # channel-major layout: each channel weight repeated 4x.
+        assert np.array_equal(out[0, :4], np.full(4, w[0, 0]))
+
+
+class TestVggMapping:
+    def test_layer_count(self, converted_vgg):
+        mapped = map_network(converted_vgg)
+        assert len(mapped.layers) == 9  # 8 convs + classifier
+        assert mapped.num_spiking_layers == 8
+
+    def test_pool_folded_kernels(self, converted_vgg):
+        mapped = map_network(converted_vgg)
+        kernels = [l.config.kernel_size for l in mapped.layers[:-1]]
+        strides = [l.config.stride for l in mapped.layers[:-1]]
+        assert kernels == [3, 6, 6, 3, 6, 3, 6, 3]
+        assert strides == [1, 2, 2, 1, 2, 1, 2, 1]
+
+    def test_logical_kernel_recorded(self, converted_vgg):
+        mapped = map_network(converted_vgg)
+        assert all(l.config.logical_kernel == 3 for l in mapped.layers[:-1])
+
+    def test_first_layer_is_frame_input(self, converted_vgg):
+        mapped = map_network(converted_vgg)
+        assert mapped.layers[0].frame_input
+        assert not mapped.layers[1].frame_input
+
+    def test_classifier_not_spiking(self, converted_vgg):
+        mapped = map_network(converted_vgg)
+        fc = mapped.layers[-1]
+        assert not fc.spiking
+        assert fc.config.kind is LayerKind.FC
+        assert fc.output_scale > 0
+        assert fc.config.logical_in_features == converted_vgg.fc.in_features
+
+    def test_thresholds_constant_in_fixed_point(self, converted_vgg):
+        mapped = map_network(converted_vgg)
+        for layer in mapped.layers[:-1]:
+            assert layer.config.threshold_int == 1 << PYNQ_Z2.membrane_frac_bits
+
+    def test_weights_are_int8(self, converted_vgg):
+        mapped = map_network(converted_vgg)
+        for layer in mapped.layers:
+            assert layer.weights_int.min() >= -128
+            assert layer.weights_int.max() <= 127
+
+    def test_bn_coefficients_present(self, converted_vgg):
+        mapped = map_network(converted_vgg)
+        for layer in mapped.layers[:-1]:
+            assert layer.config.g_int is not None
+            assert layer.config.g_int.shape == (layer.config.out_channels,)
+
+    def test_max_pool_model_rejected(self):
+        model = build_quantized_twin("vgg11", width=0.125, num_classes=10, levels=2)
+        # Rebuild with max pooling.
+        from repro.models import vgg11
+
+        maxed = vgg11(
+            width=0.125,
+            activation=lambda: nn.QuantReLU(levels=2),
+            quantize=True,
+            pool="max",
+        )
+        convert_to_snn(maxed)
+        with pytest.raises(ValueError):
+            map_network(maxed)
+
+    def test_unconverted_model_rejected(self):
+        model = build_quantized_twin("vgg11", width=0.125, num_classes=10, levels=2)
+        with pytest.raises(ValueError):
+            map_network(model)
+
+    def test_input_scale_from_calibration(self, converted_vgg):
+        x = np.full((4, 3, 32, 32), 2.54, np.float32)
+        mapped = map_network(converted_vgg, calibration_input=x)
+        assert mapped.input_scale == pytest.approx(2.54 / 127.0)
+
+
+class TestResnetMapping:
+    def test_layer_count(self, converted_resnet):
+        mapped = map_network(converted_resnet)
+        assert len(mapped.layers) == 18  # stem + 16 block convs + fc
+
+    def test_residual_wiring(self, converted_resnet):
+        mapped = map_network(converted_resnet)
+        conv2_layers = [l for l in mapped.layers if l.name.endswith(".conv2")]
+        assert len(conv2_layers) == 8
+        assert all(l.residual_input_index is not None for l in conv2_layers)
+        # Stage-first blocks use projection, others identity.
+        identities = [l for l in conv2_layers if l.residual_identity_int is not None]
+        projections = [l for l in conv2_layers if l.residual_projection is not None]
+        assert len(projections) == 3
+        assert len(identities) == 5
+
+    def test_projection_geometry(self, converted_resnet):
+        mapped = map_network(converted_resnet)
+        proj_layers = [
+            l for l in mapped.layers if l.residual_projection is not None
+        ]
+        for layer in proj_layers:
+            proj = layer.residual_projection
+            assert proj.weights_int.shape[2:] == (1, 1)
+            assert proj.stride == 2
+
+    def test_global_pool_folded_into_fc(self, converted_resnet):
+        mapped = map_network(converted_resnet)
+        fc = mapped.layers[-1]
+        # width 0.125 -> 64 channels at 4x4 -> 1024 expanded inputs.
+        assert fc.config.in_channels == 64 * 16
+        assert fc.config.logical_in_features == 64
+
+    def test_describe_renders(self, converted_resnet):
+        mapped = map_network(converted_resnet)
+        text = mapped.describe()
+        assert "resnet" in text
+        assert "b1.conv1" in text
+
+    def test_unsupported_topology(self):
+        model = nn.Sequential(nn.Conv2d(1, 1, 3))
+        with pytest.raises(TypeError):
+            map_network(model)
+
+
+class TestTiling:
+    def test_full_width_needs_tiles(self):
+        model = build_quantized_twin(
+            "resnet18", width=1.0, num_classes=10, levels=2, seed=0
+        )
+        convert_to_snn(model)
+        mapped = map_network(model)
+        stem = mapped.layers[0]
+        # 64ch x 32x32 = 65536 neurons -> 4 tiles of <=16384.
+        assert stem.config.out_neurons == 65536
+        assert stem.spatial_tiles == 4
+        late = mapped.layers[-2]
+        assert late.spatial_tiles == 1
+
+    def test_weight_bytes_accounting(self):
+        model = build_quantized_twin(
+            "vgg11", width=0.25, num_classes=10, levels=2, seed=0
+        )
+        convert_to_snn(model)
+        mapped = map_network(model)
+        assert mapped.total_weight_bytes() > 0

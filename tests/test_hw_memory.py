@@ -1,0 +1,115 @@
+"""Memory-system tests: capacity enforcement, ping-pong protocol."""
+
+import numpy as np
+import pytest
+
+from repro.hw.config import PYNQ_Z2
+from repro.hw.memory import BramBank, MemoryError_, MemoryMap, PingPongBuffer
+
+
+class TestBramBank:
+    def test_write_read_roundtrip(self):
+        bank = BramBank("test", 1024)
+        data = np.arange(10, dtype=np.int16)
+        bank.write("a", data)
+        assert np.array_equal(bank.read("a"), data)
+
+    def test_capacity_enforced(self):
+        bank = BramBank("test", 16)
+        with pytest.raises(MemoryError_):
+            bank.write("big", np.zeros(32, np.uint8))
+
+    def test_overwrite_frees_old_allocation(self):
+        bank = BramBank("test", 16)
+        bank.write("a", np.zeros(16, np.uint8))
+        bank.write("a", np.zeros(16, np.uint8))  # replace, not add
+
+    def test_missing_key(self):
+        with pytest.raises(MemoryError_):
+            BramBank("test", 16).read("nope")
+
+    def test_traffic_counters(self):
+        bank = BramBank("test", 64)
+        bank.write("a", np.zeros(8, np.uint8))
+        bank.read("a")
+        assert bank.bytes_written == 8
+        assert bank.bytes_read == 8
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BramBank("x", 0)
+
+
+class TestPingPongBuffer:
+    def test_roles_toggle(self):
+        pp = PingPongBuffer(1024)
+        first_read = pp.read_bank
+        pp.toggle()
+        assert pp.read_bank is not first_read
+        assert pp.write_bank is first_read
+
+    def test_membrane_roundtrip_across_timesteps(self):
+        pp = PingPongBuffer(1024)
+        v0 = np.array([1, 2, 3], np.int16)
+        pp.preload("L0", v0)
+        got = pp.read_membrane("L0")
+        assert np.array_equal(got, v0)
+        pp.write_membrane("L0", got + 10)
+        pp.toggle()
+        assert np.array_equal(pp.read_membrane("L0"), v0 + 10)
+
+    def test_read_after_write_hazard_raises(self):
+        pp = PingPongBuffer(1024)
+        pp.preload("L0", np.zeros(2, np.int16))
+        pp.write_membrane("L0", np.ones(2, np.int16))
+        with pytest.raises(MemoryError_):
+            pp.read_membrane("L0")
+
+    def test_half_capacity(self):
+        pp = PingPongBuffer(64)  # halves of 32 bytes
+        pp.preload("a", np.zeros(16, np.int16))  # exactly 32 B
+        with pytest.raises(MemoryError_):
+            pp.write_membrane("b", np.zeros(17, np.int16))
+
+    def test_reset(self):
+        pp = PingPongBuffer(1024)
+        pp.preload("a", np.zeros(4, np.int16))
+        pp.toggle()
+        pp.reset()
+        with pytest.raises(MemoryError_):
+            pp.read_membrane("a")
+
+
+class TestMemoryMap:
+    def test_paper_capacities(self):
+        mm = MemoryMap()
+        assert mm.spike_in.capacity_bytes == 128
+        assert mm.residual.capacity_bytes == 128 * 1024
+        assert mm.weights.capacity_bytes == 8 * 1024
+        assert mm.output.capacity_bytes == 56 * 1024
+        assert mm.membrane.banks[0].capacity_bytes == 32 * 1024
+
+    def test_total_bytes(self):
+        mm = MemoryMap()
+        expected = 128 + 128 * 1024 + 64 * 1024 + 8 * 1024 + 56 * 1024
+        assert mm.total_bytes() == expected
+
+    def test_weight_memory_holds_64_small_kernels(self):
+        # The paper: 8 kB weight memory stores up to 64 kernels.
+        mm = MemoryMap()
+        kernels = np.zeros((64, 14, 3, 3), np.int8)  # 64 kernels, 14 ch deep
+        mm.weights.write("kernels", kernels)
+
+    def test_max_tile_neurons(self):
+        # One ping-pong half (32 kB) holds 16384 16-bit membranes.
+        assert PYNQ_Z2.max_tile_neurons == 16384
+
+    def test_reset_clears_all(self):
+        mm = MemoryMap()
+        mm.weights.write("a", np.zeros(8, np.int8))
+        mm.reset()
+        with pytest.raises(MemoryError_):
+            mm.weights.read("a")
+
+    def test_bram_block_estimate_positive(self):
+        assert MemoryMap().bram_blocks() > 50

@@ -1,0 +1,111 @@
+"""Bit-true processing-element tests."""
+
+import numpy as np
+import pytest
+
+from repro.hw.config import PYNQ_Z2, ArchConfig
+from repro.hw.pe import ProcessingElement
+
+
+class TestAccumulateRow:
+    def test_spike_selects_weight(self):
+        pe = ProcessingElement()
+        cycles = pe.accumulate_row([1, 0, 1], [10, 20, 30])
+        assert cycles == 1
+        assert pe.psum == 40
+
+    def test_no_spike_is_zero_cycles_event_driven(self):
+        pe = ProcessingElement(event_driven=True)
+        cycles = pe.accumulate_row([0, 0, 0], [10, 20, 30])
+        assert cycles == 0
+        assert pe.psum == 0
+        assert pe.stats.skipped_rows == 1
+
+    def test_dense_mode_always_costs_cycle(self):
+        pe = ProcessingElement(event_driven=False)
+        assert pe.accumulate_row([0, 0, 0], [1, 2, 3]) == 1
+
+    def test_negative_weights(self):
+        pe = ProcessingElement()
+        pe.accumulate_row([1, 1, 0], [-5, 3, 100])
+        assert pe.psum == -2
+
+    def test_psum_saturates_at_16_bits(self):
+        pe = ProcessingElement()
+        for _ in range(400):
+            pe.accumulate_row([1, 1, 1], [127, 127, 127])
+        assert pe.psum == 32767
+
+    def test_rejects_wide_rows(self):
+        pe = ProcessingElement()
+        with pytest.raises(ValueError):
+            pe.accumulate_row([1, 1, 1, 1], [1, 2, 3, 4])
+
+    def test_rejects_non_binary_spikes(self):
+        pe = ProcessingElement()
+        with pytest.raises(ValueError):
+            pe.accumulate_row([2, 0, 0], [1, 2, 3])
+
+    def test_rejects_oversized_weights(self):
+        pe = ProcessingElement()
+        with pytest.raises(ValueError):
+            pe.accumulate_row([1, 0, 0], [200, 0, 0])
+
+    def test_synaptic_ops_counted(self):
+        pe = ProcessingElement()
+        pe.accumulate_row([1, 1, 0], [1, 1, 1])
+        assert pe.stats.synaptic_ops == 2
+
+
+class TestComputeKernel:
+    def test_3x3_takes_4_cycles(self):
+        # The paper's schedule: one cycle per row + one finalize cycle.
+        pe = ProcessingElement()
+        spikes = np.ones((3, 3), np.int64)
+        weights = np.ones((3, 3), np.int64)
+        psum, cycles = pe.compute_kernel(spikes, weights)
+        assert cycles == 4
+        assert psum == 9
+
+    @pytest.mark.parametrize("k,expected", [(3, 4), (5, 11), (7, 22), (11, 45)])
+    def test_kernel_cycles_match_arch_formula(self, k, expected):
+        pe = ProcessingElement()
+        spikes = np.ones((k, k), np.int64)
+        weights = np.ones((k, k), np.int64)
+        _, cycles = pe.compute_kernel(spikes, weights)
+        assert cycles == expected == PYNQ_Z2.kernel_cycles(k)
+
+    def test_event_driven_skips_silent_rows(self):
+        pe = ProcessingElement(event_driven=True)
+        spikes = np.zeros((3, 3), np.int64)
+        spikes[1, 1] = 1
+        _, cycles = pe.compute_kernel(spikes, np.ones((3, 3), np.int64))
+        assert cycles == 2  # one active row + finalize
+
+    def test_psum_accumulates_across_kernels(self):
+        # Multi-input-channel accumulation chains on the same psum.
+        pe = ProcessingElement()
+        spikes = np.ones((3, 3), np.int64)
+        weights = np.full((3, 3), 2, np.int64)
+        pe.compute_kernel(spikes, weights)
+        psum, _ = pe.compute_kernel(spikes, weights)
+        assert psum == 36
+
+    def test_reset(self):
+        pe = ProcessingElement()
+        pe.compute_kernel(np.ones((3, 3), np.int64), np.ones((3, 3), np.int64))
+        pe.reset()
+        assert pe.psum == 0
+
+    def test_shape_mismatch(self):
+        pe = ProcessingElement()
+        with pytest.raises(ValueError):
+            pe.compute_kernel(np.ones((3, 3)), np.ones((3, 2)))
+
+    def test_matches_dot_product(self):
+        rng = np.random.default_rng(0)
+        spikes = (rng.random((5, 5)) < 0.4).astype(np.int64)
+        weights = rng.integers(-128, 128, size=(5, 5))
+        pe = ProcessingElement()
+        psum, _ = pe.compute_kernel(spikes, weights)
+        assert psum == int((spikes * weights).sum())

@@ -1,0 +1,70 @@
+"""Power model and 40 nm ASIC projection tests."""
+
+import pytest
+
+from repro.hw.asic import AsicProjection
+from repro.hw.config import ArchConfig, PYNQ_Z2
+from repro.hw.power import PowerModel
+
+
+class TestPowerModel:
+    def test_full_activity_matches_paper(self):
+        # Calibrated: 1.54 W total board power at full activity.
+        assert PowerModel().total_watts(activity=1.0) == pytest.approx(1.54, abs=0.01)
+
+    def test_activity_reduces_dynamic_power(self):
+        pm = PowerModel()
+        assert pm.total_watts(0.1) < pm.total_watts(0.9)
+
+    def test_ps_dominates(self):
+        pm = PowerModel()
+        assert pm.constants.ps_watts > pm.pl_watts(1.0)
+
+    def test_activity_bounds(self):
+        with pytest.raises(ValueError):
+            PowerModel().total_watts(activity=1.5)
+
+    def test_energy_per_inference(self):
+        pm = PowerModel()
+        joules = pm.energy_per_inference_joules(latency_seconds=0.01, activity=0.3)
+        assert joules == pytest.approx(pm.total_watts(0.3) * 0.01)
+
+    def test_clock_scaling(self):
+        pm = PowerModel()
+        fast = pm.total_watts(1.0, clock_hz=200e6)
+        slow = pm.total_watts(1.0, clock_hz=100e6)
+        assert fast > slow
+
+
+class TestAsicProjection:
+    def test_paper_numbers(self):
+        report = AsicProjection().report()
+        assert report.gops == pytest.approx(192.0)
+        assert report.area_mm2 == pytest.approx(11.0, abs=0.3)
+        assert report.power_watts == pytest.approx(2.17, abs=0.05)
+
+    def test_gops_is_pure_arithmetic(self):
+        # 64 PE x 6 ops x 500 MHz.
+        report = AsicProjection(clock_hz=500e6).report()
+        assert report.gops == 64 * 6 * 0.5
+
+    def test_derived_metrics(self):
+        report = AsicProjection().report()
+        assert report.gops_per_watt == pytest.approx(192 / 2.169, rel=0.02)
+        assert report.gops_per_mm2 > 0
+
+    def test_clock_scales_throughput_and_power(self):
+        slow = AsicProjection(clock_hz=250e6).report()
+        fast = AsicProjection(clock_hz=500e6).report()
+        assert fast.gops == pytest.approx(2 * slow.gops)
+        assert fast.power_watts > slow.power_watts
+
+    def test_activity_scales_power(self):
+        proj = AsicProjection()
+        assert proj.report(activity=0.2).power_watts < proj.report(activity=1.0).power_watts
+        with pytest.raises(ValueError):
+            proj.report(activity=2.0)
+
+    def test_bigger_array_bigger_area(self):
+        big = AsicProjection(ArchConfig(pe_rows=16, pe_cols=16))
+        assert big.report().area_mm2 > AsicProjection().report().area_mm2

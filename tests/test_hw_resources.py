@@ -1,0 +1,104 @@
+"""Resource/throughput model tests against Tables III and IV."""
+
+import pytest
+
+from repro.eval import table3_experiment, table4_experiment
+from repro.hw.config import ArchConfig, PYNQ_Z2
+from repro.hw.resources import PYNQ_Z2_AVAILABLE, ResourceModel, ThroughputModel
+
+
+# Paper Table III.
+PAPER_TABLE3 = {
+    "LUT": (11932, 22.43),
+    "FF": (8157, 7.67),        # note: the paper prints DSP's pct here too
+    "DSP": (17, 7.73),
+    "BRAM": (95, 67.86),
+    "LUTRAM": (158, 0.90),
+    "BUFG": (1, 3.13),
+}
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r["parameter"]: r for r in table3_experiment()}
+
+    def test_exact_utilized_counts(self, rows):
+        for key, (utilized, _) in PAPER_TABLE3.items():
+            assert rows[key]["utilized"] == utilized, key
+
+    def test_available_matches_device(self, rows):
+        for key in PAPER_TABLE3:
+            assert rows[key]["available"] == PYNQ_Z2_AVAILABLE[key]
+
+    def test_percentages(self, rows):
+        assert rows["LUT"]["percentage"] == pytest.approx(22.43, abs=0.02)
+        assert rows["BRAM"]["percentage"] == pytest.approx(67.86, abs=0.02)
+
+    def test_dsp_structure(self):
+        # 16 BN multiplier lanes + 1 misc = 17 (the DSP-frugality claim).
+        model = ResourceModel()
+        assert model.dsp_count() == 17
+
+    def test_render(self):
+        text = ResourceModel().report().render()
+        assert "LUT" in text and "BRAM" in text
+
+
+class TestScalingBehaviour:
+    def test_more_pes_more_luts(self):
+        big = ArchConfig(pe_rows=16, pe_cols=16)
+        small = ArchConfig(pe_rows=4, pe_cols=4)
+        assert (
+            ResourceModel(big).report().used["LUT"]
+            > ResourceModel(small).report().used["LUT"]
+        )
+
+    def test_memory_drives_bram(self):
+        bigger_mem = ArchConfig(output_bytes=112 * 1024)
+        assert ResourceModel(bigger_mem).bram_blocks() > ResourceModel().bram_blocks()
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table4_experiment()
+
+    def test_this_work_column(self, result):
+        ours = [r for r in result["rows"] if r["paper"] == "This Work"][0]
+        assert ours["gops"] == pytest.approx(38.4)
+        assert ours["gops_per_pe"] == pytest.approx(0.6)
+        assert ours["gops_per_watt"] == pytest.approx(24.93, abs=0.05)
+        assert ours["dsp"] == 17
+        assert ours["gops_per_dsp"] == pytest.approx(2.25, abs=0.02)
+
+    def test_prior_art_present(self, result):
+        assert len(result["rows"]) == 6
+
+    def test_pe_efficiency_headline(self, result):
+        # Paper: ~2x higher GOPS/PE than the best prior art.
+        assert 1.5 < result["pe_efficiency_gain"] < 2.5
+
+    def test_dsp_efficiency_headline(self, result):
+        # Paper: ~4.5x higher GOPS/DSP.
+        assert 4.0 < result["dsp_efficiency_gain"] < 5.5
+
+    def test_energy_efficiency_is_best(self, result):
+        assert result["energy_efficiency_gain"] > 1.0
+
+
+class TestThroughputModel:
+    def test_peak_arithmetic(self):
+        # 64 PEs x 6 ops x 100 MHz = 38.4 GOPS.
+        assert PYNQ_Z2.peak_gops == pytest.approx(38.4)
+        assert PYNQ_Z2.ops_per_pe_per_cycle == 6
+
+    def test_effective_gops(self):
+        tm = ThroughputModel()
+        assert tm.effective_gops(0.5) == pytest.approx(19.2)
+        with pytest.raises(ValueError):
+            tm.effective_gops(1.5)
+
+    def test_report_name_passthrough(self):
+        report = ThroughputModel().report(name="X", platform="Y")
+        assert report.name == "X" and report.platform == "Y"

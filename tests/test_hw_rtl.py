@@ -1,0 +1,146 @@
+"""RTL-generator tests: structural properties of the emitted Verilog."""
+
+import re
+
+import pytest
+
+from repro.hw.config import ArchConfig, PYNQ_Z2
+from repro.hw.rtl import (
+    generate_activation_unit,
+    generate_all,
+    generate_bn_lane,
+    generate_membrane_pingpong,
+    generate_pe,
+    generate_pe_array,
+    write_rtl,
+)
+
+
+def balanced(text: str, open_kw: str, close_kw: str) -> bool:
+    return len(re.findall(rf"\b{open_kw}\b", text)) == len(
+        re.findall(rf"\b{close_kw}\b", text)
+    )
+
+
+class TestProcessingElementRtl:
+    def test_module_declared(self):
+        text = generate_pe()
+        assert "module processing_element" in text
+        assert text.count("endmodule") == 1
+
+    def test_mux_count_matches_arch(self):
+        text = generate_pe()
+        # One conditional weight tap per mux.
+        assert len(re.findall(r"tap\d+ = spike", text)) == PYNQ_Z2.muxes_per_pe
+
+    def test_weight_ports_are_8bit(self):
+        text = generate_pe()
+        assert f"[{PYNQ_Z2.adder_bits - 1}:0] weight0" in text
+
+    def test_psum_width_parameter(self):
+        text = generate_pe()
+        assert f"parameter PSUM_W = {PYNQ_Z2.psum_bits}" in text
+
+    def test_event_gating_present(self):
+        text = generate_pe()
+        assert "row_valid" in text  # silent rows skip the update
+
+    def test_custom_arch_propagates(self):
+        arch = ArchConfig(muxes_per_pe=5, adder_bits=6, psum_bits=20)
+        text = generate_pe(arch)
+        assert len(re.findall(r"tap\d+ = spike", text)) == 5
+        assert "[5:0] weight0" in text
+        assert "parameter PSUM_W = 20" in text
+
+    def test_begin_end_balanced(self):
+        assert balanced(generate_pe(), "begin", "end")
+
+
+class TestPeArrayRtl:
+    def test_generate_loop_covers_all_pes(self):
+        text = generate_pe_array()
+        assert f"gi < {PYNQ_Z2.num_pes}" in text
+
+    def test_flat_bus_widths(self):
+        text = generate_pe_array()
+        weights_bits = PYNQ_Z2.num_pes * PYNQ_Z2.muxes_per_pe * PYNQ_Z2.adder_bits
+        psum_bits = PYNQ_Z2.num_pes * PYNQ_Z2.psum_bits
+        assert f"[{weights_bits - 1}:0] weights_flat" in text
+        assert f"[{psum_bits - 1}:0]   psums_flat" in text
+
+    def test_instantiates_pe(self):
+        text = generate_pe_array()
+        assert "processing_element" in text
+
+
+class TestActivationUnitRtl:
+    def test_if_lif_mode_mux(self):
+        text = generate_activation_unit()
+        assert "lif_mode" in text
+        assert ">>> leak_shift" in text  # subtract-shift leak
+
+    def test_reset_by_subtraction(self):
+        text = generate_activation_unit()
+        assert "v_next - threshold" in text
+        assert "reset_to_zero" in text
+
+    def test_threshold_compare(self):
+        text = generate_activation_unit()
+        assert "(v_next >= threshold)" in text
+
+    def test_membrane_width(self):
+        assert f"parameter V_W = {PYNQ_Z2.psum_bits}" in generate_activation_unit()
+
+
+class TestBnLaneRtl:
+    def test_dsp_multiply_present(self):
+        text = generate_bn_lane()
+        assert "psum * g_coef" in text
+
+    def test_fraction_parameter(self):
+        assert f"parameter FRAC   = {PYNQ_Z2.bn_frac_bits}" in generate_bn_lane()
+
+    def test_bias_add(self):
+        assert "h_coef" in generate_bn_lane()
+
+
+class TestMembranePingPongRtl:
+    def test_depth_matches_memory_map(self):
+        text = generate_membrane_pingpong()
+        depth = PYNQ_Z2.membrane_half_bytes // 2  # 16-bit entries
+        assert f"parameter DEPTH  = {depth}" in text
+
+    def test_two_banks_and_swap(self):
+        text = generate_membrane_pingpong()
+        assert "u1_state" in text and "u2_state" in text
+        assert "role <= ~role" in text
+
+    def test_block_ram_hint(self):
+        assert 'ram_style = "block"' in generate_membrane_pingpong()
+
+
+class TestGenerateAll:
+    def test_five_files(self):
+        files = generate_all()
+        assert set(files) == {
+            "pe.v", "pe_array.v", "activation_unit.v", "bn_lane.v",
+            "membrane_pingpong.v",
+        }
+
+    def test_every_file_has_provenance_header(self):
+        for text in generate_all().values():
+            assert "generated from ArchConfig" in text
+            assert "repro.hw.rtl" in text
+
+    def test_every_module_balanced(self):
+        for name, text in generate_all().items():
+            opens = len(re.findall(r"^\s*module\s", text, re.MULTILINE))
+            closes = len(re.findall(r"^\s*endmodule", text, re.MULTILINE))
+            assert opens == closes >= 1, name
+            assert balanced(text, "begin", "end"), name
+
+    def test_write_rtl(self, tmp_path):
+        written = write_rtl(tmp_path / "rtl")
+        assert len(written) == 5
+        for path in written.values():
+            assert open(path).read().startswith("//")

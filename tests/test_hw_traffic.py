@@ -1,0 +1,106 @@
+"""PS<->PL traffic model tests."""
+
+import numpy as np
+import pytest
+
+from repro.hw.config import PYNQ_Z2
+from repro.hw.traffic import TrafficModel
+from repro.pipeline import build_quantized_twin
+from repro.snn import convert_to_snn
+from repro.hw.mapper import map_network
+
+
+@pytest.fixture(scope="module")
+def mapped_small():
+    model = build_quantized_twin("vgg11", width=0.125, num_classes=10, levels=2, seed=0)
+    convert_to_snn(model)
+    return map_network(model)
+
+
+@pytest.fixture(scope="module")
+def mapped_full():
+    model = build_quantized_twin("resnet18", width=1.0, num_classes=10, levels=2, seed=0)
+    convert_to_snn(model)
+    return map_network(model)
+
+
+class TestLayerTraffic:
+    def test_components_positive(self, mapped_small):
+        model = TrafficModel(PYNQ_Z2)
+        report = model.network_traffic(mapped_small, timesteps=8)
+        assert len(report.layers) == len(mapped_small.layers)
+        first = report.layers[0]
+        assert first.weight_bytes > 0
+        assert first.spike_in_bytes > 0
+        assert first.total_bytes == (
+            first.weight_bytes + first.spike_in_bytes + first.spike_out_bytes
+            + first.membrane_swap_bytes + first.residual_bytes + first.config_bytes
+        )
+
+    def test_spikes_scale_with_timesteps(self, mapped_small):
+        model = TrafficModel(PYNQ_Z2)
+        t4 = model.network_traffic(mapped_small, timesteps=4)
+        t8 = model.network_traffic(mapped_small, timesteps=8)
+        s4 = sum(l.spike_in_bytes + l.spike_out_bytes for l in t4.layers)
+        s8 = sum(l.spike_in_bytes + l.spike_out_bytes for l in t8.layers)
+        assert s8 == 2 * s4
+
+    def test_weights_do_not_scale_with_timesteps(self, mapped_small):
+        model = TrafficModel(PYNQ_Z2)
+        t4 = model.network_traffic(mapped_small, timesteps=4)
+        t8 = model.network_traffic(mapped_small, timesteps=8)
+        w4 = sum(l.weight_bytes for l in t4.layers)
+        w8 = sum(l.weight_bytes for l in t8.layers)
+        assert w4 == w8
+
+    def test_frame_layer_heavier_input(self, mapped_small):
+        # INT8 frames cost 8x binary spike planes of the same geometry.
+        model = TrafficModel(PYNQ_Z2)
+        report = model.network_traffic(mapped_small, timesteps=8)
+        frame = report.layers[0]
+        assert frame.spike_in_bytes == 3 * 32 * 32 * 8  # bytes x T
+
+    def test_small_layers_no_membrane_swap(self, mapped_small):
+        model = TrafficModel(PYNQ_Z2)
+        report = model.network_traffic(mapped_small, timesteps=8)
+        assert all(l.membrane_swap_bytes == 0 for l in report.layers)
+
+    def test_full_width_early_layers_swap_membranes(self, mapped_full):
+        # 64ch @ 32x32 = 128 kB of 16-bit membranes > the 32 kB half.
+        model = TrafficModel(PYNQ_Z2)
+        report = model.network_traffic(mapped_full, timesteps=8)
+        stem = report.layers[0]
+        assert stem.membrane_swap_bytes > 0
+
+    def test_residual_traffic_counted(self, mapped_full):
+        model = TrafficModel(PYNQ_Z2)
+        report = model.network_traffic(mapped_full, timesteps=8)
+        conv2 = [l for l in report.layers if l.name.endswith(".conv2")]
+        assert all(l.residual_bytes > 0 for l in conv2)
+
+    def test_config_includes_bn_coefficients(self, mapped_small):
+        model = TrafficModel(PYNQ_Z2)
+        report = model.network_traffic(mapped_small, timesteps=8)
+        spiking = report.layers[0]
+        assert spiking.config_bytes > TrafficModel.CONFIG_BYTES_PER_LAYER
+
+
+class TestReportAggregates:
+    def test_bandwidth(self, mapped_small):
+        model = TrafficModel(PYNQ_Z2)
+        report = model.network_traffic(mapped_small, timesteps=8)
+        assert report.bandwidth_bytes_per_second(10.0) == report.total_bytes * 10
+
+    def test_dominant_component_named(self, mapped_full):
+        model = TrafficModel(PYNQ_Z2)
+        report = model.network_traffic(mapped_full, timesteps=8)
+        assert report.dominant_component() in (
+            "weights", "spikes", "membranes", "residuals", "config",
+        )
+
+    def test_paper_motivation_spike_traffic_grows_with_t(self, mapped_full):
+        """§III-D: SNNs move more data because inputs span T timesteps."""
+        model = TrafficModel(PYNQ_Z2)
+        t1 = model.network_traffic(mapped_full, timesteps=1).total_bytes
+        t8 = model.network_traffic(mapped_full, timesteps=8).total_bytes
+        assert t8 > 2 * t1

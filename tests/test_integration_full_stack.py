@@ -1,0 +1,124 @@
+"""Full-stack integration: pipeline -> mapper -> SIA -> models, one flow.
+
+This is the repository's 'does the whole co-design story hang together'
+test: train, quantise, convert, compile, run bit-true inference, and
+feed the same mapped network through the traffic, latency and power
+models — asserting cross-model consistency, not just per-module
+correctness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticCIFAR
+from repro.hw import SpikingInferenceAccelerator, map_network
+from repro.hw.config import PYNQ_Z2
+from repro.hw.latency import ArchitecturalLatencyModel, LatencyModel
+from repro.hw.power import PowerModel
+from repro.hw.traffic import TrafficModel
+from repro.pipeline import TrainConfig, run_conversion_pipeline
+from repro.utils import save_state, load_state
+
+
+@pytest.fixture(scope="module")
+def full_run():
+    ds = SyntheticCIFAR(
+        num_train=400, num_test=150, noise=1.0, class_overlap=0.55, seed=17
+    )
+    result = run_conversion_pipeline(
+        "vgg11",
+        ds,
+        width=0.125,
+        levels=2,
+        timesteps=8,
+        max_timesteps=8,
+        ann_config=TrainConfig(epochs=3),
+        finetune_config=TrainConfig(epochs=2, lr=5e-4),
+    )
+    mapped = map_network(result.snn.model, calibration_input=ds.train_x[:128])
+    sia = SpikingInferenceAccelerator(mapped)
+    logits, report = sia.run(ds.test_x, timesteps=8)
+    return ds, result, mapped, sia, logits, report
+
+
+class TestAccuracyChain:
+    def test_integer_accuracy_close_to_float(self, full_run):
+        ds, result, _, _, logits, _ = full_run
+        int_acc = float((logits.argmax(1) == ds.test_y).mean())
+        assert abs(int_acc - result.snn_accuracy) < 0.08
+
+    def test_quant_gap_small(self, full_run):
+        _, result, _, _, _, _ = full_run
+        assert result.quant_accuracy >= result.ann_accuracy - 0.15
+
+    def test_snn_within_band_of_ann(self, full_run):
+        _, result, _, _, _, _ = full_run
+        assert result.snn_accuracy >= result.ann_accuracy - 0.12
+
+
+class TestCrossModelConsistency:
+    def test_spike_rates_feed_latency_model(self, full_run):
+        """Measured rates -> architectural cycles ~ simulated cycles."""
+        _, _, mapped, _, _, report = full_run
+        model = ArchitecturalLatencyModel(PYNQ_Z2, event_driven=True)
+        # Pick a mid-network spiking conv layer (not the PS frame layer).
+        idx = 3
+        layer = mapped.layers[idx]
+        stat = report.layers[idx]
+        measured_cycles = stat.core_cycles / report.batch_size
+        # Input spike rate of this layer = output rate of its producer.
+        in_rate = report.layers[layer.input_index].spike_rate
+        predicted = model.conv_cycles(layer.config, report.timesteps, in_rate)
+        # Aggregation cycles are extra in the analytical figure.
+        assert predicted == pytest.approx(measured_cycles, rel=0.5)
+
+    def test_traffic_versus_simulated_spikes(self, full_run):
+        """The traffic model's spike volume bounds the simulated count."""
+        _, _, mapped, _, _, report = full_run
+        traffic = TrafficModel(PYNQ_Z2).network_traffic(mapped, timesteps=8)
+        # Simulated spikes (events) must fit within the binary planes
+        # the traffic model budgets for (bits transferred >= spikes).
+        for t_layer, s_layer in zip(traffic.layers[1:], report.layers[1:]):
+            if s_layer.neuron_steps == 0:
+                continue
+            spikes_per_inference = s_layer.spike_count / report.batch_size
+            budget_bits = t_layer.spike_out_bytes * 8
+            assert spikes_per_inference <= budget_bits
+
+    def test_latency_model_accepts_measured_rates(self, full_run):
+        _, _, mapped, _, _, report = full_run
+        lat = LatencyModel(PYNQ_Z2)
+        configs = [l.config for l in mapped.layers]
+        rates = [
+            max(s.spike_rate, 0.01) if s.neuron_steps else 0.12
+            for s in report.layers
+        ]
+        latencies = lat.network_latency(configs, timesteps=8, spike_rates=rates)
+        total_ms = sum(l.milliseconds for l in latencies)
+        # 9 layers, ~1 ms each + the MMIO-bound FC.
+        assert 8.0 < total_ms < 80.0
+
+    def test_power_at_observed_activity(self, full_run):
+        _, _, _, _, _, report = full_run
+        rates = report.spike_rates()
+        mean_rate = float(np.mean(rates))
+        power = PowerModel().total_watts(activity=min(1.0, 3 * mean_rate))
+        assert 1.3 < power < 1.54 + 1e-6
+
+
+class TestCheckpointing:
+    def test_quant_model_roundtrip(self, full_run, tmp_path):
+        ds, result, _, _, _, _ = full_run
+        from repro.pipeline import build_quantized_twin
+        from repro.pipeline.trainer import evaluate_model
+
+        path = save_state(result.quant_model, tmp_path / "quant.npz",
+                          metadata={"stage": "finetuned"})
+        fresh = build_quantized_twin(
+            "vgg11", width=0.125, num_classes=10, levels=2, seed=99
+        )
+        fresh, meta = load_state(fresh, path)
+        assert meta["stage"] == "finetuned"
+        acc_orig = evaluate_model(result.quant_model, ds.test_x, ds.test_y)
+        acc_loaded = evaluate_model(fresh, ds.test_x, ds.test_y)
+        assert acc_orig == acc_loaded

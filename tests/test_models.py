@@ -1,0 +1,114 @@
+"""Model-zoo tests: geometry, widths, registry, activations."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import build_model, list_models, resnet18, vgg11
+from repro.models.resnet import BasicBlock
+from repro.tensor import Tensor, no_grad
+
+
+class TestResNet18:
+    def test_output_shape(self):
+        model = resnet18(width=0.125)
+        with no_grad():
+            out = model(Tensor(np.zeros((2, 3, 32, 32), np.float32)))
+        assert out.shape == (2, 10)
+
+    def test_has_17_convs_plus_fc(self):
+        model = resnet18(width=0.125)
+        convs = [m for m in model.modules() if isinstance(m, nn.Conv2d)]
+        convs_3x3 = [c for c in convs if c.kernel_size == 3]
+        projections = [c for c in convs if c.kernel_size == 1]
+        assert len(convs_3x3) == 17  # stem + 16 block convs
+        assert len(projections) == 3  # stage 2,3,4 downsamples
+        assert isinstance(model.fc, nn.Linear)
+
+    def test_full_width_channel_plan(self):
+        model = resnet18(width=1.0)
+        assert model.conv1.out_channels == 64
+        assert model.layer4[0].conv1.out_channels == 512
+        assert model.fc.in_features == 512
+
+    def test_full_width_param_count_near_11m(self):
+        model = resnet18(width=1.0)
+        assert 10.5e6 < model.num_parameters() < 11.5e6
+
+    def test_width_scales_channels(self):
+        model = resnet18(width=0.25)
+        assert model.conv1.out_channels == 16
+
+    def test_custom_activation_factory(self):
+        model = resnet18(width=0.125, activation=lambda: nn.QuantReLU(levels=2))
+        quants = [m for m in model.modules() if isinstance(m, nn.QuantReLU)]
+        assert len(quants) == 17
+
+    def test_quantize_flag_uses_quant_layers(self):
+        model = resnet18(width=0.125, quantize=True)
+        assert isinstance(model.conv1, nn.QuantConv2d)
+        assert isinstance(model.fc, nn.QuantLinear)
+
+    def test_blocks_have_shortcuts(self):
+        model = resnet18(width=0.125)
+        first_stage2 = model.layer2[0]
+        assert isinstance(first_stage2, BasicBlock)
+        assert not isinstance(first_stage2.shortcut, nn.Identity)
+        assert isinstance(model.layer1[0].shortcut, nn.Identity)
+
+    def test_deterministic_by_seed(self):
+        a = resnet18(width=0.125, seed=3)
+        b = resnet18(width=0.125, seed=3)
+        assert np.allclose(a.conv1.weight.data, b.conv1.weight.data)
+
+
+class TestVGG11:
+    def test_output_shape(self):
+        model = vgg11(width=0.125)
+        with no_grad():
+            out = model(Tensor(np.zeros((2, 3, 32, 32), np.float32)))
+        assert out.shape == (2, 10)
+
+    def test_has_8_convs(self):
+        model = vgg11(width=0.25)
+        convs = [m for m in model.modules() if isinstance(m, nn.Conv2d)]
+        assert len(convs) == 8
+
+    def test_default_pool_is_avg(self):
+        model = vgg11(width=0.125)
+        pools = [m for m in model.modules() if isinstance(m, nn.AvgPool2d)]
+        assert len(pools) == 5
+
+    def test_max_pool_option(self):
+        model = vgg11(width=0.125, pool="max")
+        pools = [m for m in model.modules() if isinstance(m, nn.MaxPool2d)]
+        assert len(pools) == 5
+
+    def test_invalid_pool(self):
+        with pytest.raises(ValueError):
+            vgg11(pool="median")
+
+    def test_full_width_channels(self):
+        model = vgg11(width=1.0)
+        convs = [m for m in model.modules() if isinstance(m, nn.Conv2d)]
+        assert [c.out_channels for c in convs] == [64, 128, 256, 256, 512, 512, 512, 512]
+
+
+class TestRegistry:
+    def test_lists_models(self):
+        assert {"resnet18", "vgg11"} <= set(list_models())
+
+    def test_build_by_name(self):
+        model = build_model("vgg11", width=0.125)
+        with no_grad():
+            assert model(Tensor(np.zeros((1, 3, 32, 32), np.float32))).shape == (1, 10)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.models.registry import register_model
+
+        with pytest.raises(ValueError):
+            register_model("resnet18")(lambda: None)

@@ -1,0 +1,45 @@
+"""Weight-initialisation scheme tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestKaiming:
+    def test_normal_std(self):
+        rng = np.random.default_rng(0)
+        fan_in = 256
+        w = init.kaiming_normal((20000,), fan_in, rng)
+        expected = np.sqrt(2.0 / fan_in)
+        assert w.std() == pytest.approx(expected, rel=0.05)
+        assert w.dtype == np.float32
+
+    def test_uniform_bound(self):
+        rng = np.random.default_rng(1)
+        fan_in = 64
+        w = init.kaiming_uniform((10000,), fan_in, rng)
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / fan_in)
+        assert np.abs(w).max() <= bound + 1e-6
+        assert np.abs(w).max() > 0.9 * bound  # actually fills the range
+
+    def test_gain_scales(self):
+        rng1, rng2 = np.random.default_rng(2), np.random.default_rng(2)
+        a = init.kaiming_normal((1000,), 100, rng1, gain=1.0)
+        b = init.kaiming_normal((1000,), 100, rng2, gain=2.0)
+        assert b.std() == pytest.approx(2 * a.std(), rel=1e-6)
+
+
+class TestXavier:
+    def test_bound(self):
+        rng = np.random.default_rng(3)
+        w = init.xavier_uniform((10000,), 100, 200, rng)
+        bound = np.sqrt(6.0 / 300)
+        assert np.abs(w).max() <= bound + 1e-6
+
+
+class TestConstants:
+    def test_zeros_ones(self):
+        assert np.all(init.zeros((3, 3)) == 0)
+        assert np.all(init.ones((2,)) == 1)
+        assert init.zeros((1,)).dtype == np.float32

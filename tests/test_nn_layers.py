@@ -1,0 +1,115 @@
+"""Layer semantics: Conv2d, Linear, BatchNorm2d, pooling, dropout."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor, no_grad
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=np.random.default_rng(0))
+        out = conv(Tensor(np.zeros((2, 3, 8, 8), np.float32)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_no_bias(self):
+        conv = nn.Conv2d(1, 1, 3, bias=False)
+        assert conv.bias is None
+        assert conv.num_parameters() == 9
+
+    def test_deterministic_init(self):
+        c1 = nn.Conv2d(2, 4, 3, rng=np.random.default_rng(7))
+        c2 = nn.Conv2d(2, 4, 3, rng=np.random.default_rng(7))
+        assert np.allclose(c1.weight.data, c2.weight.data)
+
+
+class TestLinear:
+    def test_affine(self):
+        lin = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        lin.weight.data = np.array([[1, 0, 0], [0, 1, 0]], np.float32)
+        lin.bias.data = np.array([10.0, 20.0], np.float32)
+        out = lin(Tensor(np.array([[1.0, 2.0, 3.0]], np.float32)))
+        assert np.allclose(out.data, [[11.0, 22.0]])
+
+
+class TestBatchNorm2d:
+    def test_training_normalises(self):
+        bn = nn.BatchNorm2d(4)
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(3.0, 2.0, size=(16, 4, 5, 5)).astype(np.float32))
+        out = bn(x)
+        assert abs(float(out.data.mean())) < 1e-3
+        assert float(out.data.std()) == pytest.approx(1.0, abs=0.05)
+
+    def test_running_stats_update(self):
+        bn = nn.BatchNorm2d(2, momentum=0.5)
+        x = Tensor(np.full((4, 2, 3, 3), 10.0, np.float32))
+        bn(x)
+        assert np.all(bn.running_mean > 0)
+
+    def test_eval_uses_running_stats(self):
+        bn = nn.BatchNorm2d(1)
+        rng = np.random.default_rng(0)
+        for _ in range(80):
+            bn(Tensor(rng.normal(5.0, 1.0, size=(32, 1, 4, 4)).astype(np.float32)))
+        bn.eval()
+        with no_grad():
+            out = bn(Tensor(np.full((1, 1, 4, 4), 5.0, np.float32)))
+        assert abs(float(out.data.mean())) < 0.2
+
+    def test_fold_coefficients_match_eval(self):
+        bn = nn.BatchNorm2d(3)
+        rng = np.random.default_rng(1)
+        bn.gamma.data = rng.uniform(0.5, 1.5, 3).astype(np.float32)
+        bn.beta.data = rng.normal(size=3).astype(np.float32)
+        for _ in range(10):
+            bn(Tensor(rng.normal(1.0, 2.0, size=(8, 3, 4, 4)).astype(np.float32)))
+        bn.eval()
+        x = rng.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        with no_grad():
+            ref = bn(Tensor(x)).data
+        g, h = bn.fold_coefficients()
+        folded = x * g[None, :, None, None] + h[None, :, None, None]
+        assert np.allclose(folded, ref, atol=1e-4)
+
+    def test_gradients_flow_to_affine(self):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 2, 3, 3)).astype(np.float32))
+        bn(x).sum().backward()
+        assert bn.gamma.grad is not None
+        assert bn.beta.grad is not None
+
+
+class TestPoolingLayers:
+    def test_maxpool_shape(self):
+        pool = nn.MaxPool2d(2)
+        assert pool(Tensor(np.zeros((1, 2, 8, 8), np.float32))).shape == (1, 2, 4, 4)
+
+    def test_avgpool_custom_stride(self):
+        pool = nn.AvgPool2d(3, stride=1)
+        assert pool(Tensor(np.zeros((1, 1, 5, 5), np.float32))).shape == (1, 1, 3, 3)
+
+    def test_global_avg(self):
+        pool = nn.GlobalAvgPool2d()
+        assert pool(Tensor(np.zeros((3, 7, 4, 4), np.float32))).shape == (3, 7)
+
+
+class TestDropoutLayer:
+    def test_respects_training_flag(self):
+        drop = nn.Dropout(0.9, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100,), np.float32))
+        drop.eval()
+        assert np.allclose(drop(x).data, 1.0)
+        drop.train()
+        assert (drop(x).data == 0).any()
+
+
+class TestFlattenIdentity:
+    def test_flatten(self):
+        out = nn.Flatten()(Tensor(np.zeros((2, 3, 4), np.float32)))
+        assert out.shape == (2, 12)
+
+    def test_identity(self):
+        x = Tensor(np.ones(3, np.float32))
+        assert nn.Identity()(x) is x

@@ -1,0 +1,125 @@
+"""Module base-class tests: registration, traversal, serialisation."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.w = Parameter(np.ones(3, np.float32))
+        self.child = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        self.register_buffer("counter", np.zeros(1, np.float32))
+
+    def forward(self, x):
+        return self.child(x * self.w)
+
+
+class TestRegistration:
+    def test_parameters_discovered(self):
+        toy = Toy()
+        names = [n for n, _ in toy.named_parameters()]
+        assert "w" in names
+        assert "child.weight" in names
+        assert "child.bias" in names
+
+    def test_modules_traversal(self):
+        toy = Toy()
+        mods = [m for _, m in toy.named_modules()]
+        assert toy in mods
+        assert toy.child in mods
+
+    def test_buffers_discovered(self):
+        toy = Toy()
+        assert dict(toy.named_buffers())["counter"].shape == (1,)
+
+    def test_num_parameters(self):
+        toy = Toy()
+        assert toy.num_parameters() == 3 + 3 * 2 + 2
+
+
+class TestMode:
+    def test_train_eval_propagates(self):
+        toy = Toy()
+        toy.eval()
+        assert not toy.training
+        assert not toy.child.training
+        toy.train()
+        assert toy.child.training
+
+    def test_zero_grad(self):
+        toy = Toy()
+        out = toy(Tensor(np.ones((2, 3), np.float32)))
+        out.sum().backward()
+        assert toy.w.grad is not None
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Toy(), Toy()
+        for p in a.parameters():
+            p.data = p.data + 1.0
+        a._set_buffer("counter", np.array([5.0], np.float32))
+        b.load_state_dict(a.state_dict())
+        for (n1, p1), (n2, p2) in zip(a.named_parameters(), b.named_parameters()):
+            assert n1 == n2
+            assert np.allclose(p1.data, p2.data)
+        assert b.counter[0] == 5.0
+
+    def test_state_dict_copies(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["w"][:] = 99.0
+        assert not np.allclose(toy.w.data, 99.0)
+
+    def test_shape_mismatch_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["w"] = np.zeros(5, np.float32)
+        with pytest.raises(ValueError):
+            toy.load_state_dict(state)
+
+    def test_unknown_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_set_unregistered_buffer_raises(self):
+        toy = Toy()
+        with pytest.raises(KeyError):
+            toy._set_buffer("nope", np.zeros(1))
+
+
+class TestSequential:
+    def test_forward_order(self):
+        seq = nn.Sequential(nn.ReLU(), nn.Flatten())
+        out = seq(Tensor(np.array([[[-1.0, 2.0]]], np.float32)))
+        assert np.allclose(out.data, [[0.0, 2.0]])
+
+    def test_len_getitem_iter(self):
+        seq = nn.Sequential(nn.ReLU(), nn.Identity())
+        assert len(seq) == 2
+        assert isinstance(seq[0], nn.ReLU)
+        assert len(list(iter(seq))) == 2
+
+    def test_append(self):
+        seq = nn.Sequential(nn.ReLU())
+        seq.append(nn.Identity())
+        assert len(seq) == 2
+        assert "1" in dict(seq.named_modules())
+
+    def test_stable_state_dict_keys(self):
+        seq = nn.Sequential(nn.Linear(2, 2, rng=np.random.default_rng(0)))
+        assert "0.weight" in seq.state_dict()
+
+    def test_repr_contains_children(self):
+        seq = nn.Sequential(nn.ReLU())
+        assert "ReLU" in repr(seq)

@@ -1,0 +1,146 @@
+"""Quantisation layer tests: QuantReLU, INT8 weight quantisers, calibration."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.quant import dequantize_weight, quantize_weight_int8
+from repro.tensor import Tensor
+
+
+class TestQuantReLU:
+    def test_qcfs_values_l2(self):
+        q = nn.QuantReLU(levels=2, init_step=2.0)
+        x = Tensor(np.array([-1.0, 0.2, 0.6, 1.2, 1.8, 5.0], np.float32))
+        out = q(x).data
+        # h(x) = (s/L) * clip(floor(x*L/s + 0.5), 0, L), s=2, L=2
+        assert np.allclose(out, [0.0, 0.0, 1.0, 1.0, 2.0, 2.0])
+
+    def test_levels_count(self):
+        q = nn.QuantReLU(levels=4, init_step=4.0)
+        x = Tensor(np.linspace(-1, 6, 200).astype(np.float32))
+        values = np.unique(q(x).data)
+        assert len(values) == 5  # 0..L inclusive
+        assert np.allclose(values, [0, 1, 2, 3, 4])
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            nn.QuantReLU(levels=0)
+
+    def test_threshold_property(self):
+        q = nn.QuantReLU(levels=2, init_step=3.5)
+        assert q.threshold == pytest.approx(3.5)
+
+    def test_gradient_to_input_inside_range(self):
+        q = nn.QuantReLU(levels=2, init_step=2.0)
+        x = Tensor(np.array([0.7], np.float32), requires_grad=True)
+        q(x).sum().backward()
+        assert x.grad[0] == pytest.approx(1.0)
+
+    def test_gradient_to_input_clipped(self):
+        q = nn.QuantReLU(levels=2, init_step=2.0)
+        x = Tensor(np.array([-3.0, 10.0], np.float32), requires_grad=True)
+        q(x).sum().backward()
+        assert np.allclose(x.grad, 0.0)
+
+    def test_step_receives_gradient(self):
+        q = nn.QuantReLU(levels=2, init_step=2.0)
+        x = Tensor(np.array([5.0, 0.7], np.float32))
+        q(x).sum().backward()
+        assert q.step.grad is not None
+        assert abs(float(q.step.grad)) > 0
+
+    def test_step_is_learnable_parameter(self):
+        q = nn.QuantReLU(levels=2)
+        assert "step" in dict(q.named_parameters())
+
+    def test_calibration_sets_percentile(self):
+        q = nn.QuantReLU(levels=2, init_step=99.0)
+        q.begin_calibration()
+        x = Tensor(np.linspace(0, 1, 1001).astype(np.float32))
+        out = q(x)
+        # Calibration mode acts as a plain ReLU.
+        assert np.allclose(out.data, np.maximum(x.data, 0))
+        q.end_calibration(percentile=90.0)
+        assert float(q.step.data) == pytest.approx(0.9, abs=0.01)
+
+    def test_calibration_ignores_negatives(self):
+        q = nn.QuantReLU(levels=2)
+        q.begin_calibration()
+        q(Tensor(np.array([-5.0, -1.0, 0.5, 1.0], np.float32)))
+        q.end_calibration(percentile=100.0)
+        assert float(q.step.data) == pytest.approx(1.0, abs=1e-5)
+
+    def test_calibration_empty_keeps_floor(self):
+        q = nn.QuantReLU(levels=2, init_step=3.0)
+        q.begin_calibration()
+        q(Tensor(np.array([-1.0, -2.0], np.float32)))
+        q.end_calibration()
+        assert float(q.step.data) >= 0.0099
+
+
+class TestWeightQuantization:
+    def test_roundtrip_error_bound(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(0, 0.1, size=(8, 4, 3, 3)).astype(np.float32)
+        w_int, scale = quantize_weight_int8(w)
+        back = dequantize_weight(w_int, scale)
+        assert np.abs(back - w).max() <= scale / 2 + 1e-7
+
+    def test_range_respected(self):
+        w = np.array([-10.0, 10.0], np.float32)
+        w_int, scale = quantize_weight_int8(w)
+        assert w_int.min() >= -128 and w_int.max() <= 127
+
+    def test_explicit_scale(self):
+        w = np.array([0.5, -0.25], np.float32)
+        w_int, scale = quantize_weight_int8(w, scale=0.25)
+        assert scale == 0.25
+        assert w_int.tolist() == [2, -1]
+
+    def test_zero_weights(self):
+        w_int, scale = quantize_weight_int8(np.zeros(4, np.float32))
+        assert np.all(w_int == 0)
+        assert scale > 0
+
+    def test_lower_bitwidths(self):
+        w = np.linspace(-1, 1, 100).astype(np.float32)
+        w_int, scale = quantize_weight_int8(w, bits=4)
+        assert w_int.min() >= -8 and w_int.max() <= 7
+
+
+class TestQuantConv2d:
+    def test_forward_close_to_float(self):
+        rng = np.random.default_rng(0)
+        conv = nn.QuantConv2d(3, 8, 3, padding=1, bias=False, rng=rng)
+        ref = nn.Conv2d(3, 8, 3, padding=1, bias=False, rng=np.random.default_rng(0))
+        ref.weight.data = conv.weight.data.copy()
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)).astype(np.float32))
+        out_q = conv(x).data
+        out_f = ref(x).data
+        # Fake-quantised output within a few weight-LSBs of float.
+        scale = float(conv.weight_scale.data)
+        assert np.abs(out_q - out_f).max() < scale * 27
+
+    def test_integer_weights_in_range(self):
+        conv = nn.QuantConv2d(2, 4, 3, rng=np.random.default_rng(1))
+        w_int, scale = conv.integer_weights()
+        assert w_int.dtype == np.int32
+        assert w_int.min() >= -128 and w_int.max() <= 127
+        assert scale > 0
+
+    def test_weight_scale_gets_gradient(self):
+        conv = nn.QuantConv2d(1, 2, 3, bias=False, rng=np.random.default_rng(2))
+        x = Tensor(np.ones((1, 1, 5, 5), np.float32))
+        conv(x).sum().backward()
+        assert conv.weight_scale.grad is not None
+
+
+class TestQuantLinear:
+    def test_forward_and_integer_weights(self):
+        lin = nn.QuantLinear(8, 4, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((2, 8), np.float32))
+        out = lin(x)
+        assert out.shape == (2, 4)
+        w_int, scale = lin.integer_weights()
+        assert np.allclose(w_int * scale, lin.weight.data, atol=scale)

@@ -1,0 +1,145 @@
+"""Optimiser and scheduler tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, CosineSchedule, StepSchedule, clip_grad_norm
+from repro.tensor import Tensor
+
+
+def quadratic_loss(p: Parameter):
+    target = Tensor(np.array([1.0, -2.0, 3.0], np.float32))
+    diff = p - target
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(3, np.float32))
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            loss = quadratic_loss(p)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.allclose(p.data, [1.0, -2.0, 3.0], atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        losses = {}
+        for momentum in (0.0, 0.9):
+            p = Parameter(np.zeros(3, np.float32))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(30):
+                loss = quadratic_loss(p)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            losses[momentum] = quadratic_loss(p).item()
+        assert losses[0.9] < losses[0.0]
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.ones(2, np.float32))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(2, np.float32)
+        opt.step()
+        assert np.all(p.data < 1.0)
+
+    def test_nesterov_runs(self):
+        p = Parameter(np.ones(3, np.float32))
+        opt = SGD([p], lr=0.1, momentum=0.9, nesterov=True)
+        quadratic_loss(p).backward()
+        opt.step()
+        assert not np.allclose(p.data, 1.0)
+
+    def test_skips_none_grads(self):
+        p = Parameter(np.ones(2, np.float32))
+        SGD([p], lr=0.1).step()  # no grad -> no change
+        assert np.allclose(p.data, 1.0)
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_bad_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1, np.float32))], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(3, np.float32))
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            loss = quadratic_loss(p)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.allclose(p.data, [1.0, -2.0, 3.0], atol=1e-2)
+
+    def test_bias_correction_first_step(self):
+        p = Parameter(np.zeros(1, np.float32))
+        opt = Adam([p], lr=0.5)
+        p.grad = np.array([1.0], np.float32)
+        opt.step()
+        # First Adam step magnitude ~ lr regardless of gradient scale.
+        assert abs(p.data.item()) == pytest.approx(0.5, rel=1e-3)
+
+    def test_weight_decay(self):
+        p = Parameter(np.ones(1, np.float32))
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(1, np.float32)
+        opt.step()
+        assert p.data.item() < 1.0
+
+
+class TestClipGradNorm:
+    def test_clips_large(self):
+        p = Parameter(np.zeros(4, np.float32))
+        p.grad = np.full(4, 10.0, np.float32)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_leaves_small(self):
+        p = Parameter(np.zeros(4, np.float32))
+        p.grad = np.full(4, 0.1, np.float32)
+        clip_grad_norm([p], max_norm=10.0)
+        assert np.allclose(p.grad, 0.1)
+
+
+class TestSchedulers:
+    def test_step_schedule(self):
+        p = Parameter(np.zeros(1, np.float32))
+        opt = SGD([p], lr=1.0)
+        sched = StepSchedule(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_endpoints(self):
+        p = Parameter(np.zeros(1, np.float32))
+        opt = SGD([p], lr=1.0)
+        sched = CosineSchedule(opt, total_epochs=10, min_lr=0.0)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-8)
+
+    def test_cosine_monotone_decrease(self):
+        p = Parameter(np.zeros(1, np.float32))
+        opt = SGD([p], lr=1.0)
+        sched = CosineSchedule(opt, total_epochs=5)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert all(a > b for a, b in zip(lrs, lrs[1:]))
+
+    def test_invalid_args(self):
+        p = Parameter(np.zeros(1, np.float32))
+        opt = SGD([p], lr=1.0)
+        with pytest.raises(ValueError):
+            StepSchedule(opt, step_size=0)
+        with pytest.raises(ValueError):
+            CosineSchedule(opt, total_epochs=0)

@@ -1,0 +1,140 @@
+"""Property-based tests on hardware-layer invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.aggregation import ActivationUnit, BatchNormUnit
+from repro.hw.config import LayerConfig, LayerKind
+from repro.hw.fixed import fixed_to_float, quantize_to_fixed
+from repro.hw.isa import decode_layer, encode_layer
+
+
+# ----------------------------------------------------------------------
+# Register ABI: encode/decode is the identity on valid configurations
+# ----------------------------------------------------------------------
+def test_oversized_kernel_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        LayerConfig(
+            kind=LayerKind.CONV, in_channels=1, out_channels=1,
+            in_height=1, in_width=1, kernel_size=3, padding=0,
+        )
+
+
+@given(
+    st.sampled_from([LayerKind.CONV, LayerKind.FC]),
+    st.integers(1, 1023),   # in_channels
+    st.integers(1, 1023),   # out_channels
+    st.integers(1, 512),    # spatial
+    st.integers(1, 15),     # kernel
+    st.integers(1, 15),     # stride
+    st.integers(0, 15),     # padding
+    st.integers(1, 65535),  # threshold
+    st.booleans(),          # lif
+    st.integers(1, 200),    # timesteps
+)
+@settings(max_examples=80, deadline=None)
+def test_isa_roundtrip_property(
+    kind, cin, cout, hw, k, stride, pad, threshold, lif, timesteps
+):
+    if kind is LayerKind.CONV and k > hw + 2 * pad:
+        return  # invalid geometry, rejected by LayerConfig (tested below)
+    cfg = LayerConfig(
+        kind=kind,
+        in_channels=cin,
+        out_channels=cout,
+        in_height=hw,
+        in_width=hw,
+        kernel_size=k,
+        stride=stride,
+        padding=pad,
+        threshold_int=threshold,
+        lif_mode=lif,
+    )
+    decoded = decode_layer(encode_layer(cfg, timesteps=timesteps))
+    assert decoded.kind is kind
+    assert decoded.in_channels == cin
+    assert decoded.out_channels == cout
+    assert decoded.in_height == decoded.in_width == hw
+    assert decoded.kernel_size == k
+    assert decoded.stride == stride
+    assert decoded.padding == pad
+    assert decoded.threshold_int == threshold
+    assert decoded.lif_mode == lif
+    assert decoded.timesteps == timesteps
+
+
+# ----------------------------------------------------------------------
+# Batch-norm unit: integer result within one LSB of the real transform
+# ----------------------------------------------------------------------
+@given(st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_bn_unit_error_bound_property(seed):
+    rng = np.random.default_rng(seed)
+    channels = int(rng.integers(1, 8))
+    psum = rng.integers(-4000, 4000, size=(channels, 3, 3))
+    g_real = rng.uniform(-4, 4, size=channels)
+    h_real = rng.integers(-1000, 1000, size=channels).astype(np.float64)
+    g_int = quantize_to_fixed(g_real, 8, 16)
+    bn = BatchNormUnit()
+    out = bn.apply(psum, g_int, h_real.astype(np.int64), 8)
+    ref = psum * fixed_to_float(g_int, 8)[:, None, None] + h_real[:, None, None]
+    ref = np.clip(ref, -32768, 32767)
+    assert np.abs(out - ref).max() <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Activation unit: charge conservation under reset-by-subtraction
+# ----------------------------------------------------------------------
+@given(st.integers(0, 2 ** 31 - 1), st.integers(1, 30))
+@settings(max_examples=50, deadline=None)
+def test_activation_charge_conservation_property(seed, steps):
+    rng = np.random.default_rng(seed)
+    unit = ActivationUnit()
+    threshold = int(rng.integers(64, 4096))
+    shape = (int(rng.integers(1, 16)),)
+    membrane = unit.initial_membrane(shape, threshold, 0.5)
+    v0 = membrane.copy()
+    injected = np.zeros(shape, dtype=np.int64)
+    spikes = np.zeros(shape, dtype=np.int64)
+    for _ in range(steps):
+        current = rng.integers(-threshold // 2, threshold // 2, size=shape)
+        result = unit.step(current, membrane, threshold)
+        injected += current
+        spikes += result.spikes
+        membrane = result.membrane
+    # With no saturation events: v_T = v_0 + injected - spikes * theta.
+    expected = v0 + injected - spikes * threshold
+    # Saturation can only pull |v| towards the rails; when expected is
+    # within range the equality is exact.
+    in_range = (expected >= -32768) & (expected <= 32767)
+    assert np.array_equal(membrane[in_range], expected[in_range])
+
+
+@given(st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_activation_lif_leak_never_increases_magnitude(seed):
+    rng = np.random.default_rng(seed)
+    unit = ActivationUnit()
+    v = rng.integers(-20000, 20000, size=8)
+    zero = np.zeros(8, dtype=np.int64)
+    res = unit.step(zero, v.copy(), threshold_int=10 ** 6, lif_mode=True, leak_shift=4)
+    assert (np.abs(res.membrane) <= np.abs(v)).all()
+
+
+# ----------------------------------------------------------------------
+# Augmentation: geometry-preserving, value-set-preserving (crop)
+# ----------------------------------------------------------------------
+@given(st.integers(0, 2 ** 31 - 1), st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_crop_preserves_shape_and_finite_property(seed, padding):
+    from repro.data.augment import random_crop
+
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(3, 2, 12, 12)).astype(np.float32)
+    out = random_crop(x, rng, padding=padding)
+    assert out.shape == x.shape
+    assert np.isfinite(out).all()
+    # Reflect-padded crops only contain values present in the original.
+    assert set(np.round(out.ravel(), 5)).issubset(set(np.round(x.ravel(), 5)))

@@ -1,0 +1,111 @@
+"""Conversion-error analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticCIFAR
+from repro.pipeline import build_quantized_twin
+from repro.pipeline.conversion import calibrate_quant_steps
+from repro.pipeline.trainer import TrainConfig, Trainer
+from repro.snn import (
+    SpikingNetwork,
+    conversion_error_curve,
+    convert_to_snn,
+    layerwise_rate_error,
+    threshold_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def twins():
+    """(quant ANN, converted SNN twin, dataset) with shared weights."""
+    ds = SyntheticCIFAR(num_train=300, num_test=120, noise=0.7, seed=13)
+    quant = build_quantized_twin("vgg11", width=0.125, num_classes=10, levels=2, seed=0)
+    calibrate_quant_steps(quant, ds.train_x[:128])
+    Trainer(quant, TrainConfig(epochs=2, lr=1e-3)).fit(ds.train_x, ds.train_y)
+    snn_twin = build_quantized_twin("vgg11", width=0.125, num_classes=10, levels=2, seed=0)
+    snn_twin.load_state_dict(quant.state_dict())
+    convert_to_snn(snn_twin)
+    return quant, snn_twin, ds
+
+
+class TestLayerwiseRateError:
+    def test_reports_all_layers(self, twins):
+        quant, snn, ds = twins
+        errors = layerwise_rate_error(quant, snn, ds.test_x[:16], timesteps=8)
+        assert len(errors) == 8
+        assert all(e.relative_error >= 0 for e in errors)
+
+    def test_first_layer_exact_at_t_equals_l(self, twins):
+        # QCFS equivalence: with T = L (= 2 here) and constant input,
+        # the first spiking layer reproduces its quantised ReLU exactly;
+        # deeper layers see time-varying inputs and accumulate error.
+        quant, snn, ds = twins
+        errors = layerwise_rate_error(quant, snn, ds.test_x[:16], timesteps=2)
+        assert errors[0].relative_error < 1e-5
+        assert errors[-1].relative_error > errors[0].relative_error
+
+    def test_error_converges_for_large_t(self, twins):
+        # Beyond T ~ L the SNN approximates the *analog* clipped ReLU,
+        # so its distance to the L=2 quant reference stabilises (it
+        # must not diverge with more timesteps).
+        quant, snn, ds = twins
+        t8 = layerwise_rate_error(quant, snn, ds.test_x[:16], timesteps=8)
+        t32 = layerwise_rate_error(quant, snn, ds.test_x[:16], timesteps=32)
+        assert np.mean([e.relative_error for e in t32]) <= np.mean(
+            [e.relative_error for e in t8]
+        ) + 0.05
+
+    def test_rate_means_tracked(self, twins):
+        quant, snn, ds = twins
+        errors = layerwise_rate_error(quant, snn, ds.test_x[:16], timesteps=8)
+        for e in errors:
+            assert e.ann_mean_activation >= 0
+            assert e.snn_mean_rate_output >= 0
+
+    def test_hooks_are_restored(self, twins):
+        quant, snn, ds = twins
+        layerwise_rate_error(quant, snn, ds.test_x[:4], timesteps=2)
+        # Running again must produce identical results (no hook leakage).
+        a = layerwise_rate_error(quant, snn, ds.test_x[:4], timesteps=2)
+        b = layerwise_rate_error(quant, snn, ds.test_x[:4], timesteps=2)
+        assert [x.relative_error for x in a] == [x.relative_error for x in b]
+
+
+class TestConversionErrorCurve:
+    def test_curve_decreases(self, twins):
+        quant, snn, ds = twins
+        network = SpikingNetwork(snn, timesteps=8)
+        curve = conversion_error_curve(
+            quant, network, ds.test_x[:16], timesteps=(1, 2, 8, 32)
+        )
+        assert curve[32] < curve[1]
+        assert set(curve) == {1, 2, 8, 32}
+
+    def test_error_nonnegative(self, twins):
+        quant, snn, ds = twins
+        network = SpikingNetwork(snn, timesteps=8)
+        curve = conversion_error_curve(quant, network, ds.test_x[:8], timesteps=(1, 4))
+        assert all(v >= 0 for v in curve.values())
+
+
+class TestThresholdSweep:
+    def test_learned_threshold_is_best_region(self, twins):
+        _, snn, ds = twins
+        network = SpikingNetwork(snn, timesteps=8)
+        results = threshold_sweep(
+            network, ds.test_x[:80], ds.test_y[:80], scales=(0.25, 1.0, 4.0)
+        )
+        # Accuracy at the learned threshold beats wild mis-scalings.
+        assert results[1.0] >= results[0.25] - 0.05
+        assert results[1.0] >= results[4.0] - 0.05
+
+    def test_thresholds_restored(self, twins):
+        _, snn, ds = twins
+        from repro.snn import spiking_layers
+
+        network = SpikingNetwork(snn, timesteps=4)
+        before = [l.threshold for l in spiking_layers(snn)]
+        threshold_sweep(network, ds.test_x[:16], ds.test_y[:16], scales=(0.5, 2.0))
+        after = [l.threshold for l in spiking_layers(snn)]
+        assert before == after

@@ -1,0 +1,135 @@
+"""ANN-to-SNN conversion tests, including the QCFS T=L exactness property."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.snn import (
+    IFNeuron,
+    LIFNeuron,
+    SpikingNetwork,
+    convert_to_snn,
+    spiking_layers,
+)
+from repro.snn.convert import reset_network_state
+from repro.snn.neurons import ResetMode
+from repro.tensor import Tensor, no_grad
+
+
+def make_quant_stack(levels=2, step=2.0, seed=0):
+    """conv-bn-qrelu x2 with populated BN stats, in eval mode."""
+    model = nn.Sequential(
+        nn.Conv2d(3, 6, 3, padding=1, rng=np.random.default_rng(seed)),
+        nn.BatchNorm2d(6),
+        nn.QuantReLU(levels=levels, init_step=step),
+        nn.Conv2d(6, 4, 3, padding=1, rng=np.random.default_rng(seed + 1)),
+        nn.BatchNorm2d(4),
+        nn.QuantReLU(levels=levels, init_step=step),
+    )
+    rng = np.random.default_rng(seed + 2)
+    model.train()
+    with no_grad():
+        for _ in range(5):
+            model(Tensor(rng.normal(size=(8, 3, 6, 6)).astype(np.float32)))
+    model.eval()
+    return model
+
+
+class TestConversionSurgery:
+    def test_replaces_all_quant_relus(self):
+        model = make_quant_stack()
+        convert_to_snn(model)
+        assert len(spiking_layers(model)) == 2
+        assert not any(isinstance(m, nn.QuantReLU) for m in model.modules())
+
+    def test_threshold_is_learned_step(self):
+        model = make_quant_stack(step=1.75)
+        convert_to_snn(model)
+        for layer in spiking_layers(model):
+            assert layer.threshold == pytest.approx(1.75)
+
+    def test_lif_option(self):
+        model = make_quant_stack()
+        convert_to_snn(model, neuron="lif", leak=0.875)
+        assert all(isinstance(l, LIFNeuron) for l in spiking_layers(model))
+        assert spiking_layers(model)[0].leak == pytest.approx(0.875)
+
+    def test_reset_mode_propagates(self):
+        model = make_quant_stack()
+        convert_to_snn(model, reset=ResetMode.ZERO)
+        assert all(l.reset is ResetMode.ZERO for l in spiking_layers(model))
+
+    def test_v_init_propagates(self):
+        model = make_quant_stack()
+        convert_to_snn(model, v_init_fraction=0.25)
+        assert spiking_layers(model)[0].v_init_fraction == 0.25
+
+    def test_rejects_plain_relu_model(self):
+        model = nn.Sequential(nn.Conv2d(1, 1, 3), nn.ReLU())
+        with pytest.raises(ValueError):
+            convert_to_snn(model)
+
+    def test_rejects_bad_neuron_name(self):
+        with pytest.raises(ValueError):
+            convert_to_snn(make_quant_stack(), neuron="izhikevich")
+
+    def test_reset_network_state(self):
+        model = make_quant_stack()
+        convert_to_snn(model)
+        model(Tensor(np.zeros((1, 3, 6, 6), np.float32)))
+        assert spiking_layers(model)[0].v is not None
+        reset_network_state(model)
+        assert all(l.v is None for l in spiking_layers(model))
+
+
+class TestQCFSEquivalence:
+    """The core theoretical property behind the paper's fast conversion."""
+
+    @pytest.mark.parametrize("levels", [2, 4, 8])
+    def test_single_layer_exact_at_t_equals_l(self, levels):
+        # For constant input, T=L timesteps of IF with v0 = theta/2
+        # reproduce the L-level quantised ReLU exactly.
+        step = 2.0
+        q = nn.QuantReLU(levels=levels, init_step=step)
+        neuron = IFNeuron(threshold=step, v_init_fraction=0.5)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 3, size=(64,)).astype(np.float32)
+        ref = q(Tensor(x)).data
+        total = np.zeros_like(x)
+        for _ in range(levels):
+            total += neuron(Tensor(x / levels * levels)).data  # constant drive x
+        avg = total / levels * 1.0
+        # Average output*L/threshold equals quantised output/step*L.
+        assert np.allclose(avg * (1.0 / levels) * levels, ref, atol=1e-5)
+
+    def test_stack_error_decreases_then_plateaus(self):
+        model = make_quant_stack(step=2.0)
+        twin = make_quant_stack(step=2.0)
+        twin.load_state_dict(model.state_dict())
+        with no_grad():
+            ref = model(Tensor(np.random.default_rng(5).normal(size=(4, 3, 6, 6)).astype(np.float32)))
+        convert_to_snn(twin)
+        x = np.random.default_rng(5).normal(size=(4, 3, 6, 6)).astype(np.float32)
+        net = SpikingNetwork(twin, timesteps=32)
+        outs = net.forward_per_step(x, 32)
+        err_2 = np.abs(outs[1] / 2 - ref.data).mean()
+        err_32 = np.abs(outs[31] / 32 - ref.data).mean()
+        # More timesteps should not make the approximation much worse.
+        assert err_32 <= err_2 + 0.1
+
+    def test_v_init_half_beats_zero(self):
+        # QCFS: initialising the membrane at theta/2 centres the error.
+        step, levels = 2.0, 2
+        q = nn.QuantReLU(levels=levels, init_step=step)
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 2.0, size=(512,)).astype(np.float32)
+        ref = q(Tensor(x)).data
+
+        def snn_error(v_frac):
+            neuron = IFNeuron(threshold=step, v_init_fraction=v_frac)
+            total = np.zeros_like(x)
+            for _ in range(levels):
+                total += neuron(Tensor(x)).data
+            return np.abs(total / levels - ref).mean()
+
+        assert snn_error(0.5) < snn_error(0.0)

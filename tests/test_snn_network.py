@@ -1,0 +1,113 @@
+"""SpikingNetwork executor and spike-metrics tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.snn import SpikingNetwork, collect_spike_stats, convert_to_snn, spiking_layers
+from repro.tensor import Tensor, no_grad
+
+
+def converted_toy(seed=0):
+    model = nn.Sequential(
+        nn.Conv2d(2, 4, 3, padding=1, rng=np.random.default_rng(seed)),
+        nn.BatchNorm2d(4),
+        nn.QuantReLU(levels=2, init_step=2.0),
+        nn.Flatten(),
+        nn.Linear(4 * 4 * 4, 5, rng=np.random.default_rng(seed + 1)),
+    )
+    rng = np.random.default_rng(seed + 2)
+    model.train()
+    with no_grad():
+        for _ in range(4):
+            model(Tensor(rng.normal(size=(8, 2, 4, 4)).astype(np.float32)))
+    model.eval()
+    return convert_to_snn(model)
+
+
+class TestSpikingNetwork:
+    def test_requires_spiking_model(self):
+        plain = nn.Sequential(nn.Conv2d(1, 1, 3), nn.ReLU())
+        with pytest.raises(ValueError):
+            SpikingNetwork(plain)
+
+    def test_requires_positive_timesteps(self):
+        with pytest.raises(ValueError):
+            SpikingNetwork(converted_toy(), timesteps=0)
+
+    def test_forward_shape(self):
+        net = SpikingNetwork(converted_toy(), timesteps=4)
+        x = np.random.default_rng(0).normal(size=(3, 2, 4, 4)).astype(np.float32)
+        logits = net.forward(x)
+        assert logits.shape == (3, 5)
+
+    def test_forward_resets_state_between_calls(self):
+        net = SpikingNetwork(converted_toy(), timesteps=4)
+        x = np.random.default_rng(0).normal(size=(2, 2, 4, 4)).astype(np.float32)
+        first = net.forward(x)
+        second = net.forward(x)
+        assert np.allclose(first, second)
+
+    def test_per_step_is_cumulative(self):
+        net = SpikingNetwork(converted_toy(), timesteps=4)
+        x = np.random.default_rng(1).normal(size=(2, 2, 4, 4)).astype(np.float32)
+        outs = net.forward_per_step(x, 6)
+        assert len(outs) == 6
+        total = net.forward(x, 6)
+        assert np.allclose(outs[-1], total)
+
+    def test_predict_and_accuracy(self):
+        net = SpikingNetwork(converted_toy(), timesteps=4)
+        x = np.random.default_rng(2).normal(size=(8, 2, 4, 4)).astype(np.float32)
+        preds = net.predict(x)
+        assert preds.shape == (8,)
+        acc = net.accuracy(x, preds)
+        assert acc == 1.0
+
+    def test_accuracy_per_step_length(self):
+        net = SpikingNetwork(converted_toy(), timesteps=4)
+        x = np.random.default_rng(3).normal(size=(4, 2, 4, 4)).astype(np.float32)
+        y = np.zeros(4, np.int64)
+        curve = net.accuracy_per_step(x, y, timesteps=5)
+        assert len(curve) == 5
+        assert all(0.0 <= a <= 1.0 for a in curve)
+
+    def test_batched_evaluation_matches_full(self):
+        net = SpikingNetwork(converted_toy(), timesteps=3)
+        x = np.random.default_rng(4).normal(size=(10, 2, 4, 4)).astype(np.float32)
+        y = net.predict(x)
+        acc_full = net.accuracy(x, y, batch_size=10)
+        acc_batched = net.accuracy(x, y, batch_size=3)
+        assert acc_full == acc_batched == 1.0
+
+
+class TestSpikeStats:
+    def test_rates_in_unit_interval(self):
+        net = SpikingNetwork(converted_toy(), timesteps=4)
+        x = np.random.default_rng(5).normal(size=(6, 2, 4, 4)).astype(np.float32)
+        stats = collect_spike_stats(net, x)
+        assert len(stats.per_layer) == 1
+        assert 0.0 <= stats.per_layer[0] <= 1.0
+        assert 0.0 <= stats.overall <= 1.0
+
+    def test_stats_reset_between_collections(self):
+        net = SpikingNetwork(converted_toy(), timesteps=4)
+        x = np.random.default_rng(6).normal(size=(4, 2, 4, 4)).astype(np.float32)
+        s1 = collect_spike_stats(net, x)
+        s2 = collect_spike_stats(net, x)
+        assert s1.per_layer == s2.per_layer
+
+    def test_overall_weighted_by_neurons(self):
+        net = SpikingNetwork(converted_toy(), timesteps=4)
+        x = np.random.default_rng(7).normal(size=(4, 2, 4, 4)).astype(np.float32)
+        stats = collect_spike_stats(net, x)
+        layer = spiking_layers(net.model)[0]
+        assert stats.overall == pytest.approx(layer.average_spike_rate)
+
+    def test_layer_table_renders(self):
+        net = SpikingNetwork(converted_toy(), timesteps=4)
+        x = np.random.default_rng(8).normal(size=(2, 2, 4, 4)).astype(np.float32)
+        stats = collect_spike_stats(net, x)
+        table = stats.layer_table()
+        assert "overall" in table
+        assert "layer" in table

@@ -1,0 +1,111 @@
+"""IF/LIF neuron dynamics tests."""
+
+import numpy as np
+import pytest
+
+from repro.snn import IFNeuron, LIFNeuron, ResetMode
+from repro.tensor import Tensor
+
+
+def drive(neuron, currents):
+    """Feed a sequence of scalar currents; return list of outputs."""
+    outs = []
+    for c in currents:
+        outs.append(float(neuron(Tensor(np.array([c], np.float32))).data[0]))
+    return outs
+
+
+class TestIFNeuron:
+    def test_spikes_when_threshold_crossed(self):
+        n = IFNeuron(threshold=1.0, v_init_fraction=0.0)
+        outs = drive(n, [0.4, 0.4, 0.4])
+        # Accumulates 0.4, 0.8, 1.2 -> spike on third step.
+        assert outs == [0.0, 0.0, 1.0]
+
+    def test_output_amplitude_is_threshold(self):
+        n = IFNeuron(threshold=2.5, v_init_fraction=0.0)
+        outs = drive(n, [3.0])
+        assert outs == [2.5]
+
+    def test_reset_by_subtraction_keeps_residual(self):
+        n = IFNeuron(threshold=1.0, v_init_fraction=0.0)
+        drive(n, [1.7])
+        assert n.v[0] == pytest.approx(0.7)
+
+    def test_reset_to_zero_discards_residual(self):
+        n = IFNeuron(threshold=1.0, reset=ResetMode.ZERO, v_init_fraction=0.0)
+        drive(n, [1.7])
+        assert n.v[0] == pytest.approx(0.0)
+
+    def test_v_init_fraction(self):
+        n = IFNeuron(threshold=2.0, v_init_fraction=0.5)
+        drive(n, [0.0])
+        assert n.v[0] == pytest.approx(1.0)
+
+    def test_rate_approximates_input_over_time(self):
+        # Constant input z with reset-by-subtraction: rate -> z/threshold.
+        n = IFNeuron(threshold=1.0, v_init_fraction=0.5)
+        outs = drive(n, [0.3] * 1000)
+        assert np.mean(outs) == pytest.approx(0.3, abs=0.01)
+
+    def test_negative_input_accumulates(self):
+        n = IFNeuron(threshold=1.0, v_init_fraction=0.0)
+        outs = drive(n, [-0.5, 0.7, 0.9])
+        assert outs[-1] == 1.0  # -0.5+0.7+0.9 = 1.1 >= 1.0
+        assert outs[:2] == [0.0, 0.0]
+
+    def test_reset_state(self):
+        n = IFNeuron(threshold=1.0)
+        drive(n, [0.4])
+        n.reset_state()
+        assert n.v is None
+
+    def test_spike_statistics(self):
+        n = IFNeuron(threshold=1.0, v_init_fraction=0.0)
+        n(Tensor(np.array([2.0, 0.1, 3.0], np.float32)))
+        assert n.spike_count == 2
+        assert n.neuron_steps == 3
+        assert n.average_spike_rate == pytest.approx(2 / 3)
+        n.reset_stats()
+        assert n.average_spike_rate == 0.0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            IFNeuron(threshold=0.0)
+
+    def test_batch_shapes(self):
+        n = IFNeuron(threshold=1.0)
+        out = n(Tensor(np.zeros((4, 8, 2, 2), np.float32)))
+        assert out.shape == (4, 8, 2, 2)
+
+
+class TestLIFNeuron:
+    def test_leak_reduces_accumulation(self):
+        lif = LIFNeuron(threshold=10.0, leak=0.5, v_init_fraction=0.0)
+        drive(lif, [1.0, 1.0, 1.0])
+        # v = ((0*0.5+1)*0.5+1)*0.5+1 = 1.75
+        assert lif.v[0] == pytest.approx(1.75)
+
+    def test_if_equals_lif_with_unit_leak(self):
+        i = IFNeuron(threshold=1.0, v_init_fraction=0.0)
+        l = LIFNeuron(threshold=1.0, leak=1.0, v_init_fraction=0.0)
+        seq = [0.3, 0.5, 0.9, -0.2, 0.6]
+        assert drive(i, list(seq)) == drive(l, list(seq))
+
+    def test_lif_spikes_less_than_if(self):
+        rng = np.random.default_rng(0)
+        currents = rng.uniform(0, 0.4, 500).tolist()
+        i = IFNeuron(threshold=1.0)
+        l = LIFNeuron(threshold=1.0, leak=0.9)
+        drive(i, list(currents))
+        drive(l, list(currents))
+        assert l.spike_count <= i.spike_count
+
+    def test_invalid_leak(self):
+        with pytest.raises(ValueError):
+            LIFNeuron(threshold=1.0, leak=0.0)
+        with pytest.raises(ValueError):
+            LIFNeuron(threshold=1.0, leak=1.5)
+
+    def test_repr_mentions_leak(self):
+        assert "leak" in repr(LIFNeuron(threshold=1.0))

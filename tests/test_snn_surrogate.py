@@ -1,0 +1,118 @@
+"""Surrogate-gradient training tests (the paper's direct-training baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.snn.surrogate import (
+    SurrogateIFLayer,
+    SurrogateSNN,
+    _surrogate_derivative,
+    evaluate_surrogate_snn,
+    spike_with_surrogate,
+    train_surrogate_snn,
+)
+from repro.tensor import Tensor
+
+
+class TestSurrogateDerivatives:
+    @pytest.mark.parametrize("kind", ["rectangle", "fast_sigmoid", "triangle"])
+    def test_peak_at_threshold(self, kind):
+        xs = np.linspace(-3, 3, 301).astype(np.float32)
+        d = _surrogate_derivative(kind, xs, width=1.0)
+        assert d[150] == d.max()  # maximal at v == threshold
+        assert (d >= 0).all()
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            _surrogate_derivative("step", np.zeros(1), 1.0)
+
+    def test_width_spreads_support(self):
+        xs = np.linspace(-3, 3, 301).astype(np.float32)
+        narrow = _surrogate_derivative("triangle", xs, 0.5)
+        wide = _surrogate_derivative("triangle", xs, 2.0)
+        assert (narrow > 0).sum() < (wide > 0).sum()
+
+
+class TestSpikeWithSurrogate:
+    def test_forward_is_heaviside(self):
+        v = Tensor(np.array([-0.5, 0.0, 0.5], np.float32))
+        theta = Parameter(np.float32(0.0), requires_grad=False)
+        out = spike_with_surrogate(v, theta)
+        assert out.data.tolist() == [0.0, 1.0, 1.0]
+
+    def test_backward_to_membrane(self):
+        v = Tensor(np.array([0.1, 5.0], np.float32), requires_grad=True)
+        theta = Parameter(np.float32(0.0), requires_grad=False)
+        spike_with_surrogate(v, theta, kind="triangle", width=1.0).sum().backward()
+        assert v.grad[0] > 0          # near threshold: gradient flows
+        assert v.grad[1] == 0.0       # far above: triangle support ended
+
+    def test_backward_to_threshold_negative(self):
+        v = Tensor(np.array([0.1], np.float32))
+        theta = Parameter(np.float32(0.0))
+        spike_with_surrogate(v, theta).sum().backward()
+        # Raising the threshold reduces spiking.
+        assert float(theta.grad) < 0
+
+
+class TestSurrogateIFLayer:
+    def test_statefulness_and_reset(self):
+        layer = SurrogateIFLayer(threshold=1.0)
+        x = Tensor(np.full((1, 4), 0.4, np.float32))
+        outs = [layer(x).data.sum() for _ in range(3)]
+        assert outs[2] > 0  # accumulated to threshold by step 3
+        layer.reset_state()
+        assert layer._v is None
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SurrogateIFLayer(threshold=-1.0)
+
+    def test_threshold_learnable_flag(self):
+        fixed = SurrogateIFLayer(learn_threshold=False)
+        assert not fixed.threshold.requires_grad
+        learned = SurrogateIFLayer(learn_threshold=True)
+        assert learned.threshold.requires_grad
+
+
+class TestSurrogateSNN:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(0)
+        # Two easily separable classes of small images.
+        x0 = rng.normal(-0.8, 0.4, size=(60, 3, 8, 8))
+        x1 = rng.normal(0.8, 0.4, size=(60, 3, 8, 8))
+        x = np.concatenate([x0, x1]).astype(np.float32)
+        y = np.array([0] * 60 + [1] * 60, np.int64)
+        order = rng.permutation(len(x))
+        return x[order], y[order]
+
+    def test_forward_shape(self, data):
+        model = SurrogateSNN(num_classes=2, channels=(8, 8), seed=0)
+        x, _ = data
+        logits = model(Tensor(x[:4]), timesteps=3)
+        assert logits.shape == (4, 2)
+
+    def test_training_reduces_loss(self, data):
+        x, y = data
+        model = SurrogateSNN(num_classes=2, channels=(8, 8), seed=0)
+        losses = train_surrogate_snn(
+            model, x, y, epochs=4, timesteps=3, lr=3e-3, batch_size=30
+        )
+        assert losses[-1] < losses[0]
+
+    def test_learns_separable_task(self, data):
+        x, y = data
+        model = SurrogateSNN(num_classes=2, channels=(8, 8), seed=1)
+        train_surrogate_snn(model, x, y, epochs=6, timesteps=3, lr=3e-3, batch_size=30)
+        acc = evaluate_surrogate_snn(model, x, y, timesteps=3)
+        assert acc > 0.8
+
+    def test_more_timesteps_not_worse(self, data):
+        x, y = data
+        model = SurrogateSNN(num_classes=2, channels=(8, 8), seed=2)
+        train_surrogate_snn(model, x, y, epochs=5, timesteps=4, lr=3e-3, batch_size=30)
+        acc_1 = evaluate_surrogate_snn(model, x, y, timesteps=1)
+        acc_8 = evaluate_surrogate_snn(model, x, y, timesteps=8)
+        assert acc_8 >= acc_1 - 0.1

@@ -1,0 +1,312 @@
+"""Autograd engine tests: op semantics and gradient correctness."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor.tensor import concatenate, stack, where
+
+
+def numeric_grad(fn, x, eps=1e-3):
+    """Central-difference gradient of scalar fn at numpy array x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = fn(x)
+        x[idx] = orig - eps
+        lo = fn(x)
+        x[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradient(op, shape, seed=0, tol=2e-2):
+    rng = np.random.default_rng(seed)
+    x_data = rng.normal(size=shape).astype(np.float64)
+    x = Tensor(x_data.astype(np.float32), requires_grad=True)
+    out = op(x)
+    loss = (out * out).sum()
+    loss.backward()
+    num = numeric_grad(lambda v: float((op(Tensor(v.astype(np.float32))).data ** 2).sum()), x_data.copy())
+    assert np.allclose(x.grad, num, rtol=tol, atol=tol), f"grad mismatch for {op}"
+
+
+class TestBasicOps:
+    def test_add_values(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor([3.0, 4.0])
+        assert np.allclose((a + b).data, [4.0, 6.0])
+
+    def test_scalar_radd(self):
+        a = Tensor([1.0, 2.0])
+        assert np.allclose((5.0 + a).data, [6.0, 7.0])
+
+    def test_mul_grad_both_sides(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([4.0, 5.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [4.0, 5.0])
+        assert np.allclose(b.grad, [2.0, 3.0])
+
+    def test_sub_and_neg(self):
+        a = Tensor([3.0], requires_grad=True)
+        b = Tensor([1.0], requires_grad=True)
+        (a - b).backward()
+        assert np.allclose(a.grad, [1.0])
+        assert np.allclose(b.grad, [-1.0])
+
+    def test_div_grad(self):
+        a = Tensor([6.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).backward()
+        assert np.allclose(a.grad, [0.5])
+        assert np.allclose(b.grad, [-1.5])
+
+    def test_pow_grad(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a ** 2).backward()
+        assert np.allclose(a.grad, [6.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_matmul_2d(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3), requires_grad=True)
+        b = Tensor(np.ones((3, 4), dtype=np.float32), requires_grad=True)
+        out = a @ b
+        out.sum().backward()
+        assert out.shape == (2, 4)
+        assert np.allclose(a.grad, np.full((2, 3), 4.0))
+        assert np.allclose(b.grad, np.repeat(a.data.sum(axis=0)[:, None], 4, axis=1))
+
+    def test_float64_input_downcast(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float32
+
+
+class TestBroadcasting:
+    def test_add_broadcast_grad(self):
+        a = Tensor(np.ones((2, 3), np.float32), requires_grad=True)
+        b = Tensor(np.ones((3,), np.float32), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        assert np.allclose(b.grad, [2.0, 2.0, 2.0])
+
+    def test_mul_keepdim_broadcast(self):
+        a = Tensor(np.ones((4, 1), np.float32), requires_grad=True)
+        b = Tensor(np.ones((4, 5), np.float32), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == (4, 1)
+        assert np.allclose(a.grad, 5.0)
+
+    def test_scalar_broadcast(self):
+        s = Tensor(np.float32(2.0), requires_grad=True)
+        x = Tensor(np.ones((3, 3), np.float32))
+        (x * s).sum().backward()
+        assert np.allclose(s.grad, 9.0)
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3), requires_grad=True)
+        out = x.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_mean_grad_scale(self):
+        x = Tensor(np.ones((4,), np.float32), requires_grad=True)
+        x.mean().backward()
+        assert np.allclose(x.grad, 0.25)
+
+    def test_mean_multi_axis(self):
+        x = Tensor(np.ones((2, 3, 4), np.float32), requires_grad=True)
+        out = x.mean(axis=(0, 2))
+        assert out.shape == (3,)
+        out.sum().backward()
+        assert np.allclose(x.grad, 1.0 / 8)
+
+    def test_max_grad_ties_split(self):
+        x = Tensor(np.array([1.0, 3.0, 3.0], np.float32), requires_grad=True)
+        x.max().backward()
+        assert np.allclose(x.grad, [0.0, 0.5, 0.5])
+
+    def test_var(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(8, 3)).astype(np.float32)
+        v = Tensor(data).var(axis=0)
+        assert np.allclose(v.data, data.var(axis=0), atol=1e-5)
+
+
+class TestNonlinearities:
+    def test_relu_values_and_grad(self):
+        x = Tensor(np.array([-1.0, 0.5], np.float32), requires_grad=True)
+        x.relu().sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0])
+
+    def test_exp_log_roundtrip(self):
+        x = Tensor(np.array([0.5, 1.5], np.float32))
+        assert np.allclose(x.exp().log().data, x.data, atol=1e-5)
+
+    def test_exp_gradient_numeric(self):
+        check_gradient(lambda t: t.exp(), (3, 4))
+
+    def test_log_gradient_numeric(self):
+        rng = np.random.default_rng(1)
+        x_data = (rng.random((3, 3)) + 0.5).astype(np.float32)
+        x = Tensor(x_data, requires_grad=True)
+        x.log().sum().backward()
+        assert np.allclose(x.grad, 1.0 / x_data, rtol=1e-3)
+
+    def test_clip_masks_gradient(self):
+        x = Tensor(np.array([-2.0, 0.5, 2.0], np.float32), requires_grad=True)
+        x.clip(0.0, 1.0).sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_floor_ste_identity_grad(self):
+        x = Tensor(np.array([1.7, -0.3], np.float32), requires_grad=True)
+        out = x.floor_ste()
+        assert np.allclose(out.data, [1.0, -1.0])
+        out.sum().backward()
+        assert np.allclose(x.grad, [1.0, 1.0])
+
+    def test_round_ste(self):
+        x = Tensor(np.array([1.4, 1.6], np.float32), requires_grad=True)
+        out = x.round_ste()
+        assert np.allclose(out.data, [1.0, 2.0])
+        out.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_abs_grad_sign(self):
+        x = Tensor(np.array([-2.0, 3.0], np.float32), requires_grad=True)
+        x.abs().sum().backward()
+        assert np.allclose(x.grad, [-1.0, 1.0])
+
+    def test_sqrt(self):
+        x = Tensor(np.array([4.0], np.float32), requires_grad=True)
+        x.sqrt().backward()
+        assert np.allclose(x.grad, [0.25])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_grad(self):
+        x = Tensor(np.ones((2, 6), np.float32), requires_grad=True)
+        x.reshape(3, 4).sum().backward()
+        assert x.grad.shape == (2, 6)
+
+    def test_reshape_infer_dim(self):
+        x = Tensor(np.ones((2, 6), np.float32))
+        assert x.reshape(2, -1).shape == (2, 6)
+
+    def test_transpose_grad(self):
+        x = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3), requires_grad=True)
+        out = x.transpose()
+        assert out.shape == (3, 2)
+        (out * out).sum().backward()
+        assert np.allclose(x.grad, 2 * x.data)
+
+    def test_getitem_accumulates(self):
+        x = Tensor(np.zeros(4, np.float32), requires_grad=True)
+        (x[1] + x[1]).backward()
+        assert np.allclose(x.grad, [0.0, 2.0, 0.0, 0.0])
+
+    def test_pad2d(self):
+        x = Tensor(np.ones((1, 1, 2, 2), np.float32), requires_grad=True)
+        out = x.pad2d(1)
+        assert out.shape == (1, 1, 4, 4)
+        out.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_concatenate_grad(self):
+        a = Tensor(np.ones((2, 2), np.float32), requires_grad=True)
+        b = Tensor(np.ones((3, 2), np.float32), requires_grad=True)
+        out = concatenate([a, b], axis=0)
+        assert out.shape == (5, 2)
+        (out * 2).sum().backward()
+        assert np.allclose(a.grad, 2.0)
+        assert np.allclose(b.grad, 2.0)
+
+    def test_stack_grad(self):
+        a = Tensor(np.ones(3, np.float32), requires_grad=True)
+        b = Tensor(np.ones(3, np.float32), requires_grad=True)
+        out = stack([a, b])
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+
+    def test_where(self):
+        a = Tensor(np.ones(3, np.float32), requires_grad=True)
+        b = Tensor(np.zeros(3, np.float32), requires_grad=True)
+        cond = np.array([True, False, True])
+        where(cond, a, b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0, 1.0])
+        assert np.allclose(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestGraphMechanics:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_nonscalar_needs_grad_arg(self):
+        x = Tensor(np.ones(3, np.float32), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor(np.ones(2, np.float32), requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 2).sum().backward()
+        assert np.allclose(x.grad, 4.0)
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(2, np.float32), requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph(self):
+        # x used twice along different paths: grads must sum.
+        x = Tensor(np.float32(2.0), requires_grad=True)
+        y = x * 3
+        z = x * 4
+        (y + z).backward()
+        assert np.allclose(x.grad, 7.0)
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.float32(1.0), requires_grad=True)
+        out = x
+        for _ in range(3000):
+            out = out + 0.001
+        out.backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(2, np.float32), requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = x * 2
+        assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_detach(self):
+        x = Tensor(np.ones(2, np.float32), requires_grad=True)
+        d = x.detach()
+        assert not d.requires_grad
+        assert d.data is x.data
+
+    def test_item_and_len(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_comparison_ops_not_differentiable(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = a > 1.5
+        assert not out.requires_grad
+        assert out.data.tolist() == [False, True]

@@ -1,0 +1,198 @@
+"""Functional-op tests: im2col, conv2d, pooling, losses."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, functional as F
+from repro.tensor.functional import col2im, im2col
+
+
+def naive_conv2d(x, w, b=None, stride=1, padding=0):
+    """Reference conv via explicit loops."""
+    n, c_in, h, wd = x.shape
+    c_out, _, k, _ = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (h + 2 * padding - k) // stride + 1
+    ow = (wd + 2 * padding - k) // stride + 1
+    out = np.zeros((n, c_out, oh, ow), dtype=np.float64)
+    for ni in range(n):
+        for co in range(c_out):
+            for i in range(oh):
+                for j in range(ow):
+                    window = x[ni, :, i * stride : i * stride + k, j * stride : j * stride + k]
+                    out[ni, co, i, j] = (window * w[co]).sum()
+            if b is not None:
+                out[ni, co] += b[co]
+    return out.astype(np.float32)
+
+
+class TestIm2col:
+    def test_shapes(self):
+        x = np.arange(2 * 3 * 5 * 5, dtype=np.float32).reshape(2, 3, 5, 5)
+        cols, oh, ow = im2col(x, kernel=3, stride=1, padding=0)
+        assert (oh, ow) == (3, 3)
+        assert cols.shape == (2 * 9, 3 * 9)
+
+    def test_stride_and_padding(self):
+        x = np.ones((1, 1, 4, 4), np.float32)
+        cols, oh, ow = im2col(x, kernel=2, stride=2, padding=1)
+        assert (oh, ow) == (3, 3)
+
+    def test_col2im_is_adjoint(self):
+        # <im2col(x), y> == <x, col2im(y)> for random x, y.
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float64)
+        cols, oh, ow = im2col(x, 3, 2, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        back = col2im(y, x.shape, 3, 2, 1)
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_naive(self, stride, padding):
+        rng = np.random.default_rng(42)
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        b = rng.normal(size=4).astype(np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        ref = naive_conv2d(x, w, b, stride, padding)
+        assert np.allclose(out.data, ref, atol=1e-4)
+
+    def test_weight_gradient_numeric(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)).astype(np.float32))
+        w_data = rng.normal(size=(3, 2, 3, 3)).astype(np.float64)
+        w = Tensor(w_data.astype(np.float32), requires_grad=True)
+        loss = (F.conv2d(x, w, padding=1) ** 2).sum()
+        loss.backward()
+        eps, idx = 1e-2, (1, 0, 2, 1)
+        for sign in (1,):
+            w_hi = w_data.copy(); w_hi[idx] += eps
+            w_lo = w_data.copy(); w_lo[idx] -= eps
+            hi = float((F.conv2d(x, Tensor(w_hi.astype(np.float32)), padding=1).data ** 2).sum())
+            lo = float((F.conv2d(x, Tensor(w_lo.astype(np.float32)), padding=1).data ** 2).sum())
+            num = (hi - lo) / (2 * eps)
+        assert w.grad[idx] == pytest.approx(num, rel=5e-2)
+
+    def test_input_gradient_numeric(self):
+        rng = np.random.default_rng(1)
+        x_data = rng.normal(size=(1, 2, 4, 4)).astype(np.float64)
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)).astype(np.float32))
+        x = Tensor(x_data.astype(np.float32), requires_grad=True)
+        (F.conv2d(x, w, padding=1) ** 2).sum().backward()
+        eps, idx = 1e-2, (0, 1, 2, 2)
+        x_hi = x_data.copy(); x_hi[idx] += eps
+        x_lo = x_data.copy(); x_lo[idx] -= eps
+        hi = float((F.conv2d(Tensor(x_hi.astype(np.float32)), w, padding=1).data ** 2).sum())
+        lo = float((F.conv2d(Tensor(x_lo.astype(np.float32)), w, padding=1).data ** 2).sum())
+        assert x.grad[idx] == pytest.approx((hi - lo) / (2 * eps), rel=5e-2)
+
+    def test_bias_gradient(self):
+        x = Tensor(np.zeros((2, 1, 4, 4), np.float32))
+        w = Tensor(np.zeros((3, 1, 3, 3), np.float32))
+        b = Tensor(np.zeros(3, np.float32), requires_grad=True)
+        F.conv2d(x, w, b, padding=1).sum().backward()
+        assert np.allclose(b.grad, 2 * 16)  # batch x spatial positions
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 3, 4, 4), np.float32)),
+                     Tensor(np.zeros((2, 4, 3, 3), np.float32)))
+
+    def test_rectangular_kernel_rejected(self):
+        x = Tensor(np.zeros((1, 1, 4, 4), np.float32))
+        w = Tensor(np.zeros((1, 1, 3, 2), np.float32))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2)
+        assert np.allclose(out.data.ravel(), [5, 7, 13, 15])
+
+    def test_max_pool_grad_routes_to_argmax(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        assert np.allclose(x.grad[0, 0], expected)
+
+    def test_avg_pool_values_and_grad(self):
+        x = Tensor(np.ones((2, 3, 4, 4), np.float32), requires_grad=True)
+        out = F.avg_pool2d(x, 2)
+        assert out.shape == (2, 3, 2, 2)
+        assert np.allclose(out.data, 1.0)
+        out.sum().backward()
+        assert np.allclose(x.grad, 0.25)
+
+    def test_global_avg_pool(self):
+        x = Tensor(np.arange(8, dtype=np.float32).reshape(1, 2, 2, 2))
+        out = F.global_avg_pool2d(x)
+        assert out.shape == (1, 2)
+        assert np.allclose(out.data, [[1.5, 5.5]])
+
+
+class TestLosses:
+    def test_log_softmax_normalised(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 10)).astype(np.float32))
+        logp = F.log_softmax(x)
+        assert np.allclose(np.exp(logp.data).sum(axis=1), 1.0, atol=1e-5)
+
+    def test_log_softmax_stability(self):
+        x = Tensor(np.array([[1000.0, 1000.0]], np.float32))
+        logp = F.log_softmax(x)
+        assert np.isfinite(logp.data).all()
+
+    def test_softmax_sums_to_one(self):
+        x = Tensor(np.array([[1.0, 2.0, 3.0]], np.float32))
+        assert F.softmax(x).data.sum() == pytest.approx(1.0, abs=1e-5)
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((2, 4), np.float32))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() == pytest.approx(np.log(4), rel=1e-5)
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 3), np.float32), requires_grad=True)
+        F.cross_entropy(logits, np.array([1])).backward()
+        # Gradient should push the target logit up, others down.
+        assert logits.grad[0, 1] < 0
+        assert logits.grad[0, 0] > 0
+        assert logits.grad.sum() == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_decreases_with_training_signal(self):
+        rng = np.random.default_rng(0)
+        logits_data = rng.normal(size=(8, 5)).astype(np.float32)
+        y = rng.integers(0, 5, size=8)
+        logits = Tensor(logits_data, requires_grad=True)
+        loss = F.cross_entropy(logits, y)
+        loss.backward()
+        stepped = logits_data - 1.0 * logits.grad
+        new_loss = F.cross_entropy(Tensor(stepped), y)
+        assert new_loss.item() < loss.item()
+
+    def test_accuracy(self):
+        logits = Tensor(np.array([[0.9, 0.1], [0.2, 0.8]], np.float32))
+        assert F.accuracy(logits, np.array([0, 1])) == 1.0
+        assert F.accuracy(logits, np.array([1, 1])) == 0.5
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        x = Tensor(np.ones(100, np.float32))
+        out = F.dropout(x, 0.5, training=False, rng=np.random.default_rng(0))
+        assert np.allclose(out.data, 1.0)
+
+    def test_training_scales_survivors(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(10000, np.float32))
+        out = F.dropout(x, 0.5, training=True, rng=rng)
+        kept = out.data[out.data > 0]
+        assert np.allclose(kept, 2.0)
+        assert 0.4 < (out.data > 0).mean() < 0.6

@@ -1,0 +1,105 @@
+"""Utility tests: serialization, seeding, logging."""
+
+import numpy as np
+import pytest
+
+from repro.models import vgg11
+from repro.utils import RunLogger, load_state, save_state, seed_everything, spawn_rngs
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        model = vgg11(width=0.125, seed=1)
+        path = save_state(model, tmp_path / "model.npz", metadata={"epochs": 3})
+        fresh = vgg11(width=0.125, seed=2)
+        fresh, meta = load_state(fresh, path)
+        assert meta == {"epochs": 3}
+        for (n1, p1), (n2, p2) in zip(
+            model.named_parameters(), fresh.named_parameters()
+        ):
+            assert n1 == n2
+            assert np.allclose(p1.data, p2.data)
+
+    def test_buffers_roundtrip(self, tmp_path):
+        model = vgg11(width=0.125, seed=1)
+        for name, buf in model.named_buffers():
+            if name.endswith("running_mean"):
+                buf += 3.0
+        path = save_state(model, tmp_path / "m.npz")
+        fresh = vgg11(width=0.125, seed=0)
+        load_state(fresh, path)
+        means = [b for n, b in fresh.named_buffers() if n.endswith("running_mean")]
+        assert all(np.allclose(m, 3.0) for m in means)
+
+    def test_creates_directories(self, tmp_path):
+        model = vgg11(width=0.125)
+        path = save_state(model, tmp_path / "deep" / "nested" / "m.npz")
+        assert path.exists()
+
+    def test_architecture_mismatch_raises(self, tmp_path):
+        model = vgg11(width=0.125)
+        path = save_state(model, tmp_path / "m.npz")
+        wrong = vgg11(width=0.25)
+        with pytest.raises((ValueError, KeyError)):
+            load_state(wrong, path)
+
+    def test_empty_metadata(self, tmp_path):
+        model = vgg11(width=0.125)
+        path = save_state(model, tmp_path / "m.npz")
+        _, meta = load_state(vgg11(width=0.125), path)
+        assert meta == {}
+
+
+class TestSeeding:
+    def test_seed_everything_deterministic(self):
+        a = seed_everything(5).random(4)
+        b = seed_everything(5).random(4)
+        assert np.array_equal(a, b)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            seed_everything(-1)
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(0, ["data", "init", "dropout"])
+        assert set(rngs) == {"data", "init", "dropout"}
+        a = rngs["data"].random(8)
+        b = rngs["init"].random(8)
+        assert not np.allclose(a, b)
+
+    def test_spawn_reproducible(self):
+        a = spawn_rngs(7, ["x", "y"])["y"].random(4)
+        b = spawn_rngs(7, ["x", "y"])["y"].random(4)
+        assert np.array_equal(a, b)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, ["a", "a"])
+
+
+class TestRunLogger:
+    def test_records_in_memory(self):
+        logger = RunLogger("test")
+        logger.log("epoch", loss=0.5)
+        logger.log("epoch", loss=0.3)
+        logger.log("eval", accuracy=0.9)
+        assert len(logger.metrics("epoch")) == 2
+        assert logger.last("epoch")["loss"] == 0.3
+        assert logger.last("missing") is None
+
+    def test_writes_jsonl(self, tmp_path):
+        import json
+
+        path = tmp_path / "log" / "run.jsonl"
+        logger = RunLogger("test", path=path)
+        logger.log("epoch", loss=1.0)
+        logger.log("epoch", loss=0.5)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["loss"] == 0.5
+
+    def test_elapsed_monotone(self):
+        logger = RunLogger()
+        a = logger.log("tick")
+        b = logger.log("tick")
+        assert b["elapsed_s"] >= a["elapsed_s"]
