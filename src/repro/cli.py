@@ -127,6 +127,7 @@ def _curve_and_rates(model_name: str, args):
         ann_epochs=args.epochs,
         finetune_epochs=max(1, args.epochs - 2),
         seed=args.seed,
+        engine=args.engine,
     )
     return dataset, curve
 
@@ -199,6 +200,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--train", type=int, default=1500, help="training samples")
     parser.add_argument("--test", type=int, default=400, help="test samples")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--engine",
+        choices=["dense", "event"],
+        default="dense",
+        help="SNN simulation backend for training artefacts: full dense "
+        "recompute per timestep, or sparse event propagation",
+    )
     parser.add_argument("--top", type=int, default=12, help="rows to show for dse")
     parser.add_argument(
         "--skip-training",

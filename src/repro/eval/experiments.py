@@ -66,8 +66,13 @@ def accuracy_vs_timesteps_experiment(
     ann_epochs: int = 8,
     finetune_epochs: int = 6,
     seed: int = 0,
+    engine: str = "dense",
 ) -> AccuracyCurve:
-    """Run the full pipeline and return the accuracy-vs-T curve."""
+    """Run the full pipeline and return the accuracy-vs-T curve.
+
+    ``engine`` selects the SNN simulation backend (``"dense"`` or
+    ``"event"``); accuracy is backend-independent, wall clock is not.
+    """
     dataset = dataset or SyntheticCIFAR(num_train=2000, num_test=500, noise=1.0, seed=seed)
     result = run_conversion_pipeline(
         model_name,
@@ -79,6 +84,7 @@ def accuracy_vs_timesteps_experiment(
         ann_config=TrainConfig(epochs=ann_epochs, seed=seed),
         finetune_config=TrainConfig(epochs=finetune_epochs, lr=5e-4, seed=seed + 1),
         seed=seed,
+        engine=engine,
     )
     match_t = None
     for t, acc in enumerate(result.snn_accuracy_per_step, start=1):

@@ -16,7 +16,6 @@ so the 16-bit PE width does not apply there.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -26,57 +25,13 @@ from repro.hw.config import ArchConfig, LayerKind
 from repro.hw.core import CoreRunStats, SpikingCore
 from repro.hw.fixed import fixed_mul, saturate
 from repro.hw.mapper import MappedLayer, MappedNetwork
+from repro.snn.stats import LayerStats, RunStats
 from repro.tensor.functional import im2col
 
-
-@dataclass
-class LayerRunStats:
-    """Accumulated per-layer execution statistics for one run."""
-
-    name: str
-    core_cycles: int = 0
-    aggregation_cycles: int = 0
-    spike_count: int = 0
-    neuron_steps: int = 0
-    synaptic_ops: int = 0
-    segment_activity_sum: float = 0.0
-    timesteps: int = 0
-
-    @property
-    def spike_rate(self) -> float:
-        if self.neuron_steps == 0:
-            return 0.0
-        return self.spike_count / self.neuron_steps
-
-    @property
-    def mean_segment_activity(self) -> float:
-        if self.timesteps == 0:
-            return 0.0
-        return self.segment_activity_sum / self.timesteps
-
-
-@dataclass
-class RunReport:
-    """Whole-network statistics for one batch of inferences."""
-
-    batch_size: int
-    timesteps: int
-    layers: List[LayerRunStats] = field(default_factory=list)
-
-    @property
-    def total_core_cycles(self) -> int:
-        return sum(l.core_cycles for l in self.layers)
-
-    @property
-    def cycles_per_inference(self) -> float:
-        return self.total_core_cycles / max(self.batch_size, 1)
-
-    @property
-    def total_synaptic_ops(self) -> int:
-        return sum(l.synaptic_ops for l in self.layers)
-
-    def spike_rates(self) -> List[float]:
-        return [l.spike_rate for l in self.layers if l.neuron_steps > 0]
+# The accelerator shares the unified statistics types with the software
+# engines (repro.snn.stats); the old names remain as aliases.
+LayerRunStats = LayerStats
+RunReport = RunStats
 
 
 class SpikingInferenceAccelerator:
@@ -112,10 +67,16 @@ class SpikingInferenceAccelerator:
             np.round(x / self.network.input_scale), -128, 127
         ).astype(np.int64)
 
-        stats = [LayerRunStats(name=l.name) for l in self.network.layers]
+        stats = [
+            LayerRunStats(name=l.name, kind=l.config.kind.value)
+            for l in self.network.layers
+        ]
         membranes: Dict[int, np.ndarray] = {}
         logits_int: Optional[np.ndarray] = None
         outputs: Dict[int, np.ndarray] = {}
+        # The input frame is constant across timesteps, so the PS-side
+        # frame convolution is computed once and reused every step.
+        frame_psums: Dict[int, np.ndarray] = {}
 
         for _ in range(timesteps):
             outputs.clear()
@@ -125,17 +86,26 @@ class SpikingInferenceAccelerator:
                 )
                 if layer.spiking:
                     spikes_out = self._run_spiking_layer(
-                        idx, layer, spikes_in, outputs, membranes, stats[idx]
+                        idx, layer, spikes_in, outputs, membranes, stats[idx],
+                        frame_psums,
                     )
                     outputs[idx] = spikes_out
                 else:
                     psum, core_stats = self._fc_psum(layer, spikes_in, stats[idx])
-                    logits_int = psum if logits_int is None else logits_int + psum
+                    if logits_int is None:
+                        logits_int = psum
+                    else:
+                        logits_int += psum
             self._advance_timestep(stats)
 
         assert logits_int is not None, "network has no output layer"
         logits = logits_int.astype(np.float64) * self.network.layers[-1].output_scale
-        report = RunReport(batch_size=n, timesteps=timesteps, layers=stats)
+        report = RunReport(
+            batch_size=n,
+            timesteps=timesteps,
+            layers=stats,
+            engine="sia-event" if self.event_driven else "sia-dense",
+        )
         return logits, report
 
     def predict(self, x: np.ndarray, timesteps: int = 8) -> np.ndarray:
@@ -176,10 +146,13 @@ class SpikingInferenceAccelerator:
         outputs: Dict[int, np.ndarray],
         membranes: Dict[int, np.ndarray],
         stat: LayerRunStats,
+        frame_psums: Dict[int, np.ndarray],
     ) -> np.ndarray:
         c = layer.config
         if layer.frame_input:
-            psum = self._frame_psum(layer, spikes_in)
+            if idx not in frame_psums:
+                frame_psums[idx] = self._frame_psum(layer, spikes_in)
+            psum = frame_psums[idx]
             core_stats = CoreRunStats()  # executed on the PS, no PL cycles
         else:
             psum, core_stats = self.core.conv_timestep(

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.hw.config import ArchConfig, LayerConfig, PYNQ_Z2
 from repro.hw.fixed import fixed_mul, int_limits, saturate
+from repro.snn.dynamics import ResetMode, initial_membrane, neuron_step, shift_leak
 
 
 class BatchNormUnit:
@@ -68,7 +69,10 @@ class ActivationUnit:
     The membrane potential, threshold and batch-norm outputs all live on
     the same fixed-point grid (LSB = threshold / 2**membrane_frac_bits,
     chosen by the mapper); the unit itself only sees integers, like the
-    RTL would.
+    RTL would.  The dynamics are the shared
+    :func:`repro.snn.dynamics.neuron_step` — the very same update the
+    float software neurons execute — specialised with the hardware's
+    subtract-shift leak and 16-bit partial-sum saturation.
     """
 
     def __init__(self, arch: ArchConfig = PYNQ_Z2) -> None:
@@ -78,8 +82,7 @@ class ActivationUnit:
         self, shape: Tuple[int, ...], threshold_int: int, v_init_fraction: float = 0.5
     ) -> np.ndarray:
         """Fresh membrane array pre-charged to ``v_init_fraction * threshold``."""
-        value = int(round(threshold_int * v_init_fraction))
-        return np.full(shape, value, dtype=np.int64)
+        return initial_membrane(shape, threshold_int, v_init_fraction, dtype=np.int64)
 
     def step(
         self,
@@ -97,20 +100,17 @@ class ActivationUnit:
         memory.  Returns the output spikes and the updated membrane to
         be written back to the other ping-pong bank.
         """
-        if threshold_int <= 0:
-            raise ValueError("threshold must be positive")
-        v = membrane.astype(np.int64)
-        if lif_mode:
-            # Hardware leak: v -= v >> shift (arithmetic shift).
-            v = v - (v >> leak_shift)
-        v = saturate(v + np.asarray(current, dtype=np.int64), self.arch.psum_bits)
-        spikes = (v >= threshold_int).astype(np.uint8)
-        if reset_to_zero:
-            v = np.where(spikes, 0, v)
-        else:
-            v = v - spikes.astype(np.int64) * threshold_int
+        v, spiked = neuron_step(
+            membrane.astype(np.int64),
+            np.asarray(current, dtype=np.int64),
+            int(threshold_int),
+            reset=ResetMode.ZERO if reset_to_zero else ResetMode.SUBTRACT,
+            leak_fn=shift_leak(leak_shift) if lif_mode else None,
+            clamp_fn=lambda value: saturate(value, self.arch.psum_bits),
+        )
+        spikes = spiked.astype(np.uint8)
         return ActivationResult(
-            spikes=spikes, membrane=v, spike_count=int(spikes.sum())
+            spikes=spikes, membrane=v, spike_count=int(spiked.sum())
         )
 
 

@@ -21,6 +21,7 @@ from repro.models import build_model
 from repro.nn.module import Module
 from repro.pipeline.trainer import TrainConfig, Trainer, evaluate_model
 from repro.snn import SpikingNetwork, convert_to_snn
+from repro.snn.engine import EngineSpec
 from repro.snn.neurons import ResetMode
 
 
@@ -147,11 +148,14 @@ def run_conversion_pipeline(
     v_init_fraction: float = 0.5,
     seed: int = 0,
     progress: Optional[Callable[[str], None]] = None,
+    engine: EngineSpec = "dense",
 ) -> ConversionResult:
     """Run the full 3-stage pipeline on ``dataset``.
 
     ``max_timesteps`` (default ``max(timesteps, 16)``) controls how far
     the per-step accuracy curve extends — paper Figs. 7/9 plot up to ~30.
+    ``engine`` selects the SNN execution backend (``"dense"`` or
+    ``"event"``); the accuracy numbers are backend-independent.
     """
     say = progress or (lambda message: None)
     ann_config = ann_config or TrainConfig(epochs=8, seed=seed)
@@ -201,7 +205,7 @@ def run_conversion_pipeline(
     snn_model = convert_to_snn(
         snn_twin, neuron=neuron, reset=reset, v_init_fraction=v_init_fraction
     )
-    snn = SpikingNetwork(snn_model, timesteps=timesteps)
+    snn = SpikingNetwork(snn_model, timesteps=timesteps, engine=engine)
     per_step = snn.accuracy_per_step(test_x, test_y, timesteps=max_timesteps)
     snn_acc = per_step[timesteps - 1]
 

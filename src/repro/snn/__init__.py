@@ -5,11 +5,28 @@ Implements the paper's conversion step (Fig. 1, right): every
 by an integrate-and-fire neuron whose firing threshold is the learned
 step size and whose membrane potential starts at threshold/2 (the QCFS
 optimum), using reset-by-subtraction.  The resulting stateful network is
-run for T timesteps by :class:`SpikingNetwork`.
+run for T timesteps by :class:`SpikingNetwork` on a pluggable
+:mod:`repro.snn.engine` backend — ``"dense"`` (reference per-timestep
+recompute) or ``"event"`` (sparse event propagation whose cost scales
+with spike rate, like the paper's hardware).
 """
 
-from repro.snn.neurons import IFNeuron, LIFNeuron, ResetMode
+from repro.snn.dynamics import (
+    ResetMode,
+    initial_membrane,
+    multiplicative_leak,
+    neuron_step,
+    shift_leak,
+)
+from repro.snn.neurons import IFNeuron, LIFNeuron
 from repro.snn.convert import convert_to_snn, spiking_layers
+from repro.snn.stats import LayerStats, RunStats
+from repro.snn.engine import (
+    DenseEngine,
+    SimulationEngine,
+    SparseEventEngine,
+    make_engine,
+)
 from repro.snn.network import SpikingNetwork
 from repro.snn.metrics import SpikeStats, collect_spike_stats
 from repro.snn.surrogate import (
@@ -37,9 +54,19 @@ __all__ = [
     "IFNeuron",
     "LIFNeuron",
     "ResetMode",
+    "neuron_step",
+    "initial_membrane",
+    "multiplicative_leak",
+    "shift_leak",
     "convert_to_snn",
     "spiking_layers",
     "SpikingNetwork",
+    "SimulationEngine",
+    "DenseEngine",
+    "SparseEventEngine",
+    "make_engine",
+    "LayerStats",
+    "RunStats",
     "SpikeStats",
     "collect_spike_stats",
 ]

@@ -1,0 +1,137 @@
+"""The single implementation of IF/LIF membrane dynamics.
+
+The paper's aggregation core (§III-B) and the software simulator both
+advance neurons the same way each timestep:
+
+    leak -> integrate -> (clamp) -> compare against threshold -> reset
+
+Historically the float software path (:mod:`repro.snn.neurons`) and the
+integer hardware path (:mod:`repro.hw.aggregation`) each carried their
+own copy of this update.  This module is now the one place the dynamics
+live: :func:`neuron_step` is a stateless, vectorised transition function
+``(membrane, input) -> (membrane, spikes)`` that is generic over dtype —
+the software engines call it on float32 membranes with a multiplicative
+leak, the hardware model calls it on int64 membranes with the
+subtract-shift leak and 16-bit saturation injected through ``leak_fn`` /
+``clamp_fn``.
+
+Reset-by-subtraction (the paper's choice) keeps the above-threshold
+residual in the membrane, which is what preserves information across
+timesteps and makes low-latency conversion work; reset-to-zero is kept
+for ablations.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional, Tuple, Union
+
+import numpy as np
+
+Scalar = Union[int, float]
+LeakFn = Callable[[np.ndarray], np.ndarray]
+ClampFn = Callable[[np.ndarray], np.ndarray]
+
+
+class ResetMode(str, enum.Enum):
+    """Post-spike membrane reset behaviour."""
+
+    SUBTRACT = "subtract"  # v <- v - threshold  (paper's choice)
+    ZERO = "zero"          # v <- 0
+
+
+def initial_membrane(
+    shape: Tuple[int, ...],
+    threshold: Scalar,
+    v_init_fraction: float = 0.5,
+    dtype=np.float32,
+) -> np.ndarray:
+    """Fresh membrane pre-charged to ``v_init_fraction * threshold``.
+
+    The 0.5 default is the QCFS optimum (it centres the quantisation
+    error); integer dtypes round to the nearest representable level,
+    matching what the mapper writes into the membrane memory.
+    """
+    value = threshold * v_init_fraction
+    if np.issubdtype(np.dtype(dtype), np.integer):
+        value = int(round(value))
+    return np.full(shape, value, dtype=dtype)
+
+
+def multiplicative_leak(leak: float) -> Optional[LeakFn]:
+    """Software LIF leak ``v <- leak * v``; None for leak=1 (pure IF)."""
+    if not 0.0 < leak <= 1.0:
+        raise ValueError("leak must be in (0, 1]")
+    if leak == 1.0:
+        return None
+
+    def apply(v: np.ndarray) -> np.ndarray:
+        return v * leak
+
+    return apply
+
+
+def shift_leak(shift: int) -> LeakFn:
+    """Hardware LIF leak ``v <- v - (v >> shift)`` (subtract-shift).
+
+    ``shift=0`` is the degenerate full decay (``v - v = 0``): the
+    mapper emits it for very leaky neurons (leak < ~0.29), so it must
+    stay representable.
+    """
+    if shift < 0:
+        raise ValueError("leak shift must be >= 0")
+
+    def apply(v: np.ndarray) -> np.ndarray:
+        return v - (v >> shift)
+
+    return apply
+
+
+def neuron_step(
+    v: np.ndarray,
+    current: np.ndarray,
+    threshold: Scalar,
+    reset: ResetMode = ResetMode.SUBTRACT,
+    leak_fn: Optional[LeakFn] = None,
+    clamp_fn: Optional[ClampFn] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Advance one timestep of IF/LIF dynamics.
+
+    Parameters
+    ----------
+    v:
+        Membrane potential (any shape; float or integer dtype).
+    current:
+        Synaptic input for this timestep (same shape/dtype family).
+    threshold:
+        Firing threshold on the same scale as ``v``.
+    reset:
+        Reset-by-subtraction (paper) or reset-to-zero.
+    leak_fn:
+        Optional leak applied to ``v`` *before* integration — use
+        :func:`multiplicative_leak` (software) or :func:`shift_leak`
+        (hardware); None means pure IF.
+    clamp_fn:
+        Optional range clamp applied after integration (the hardware's
+        16-bit partial-sum saturation); None for the float path.
+
+    Returns
+    -------
+    ``(v_next, spiked)`` where ``spiked`` is a boolean array; callers
+    scale it into their own spike representation (``spikes * threshold``
+    in the float network, binary uint8 planes on the accelerator).
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    if leak_fn is not None:
+        v = leak_fn(v)
+    v = v + current
+    if clamp_fn is not None:
+        v = clamp_fn(v)
+    spiked = v >= threshold
+    thr = np.asarray(threshold, dtype=v.dtype)
+    if ResetMode(reset) is ResetMode.SUBTRACT:
+        v = np.where(spiked, v - thr, v)
+    else:
+        v = np.where(spiked, np.zeros((), dtype=v.dtype), v)
+    return v, spiked

@@ -1,0 +1,428 @@
+"""Pluggable simulation engines for timestep-unrolled SNN execution.
+
+The paper's central claim is that event-driven, sparsity-exploiting
+execution is what makes the accelerator fast: per timestep the hardware
+only pays for kernel-row segments that actually carry spikes.  The
+software simulator historically did the opposite — it re-ran the full
+dense model every timestep, O(T x dense) regardless of spike rate.
+
+This module restructures SNN execution into an engine layer with two
+backends behind one :class:`SimulationEngine` interface:
+
+``DenseEngine``
+    The reference backend: one dense forward pass of the converted
+    model per timestep (exactly the old ``SpikingNetwork`` behaviour).
+
+``SparseEventEngine``
+    Propagates only active spike events.  Conv and linear layers whose
+    input plane is sparse are executed by gathering the active im2col
+    rows (output windows touched by at least one spike) and the active
+    columns (taps that carry a spike anywhere in the batch) and
+    multiplying only that submatrix — per-timestep matmul cost scales
+    with spike rate, mirroring the paper's aggregation core.  Dense
+    inputs (the analog input frame, like the PS-side frame conv in
+    §IV) fall back to the dense kernel.
+
+Both engines run the *same* module graph — the event backend installs
+per-instance forward interceptors on conv/linear modules for the
+duration of a run — so arbitrary models (VGG chains, ResNet residual
+graphs) work identically on either backend, and their logits agree up
+to float summation order.
+
+Every run produces a :class:`repro.snn.stats.RunStats` with per-layer
+spike rates and performed-vs-dense synaptic-op counts, the single
+instrumentation point consumed by ``SpikingNetwork``, the spike-rate
+experiments and the engine benchmarks.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module
+from repro.nn.quant import QuantConv2d, QuantLinear, _WeightFakeQuant
+from repro.snn.convert import reset_network_state
+from repro.snn.neurons import IFNeuron
+from repro.snn.stats import LayerStats, RunStats
+from repro.tensor import Tensor, no_grad
+from repro.tensor.functional import im2col
+
+
+@dataclass
+class EngineRun:
+    """Result of one engine invocation."""
+
+    logits: np.ndarray
+    stats: RunStats
+    per_step: Optional[List[np.ndarray]] = None
+
+
+# ----------------------------------------------------------------------
+# Sparse kernels
+# ----------------------------------------------------------------------
+def _conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def dense_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Plain im2col convolution (the reference kernel, no sparsity scans)."""
+    n = x.shape[0]
+    c_out, _, k, _ = weight.shape
+    cols, oh, ow = im2col(x, k, stride, padding)
+    out = cols @ weight.reshape(c_out, -1).T
+    if bias is not None:
+        out += bias
+    return np.ascontiguousarray(out.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2))
+
+
+def sparse_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: int,
+    padding: int,
+) -> Tuple[np.ndarray, int]:
+    """Event-driven convolution of a sparse activation plane.
+
+    Gathers the active im2col rows (output windows touched by at least
+    one spike) and the active columns (taps carrying a spike anywhere
+    in the batch) and multiplies only that submatrix when it is a
+    genuine shrink; silent windows contribute exactly zero (plus
+    bias), so the result equals the dense convolution up to float
+    summation order.  When the submatrix is not meaningfully smaller
+    the full matrix is multiplied — on this numpy substrate a dense
+    BLAS matmul outruns any per-element sparse route at moderate
+    densities, so the gather gate is what keeps the event backend at
+    wall-clock parity with dense outside the very sparse regime where
+    it wins outright.
+
+    Returns ``(output, performed_ops)`` where ``performed_ops`` counts
+    one op per nonzero im2col entry per output channel — the
+    event-driven synaptic-operation count the hardware's aggregation
+    core would execute, which is what the run statistics report.
+    """
+    n = x.shape[0]
+    c_out, _, k, _ = weight.shape
+    cols, oh, ow = im2col(x, k, stride, padding)
+    w_mat = weight.reshape(c_out, -1)
+    performed = int(np.count_nonzero(cols)) * c_out
+    row_active = cols.any(axis=1)
+    active_rows = np.flatnonzero(row_active)
+    if active_rows.size == cols.shape[0]:
+        out = cols @ w_mat.T
+    else:
+        out = np.zeros(
+            (cols.shape[0], c_out), dtype=np.result_type(x.dtype, weight.dtype)
+        )
+        if active_rows.size:
+            sub = cols[active_rows]
+            active_cols = np.flatnonzero(sub.any(axis=0))
+            if active_rows.size * active_cols.size < 0.25 * cols.size:
+                out[active_rows] = sub[:, active_cols] @ w_mat[:, active_cols].T
+            else:
+                out[active_rows] = sub @ w_mat.T
+    if bias is not None:
+        out += bias
+    out = out.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
+    return np.ascontiguousarray(out), performed
+
+
+def sparse_linear(
+    x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray]
+) -> Tuple[np.ndarray, int]:
+    """Event-driven affine map over a sparse feature batch."""
+    active = np.flatnonzero(x.any(axis=0))
+    performed = int(np.count_nonzero(x)) * weight.shape[0]
+    if active.size == x.shape[1]:
+        # Every feature fires somewhere in the batch: gathering would
+        # copy both operands for nothing.
+        out = x @ weight.T
+    else:
+        out = x[:, active] @ weight[:, active].T
+    if bias is not None:
+        out = out + bias
+    return out, performed
+
+
+# ----------------------------------------------------------------------
+# Engine interface
+# ----------------------------------------------------------------------
+class SimulationEngine(abc.ABC):
+    """Executes a converted spiking model for T timesteps.
+
+    Engines are bound to a model once (:meth:`bind`) and then invoked
+    through :meth:`run`, which owns the timestep loop, state reset and
+    statistics collection.  Subclasses customise per-layer execution by
+    installing instance-level forward interceptors for the duration of
+    a run.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.model: Optional[Module] = None
+        self._synapse_modules: List[Tuple[str, Module]] = []
+        self._neuron_modules: List[Tuple[str, IFNeuron]] = []
+
+    # ------------------------------------------------------------------
+    def bind(self, model: Module) -> "SimulationEngine":
+        """Attach the engine to a converted model (discovers layers)."""
+        self.model = model
+        self._synapse_modules = []
+        self._neuron_modules = []
+        for name, module in model.named_modules():
+            if isinstance(module, (Conv2d, Linear)):
+                self._synapse_modules.append((name or type(module).__name__, module))
+            elif isinstance(module, IFNeuron):
+                self._neuron_modules.append((name or type(module).__name__, module))
+        return self
+
+    # ------------------------------------------------------------------
+    def run(self, x: np.ndarray, timesteps: int, per_step: bool = False) -> EngineRun:
+        """Run a batch for T timesteps; accumulate logits in place."""
+        if self.model is None:
+            raise RuntimeError("engine is not bound to a model; call bind() first")
+        if timesteps < 1:
+            raise ValueError("timesteps must be >= 1")
+        x = np.asarray(x)
+        started = time.perf_counter()
+        reset_network_state(self.model)
+        synapse_stats = {
+            name: LayerStats(name=name, kind="linear" if isinstance(m, Linear) else "conv")
+            for name, m in self._synapse_modules
+        }
+        neuron_base = {
+            name: (m.spike_count, m.neuron_steps) for name, m in self._neuron_modules
+        }
+        self._install(synapse_stats)
+        total: Optional[np.ndarray] = None
+        outputs: Optional[List[np.ndarray]] = [] if per_step else None
+        try:
+            inp = Tensor(x)
+            with no_grad():
+                for _ in range(timesteps):
+                    logits = self.model(inp).data
+                    if total is None:
+                        total = logits.copy()
+                    else:
+                        total += logits
+                    if outputs is not None:
+                        outputs.append(total.copy())
+        finally:
+            self._uninstall()
+
+        layers: List[LayerStats] = []
+        for name, module in self._all_layers_in_order():
+            if isinstance(module, IFNeuron):
+                base_spikes, base_steps = neuron_base[name]
+                layers.append(
+                    LayerStats(
+                        name=name,
+                        kind="neuron",
+                        spike_count=module.spike_count - base_spikes,
+                        neuron_steps=module.neuron_steps - base_steps,
+                        timesteps=timesteps,
+                    )
+                )
+            else:
+                stat = synapse_stats[name]
+                stat.timesteps = timesteps
+                layers.append(stat)
+        stats = RunStats(
+            batch_size=int(x.shape[0]),
+            timesteps=timesteps,
+            layers=layers,
+            engine=self.name,
+            wall_clock_seconds=time.perf_counter() - started,
+        )
+        return EngineRun(logits=total, stats=stats, per_step=outputs)
+
+    def _all_layers_in_order(self) -> List[Tuple[str, Module]]:
+        """Synapse and neuron layers interleaved in graph (registration) order."""
+        synapse = dict(self._synapse_modules)
+        neurons = dict(self._neuron_modules)
+        ordered: List[Tuple[str, Module]] = []
+        for name, module in self.model.named_modules():
+            if name in synapse or name in neurons:
+                ordered.append((name, module))
+        return ordered
+
+    # ------------------------------------------------------------------
+    # Per-run instrumentation hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _make_interceptor(
+        self, module: Module, stat: LayerStats, orig: Callable[[Tensor], Tensor]
+    ) -> Callable[[Tensor], Tensor]:
+        """Build the forward replacement installed on ``module`` for a run."""
+
+    def _install(self, stats: Dict[str, LayerStats]) -> None:
+        self._installed: List[Module] = []
+        for name, module in self._synapse_modules:
+            interceptor = self._make_interceptor(module, stats[name], module.forward)
+            object.__setattr__(module, "forward", interceptor)
+            self._installed.append(module)
+
+    def _uninstall(self) -> None:
+        for module in self._installed:
+            if "forward" in module.__dict__:
+                object.__delattr__(module, "forward")
+        self._installed = []
+
+
+def _dense_op_count(module: Module, x_shape: Sequence[int]) -> int:
+    """MACs a dense execution of ``module`` needs on input ``x_shape``."""
+    if isinstance(module, Conv2d):
+        n, c, h, w = x_shape
+        oh = _conv_out_size(h, module.kernel_size, module.stride, module.padding)
+        ow = _conv_out_size(w, module.kernel_size, module.stride, module.padding)
+        taps = c * module.kernel_size * module.kernel_size
+        return n * oh * ow * taps * module.out_channels
+    return int(x_shape[0]) * module.in_features * module.out_features
+
+
+class DenseEngine(SimulationEngine):
+    """Reference backend: full dense recompute every timestep."""
+
+    name = "dense"
+
+    def _make_interceptor(self, module, stat, orig):
+        def forward(x: Tensor) -> Tensor:
+            ops = _dense_op_count(module, x.shape)
+            stat.synaptic_ops += ops
+            stat.dense_synaptic_ops += ops
+            return orig(x)
+
+        return forward
+
+
+class SparseEventEngine(SimulationEngine):
+    """Event-driven backend: compute only active spike contributions.
+
+    Effective (fake-quantised) weights are computed once per run and
+    all conv/linear layers execute through the sparsity-adaptive
+    kernels above.  ``density_threshold`` gates the *accounting*:
+    inputs whose nonzero fraction reaches it (e.g. the analog input
+    frame) are billed at the full dense MAC count, mirroring the
+    PS-side frame convolution in the paper, instead of the
+    per-spike-contribution count.
+    """
+
+    name = "event"
+
+    def __init__(self, density_threshold: float = 0.6) -> None:
+        super().__init__()
+        if not 0.0 < density_threshold <= 1.0:
+            raise ValueError("density_threshold must be in (0, 1]")
+        self.density_threshold = density_threshold
+        self._weight_cache: Dict[int, np.ndarray] = {}
+        # Last (input, output, billed ops) per layer within one run.
+        # Direct encoding feeds the first conv the *same* frame array
+        # every timestep, so its output is reused T-1 times — the
+        # software twin of the accelerator's frame-psum cache.  The
+        # identity check makes this safe for every other layer too:
+        # downstream activations are fresh arrays each timestep.
+        self._io_cache: Dict[int, Tuple[np.ndarray, np.ndarray, int]] = {}
+
+    # Effective (fake-quantised) weights are constant across timesteps,
+    # so they are computed once per run instead of per forward call.
+    def _effective_weight(self, module: Module) -> np.ndarray:
+        key = id(module)
+        if key not in self._weight_cache:
+            if isinstance(module, (QuantConv2d, QuantLinear)):
+                with no_grad():
+                    weight = _WeightFakeQuant.apply(
+                        module.weight, module.weight_scale, module.bits
+                    ).data
+            else:
+                weight = module.weight.data
+            self._weight_cache[key] = weight
+        return self._weight_cache[key]
+
+    def _install(self, stats) -> None:
+        self._weight_cache = {}
+        self._io_cache = {}
+        super()._install(stats)
+
+    def _uninstall(self) -> None:
+        super()._uninstall()
+        self._weight_cache = {}
+        self._io_cache = {}
+
+    def _make_interceptor(self, module, stat, orig):
+        is_conv = isinstance(module, Conv2d)
+
+        def forward(x: Tensor) -> Tensor:
+            data = x.data
+            dense_ops = _dense_op_count(module, data.shape)
+            stat.dense_synaptic_ops += dense_ops
+            cached = self._io_cache.get(id(module))
+            if cached is not None and cached[0] is data:
+                # Identical input array as last timestep (the constant
+                # analog frame): reuse the output, bill the same ops.
+                stat.synaptic_ops += cached[2]
+                return Tensor(cached[1])
+            density = np.count_nonzero(data) / max(data.size, 1)
+            weight = self._effective_weight(module)
+            bias = module.bias.data if module.bias is not None else None
+            if density >= self.density_threshold:
+                # Dense input (e.g. the analog frame): no sparsity to
+                # exploit — run the plain kernel and, like the PS-side
+                # frame conv, bill the full dense MAC count.
+                if is_conv:
+                    out = dense_conv2d(
+                        data, weight, bias, module.stride, module.padding
+                    )
+                else:
+                    out = data @ weight.T if bias is None else data @ weight.T + bias
+                billed = dense_ops
+            else:
+                if is_conv:
+                    out, billed = sparse_conv2d(
+                        data, weight, bias, module.stride, module.padding
+                    )
+                else:
+                    out, billed = sparse_linear(data, weight, bias)
+            stat.synaptic_ops += billed
+            self._io_cache[id(module)] = (data, out, billed)
+            return Tensor(out)
+
+        return forward
+
+
+# ----------------------------------------------------------------------
+# Factory
+# ----------------------------------------------------------------------
+ENGINES = {
+    "dense": DenseEngine,
+    "event": SparseEventEngine,
+    "sparse": SparseEventEngine,  # alias
+}
+
+EngineSpec = Union[str, SimulationEngine]
+
+
+def make_engine(spec: EngineSpec = "dense") -> SimulationEngine:
+    """Resolve an engine name or pass an instance through."""
+    if isinstance(spec, SimulationEngine):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return ENGINES[spec.lower()]()
+        except KeyError:
+            raise ValueError(
+                f"unknown engine {spec!r}; choose from {sorted(set(ENGINES))}"
+            ) from None
+    raise TypeError(f"engine must be a name or SimulationEngine, got {type(spec)!r}")

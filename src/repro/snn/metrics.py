@@ -4,18 +4,23 @@ The paper reports the average number of spikes per neuron per timestep
 for every spiking layer, observing ≈0.12 overall for ResNet-18 and
 ≈0.16 for VGG-11 with *no decreasing trend in deeper layers* — a
 consequence of reset-by-subtraction plus per-layer learned thresholds.
+
+The numbers here are a thin view over the unified
+:class:`repro.snn.stats.RunStats` instrumentation that every execution
+backend (dense engine, event engine, integer accelerator) produces, so
+Fig. 6/8 rates come from the same measurement point as the cycle and
+synaptic-op accounting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
-from repro.nn.module import Module
-from repro.snn.convert import reset_network_stats, spiking_layers
 from repro.snn.network import SpikingNetwork
+from repro.snn.stats import RunStats
 
 
 @dataclass(frozen=True)
@@ -26,6 +31,16 @@ class SpikeStats:
     overall: float          # mean over layers weighted by neuron count
     timesteps: int
     samples: int
+
+    @classmethod
+    def from_run(cls, run: RunStats, samples: Optional[int] = None) -> "SpikeStats":
+        """Project the spiking-layer rates out of a unified run record."""
+        return cls(
+            per_layer=run.spike_rates(),
+            overall=run.overall_spike_rate,
+            timesteps=run.timesteps,
+            samples=run.batch_size if samples is None else samples,
+        )
 
     def layer_table(self) -> str:
         """Render an aligned text table (layer #, rate)."""
@@ -46,17 +61,15 @@ def collect_spike_stats(
 
     The per-layer rate is ``total spikes / (neurons * timesteps *
     samples)`` — exactly the quantity on the y-axis of paper Figs. 6/8.
+    Statistics come from the engine's unified run records, merged over
+    the evaluation batches.
     """
-    steps = timesteps or network.timesteps
-    model: Module = network.model
-    reset_network_stats(model)
+    steps = network._resolve_timesteps(timesteps)
+    merged: Optional[RunStats] = None
     for start in range(0, len(x), batch_size):
         network.forward(x[start : start + batch_size], steps)
-    layers = spiking_layers(model)
-    per_layer = [layer.average_spike_rate for layer in layers]
-    weights = np.array([layer.neuron_steps for layer in layers], dtype=np.float64)
-    counts = np.array([layer.spike_count for layer in layers], dtype=np.float64)
-    overall = float(counts.sum() / weights.sum()) if weights.sum() > 0 else 0.0
-    return SpikeStats(
-        per_layer=per_layer, overall=overall, timesteps=steps, samples=len(x)
-    )
+        run = network.last_run_stats
+        merged = run if merged is None else merged.merge(run)
+    if merged is None:
+        raise ValueError("cannot collect spike statistics from an empty dataset")
+    return SpikeStats.from_run(merged, samples=len(x))

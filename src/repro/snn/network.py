@@ -5,6 +5,13 @@ with direct (constant-current) input encoding, accumulating the output
 logits.  Classification uses the accumulated logits — the standard
 readout for ANN-to-SNN converted networks and the one the accelerator's
 host-side software implements.
+
+Execution is delegated to a pluggable :class:`repro.snn.engine`
+backend: ``engine="dense"`` re-runs the full model every timestep (the
+reference), ``engine="event"`` propagates only active spike events so
+per-timestep cost scales with spike rate, like the paper's hardware.
+Every run leaves a :class:`repro.snn.stats.RunStats` on
+``last_run_stats`` with per-layer spike rates and synaptic-op counts.
 """
 
 from __future__ import annotations
@@ -14,8 +21,9 @@ from typing import List, Optional
 import numpy as np
 
 from repro.nn.module import Module
-from repro.snn.convert import reset_network_state, spiking_layers
-from repro.tensor import Tensor, no_grad
+from repro.snn.convert import spiking_layers
+from repro.snn.engine import EngineSpec, SimulationEngine, make_engine
+from repro.snn.stats import RunStats
 
 
 class SpikingNetwork:
@@ -28,9 +36,17 @@ class SpikingNetwork:
         :func:`repro.snn.convert.convert_to_snn`.
     timesteps:
         Default number of timesteps T per inference.
+    engine:
+        Execution backend: ``"dense"``, ``"event"`` or a bound-ready
+        :class:`repro.snn.engine.SimulationEngine` instance.
     """
 
-    def __init__(self, model: Module, timesteps: int = 8) -> None:
+    def __init__(
+        self,
+        model: Module,
+        timesteps: int = 8,
+        engine: EngineSpec = "dense",
+    ) -> None:
         if timesteps < 1:
             raise ValueError("timesteps must be >= 1")
         if not spiking_layers(model):
@@ -38,20 +54,31 @@ class SpikingNetwork:
         self.model = model
         self.model.eval()
         self.timesteps = timesteps
+        self.engine: SimulationEngine = make_engine(engine)
+        if self.engine.model is not None and self.engine.model is not model:
+            # Rebinding would silently redirect the other network's
+            # runs to this model; demand a fresh instance instead.
+            raise ValueError(
+                "engine instance is already bound to a different model; "
+                "pass a fresh engine or select one by name"
+            )
+        self.engine.bind(model)
+        self.last_run_stats: Optional[RunStats] = None
+
+    def _resolve_timesteps(self, timesteps: Optional[int]) -> int:
+        """Explicit validation: 0 is an error, not 'use the default'."""
+        steps = self.timesteps if timesteps is None else timesteps
+        if steps < 1:
+            raise ValueError("timesteps must be >= 1")
+        return steps
 
     def forward(
         self, x: np.ndarray, timesteps: Optional[int] = None
     ) -> np.ndarray:
         """Accumulated logits after T timesteps for a batch ``x`` (N,C,H,W)."""
-        steps = timesteps or self.timesteps
-        reset_network_state(self.model)
-        total: Optional[np.ndarray] = None
-        inp = Tensor(x)
-        with no_grad():
-            for _ in range(steps):
-                logits = self.model(inp).data
-                total = logits.copy() if total is None else total + logits
-        return total
+        run = self.engine.run(x, self._resolve_timesteps(timesteps))
+        self.last_run_stats = run.stats
+        return run.logits
 
     __call__ = forward
 
@@ -65,17 +92,9 @@ class SpikingNetwork:
         single forward at the maximum T, so accuracy-vs-timesteps
         figures (paper Figs. 7, 9) need only one sweep of the data.
         """
-        steps = timesteps or self.timesteps
-        reset_network_state(self.model)
-        outputs: List[np.ndarray] = []
-        total: Optional[np.ndarray] = None
-        inp = Tensor(x)
-        with no_grad():
-            for _ in range(steps):
-                logits = self.model(inp).data
-                total = logits.copy() if total is None else total + logits
-                outputs.append(total.copy())
-        return outputs
+        run = self.engine.run(x, self._resolve_timesteps(timesteps), per_step=True)
+        self.last_run_stats = run.stats
+        return run.per_step
 
     def predict(self, x: np.ndarray, timesteps: Optional[int] = None) -> np.ndarray:
         """Class predictions for a batch."""
@@ -104,7 +123,7 @@ class SpikingNetwork:
         batch_size: int = 256,
     ) -> List[float]:
         """Accuracy after each timestep 1..T (paper Figs. 7 and 9)."""
-        steps = timesteps or self.timesteps
+        steps = self._resolve_timesteps(timesteps)
         correct = np.zeros(steps, dtype=np.int64)
         for start in range(0, len(x), batch_size):
             xb = x[start : start + batch_size]

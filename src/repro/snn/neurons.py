@@ -1,4 +1,4 @@
-"""Integrate-and-fire neuron models matching the accelerator's activation unit.
+"""Integrate-and-fire neuron layers matching the accelerator's activation unit.
 
 The aggregation core (paper §III-B) supports two modes selected by a
 mode bit: IF (mode=0) and LIF (mode=1), both with per-layer 16-bit
@@ -6,29 +6,34 @@ thresholds and **reset-by-subtraction** (the membrane keeps the residual
 above threshold after a spike, which preserves information across
 timesteps and is what makes low-latency conversion work).
 
-Neurons here are stateful :class:`repro.nn.Module` objects: one forward
-call advances one timestep.  ``reset_state()`` re-arms the membrane for
-a new input sample; the initial membrane potential is
-``v_init_fraction * threshold`` (0.5 by default — the QCFS optimum that
-centres the quantisation error).
+These classes are thin stateful wrappers around the *single* dynamics
+implementation in :mod:`repro.snn.dynamics` — the same
+:func:`repro.snn.dynamics.neuron_step` the hardware model's activation
+unit executes in integer arithmetic.  A neuron layer holds the membrane
+array between timesteps and the spike bookkeeping for the Fig. 6 / 8
+statistics; one forward call advances one timestep.  ``reset_state()``
+re-arms the membrane for a new input sample; the initial membrane
+potential is ``v_init_fraction * threshold`` (0.5 by default — the QCFS
+optimum that centres the quantisation error).
 """
 
 from __future__ import annotations
 
-import enum
 from typing import Optional
 
 import numpy as np
 
 from repro.nn.module import Module
+from repro.snn.dynamics import (
+    LeakFn,
+    ResetMode,
+    initial_membrane,
+    multiplicative_leak,
+    neuron_step,
+)
 from repro.tensor import Tensor
 
-
-class ResetMode(str, enum.Enum):
-    """Post-spike membrane reset behaviour."""
-
-    SUBTRACT = "subtract"  # v <- v - threshold  (paper's choice)
-    ZERO = "zero"          # v <- 0
+__all__ = ["IFNeuron", "LIFNeuron", "ResetMode"]
 
 
 class IFNeuron(Module):
@@ -75,20 +80,26 @@ class IFNeuron(Module):
         self.spike_count = 0
         self.neuron_steps = 0
 
-    def _integrate(self, x: np.ndarray) -> np.ndarray:
-        if self.v is None:
-            self.v = np.full_like(x, self.threshold * self.v_init_fraction)
-        return self.v + x
+    def _leak_fn(self) -> Optional[LeakFn]:
+        """The leak applied before integration; None for pure IF."""
+        return None
 
     def forward(self, x: Tensor) -> Tensor:
-        v = self._integrate(x.data)
-        spikes = (v >= self.threshold).astype(np.float32)
-        if self.reset is ResetMode.SUBTRACT:
-            self.v = v - spikes * self.threshold
-        else:
-            self.v = v * (1.0 - spikes)
-        self.spike_count += int(spikes.sum())
-        self.neuron_steps += int(spikes.size)
+        data = x.data
+        if self.v is None:
+            self.v = initial_membrane(
+                data.shape, self.threshold, self.v_init_fraction, dtype=data.dtype
+            )
+        self.v, spiked = neuron_step(
+            self.v,
+            data,
+            self.threshold,
+            reset=self.reset,
+            leak_fn=self._leak_fn(),
+        )
+        spikes = spiked.astype(np.float32)
+        self.spike_count += int(spiked.sum())
+        self.neuron_steps += int(spiked.size)
         self.last_spikes = spikes
         return Tensor(spikes * self.threshold)
 
@@ -123,10 +134,8 @@ class LIFNeuron(IFNeuron):
             raise ValueError("leak must be in (0, 1]")
         self.leak = float(leak)
 
-    def _integrate(self, x: np.ndarray) -> np.ndarray:
-        if self.v is None:
-            self.v = np.full_like(x, self.threshold * self.v_init_fraction)
-        return self.leak * self.v + x
+    def _leak_fn(self) -> Optional[LeakFn]:
+        return multiplicative_leak(self.leak)
 
     def extra_repr(self) -> str:
         return f"threshold={self.threshold:.4f}, leak={self.leak}, reset={self.reset.value}"

@@ -1,0 +1,143 @@
+"""Unified run statistics for every SNN execution backend.
+
+One pair of types — :class:`LayerStats` and :class:`RunStats` — is
+shared by the software simulation engines (``repro.snn.engine``), the
+integer accelerator model (``repro.hw.accelerator``) and the experiment
+drivers (``repro.eval.experiments``), so the paper's Fig. 6/8 spike
+rates and the synaptic-operation counts all come from a single
+instrumentation point regardless of which backend produced them.
+
+Conventions:
+
+* ``synaptic_ops`` is the work the backend *performed* — for
+  event-driven backends that is one op per (spike, fan-out weight)
+  pair, which is what the paper's aggregation core executes; for dense
+  backends it equals the full MAC count.
+* ``dense_synaptic_ops`` is what a dense recompute of the same layer
+  would have cost, so ``synaptic_ops / dense_synaptic_ops`` is the
+  event-driven saving.
+* Cycle fields are only filled by the hardware model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class LayerStats:
+    """Accumulated execution statistics for one layer of one run."""
+
+    name: str
+    kind: str = ""               # "conv" | "linear" | "neuron" | hw layer kind
+    spike_count: int = 0
+    neuron_steps: int = 0        # neurons * timesteps * samples observed
+    synaptic_ops: int = 0        # ops actually performed by the backend
+    dense_synaptic_ops: int = 0  # ops a dense recompute would need
+    core_cycles: int = 0         # hardware-only
+    aggregation_cycles: int = 0  # hardware-only
+    segment_activity_sum: float = 0.0
+    timesteps: int = 0
+
+    @property
+    def spike_rate(self) -> float:
+        """Average spikes per neuron per timestep (Fig. 6/8 y-axis)."""
+        if self.neuron_steps == 0:
+            return 0.0
+        return self.spike_count / self.neuron_steps
+
+    @property
+    def mean_segment_activity(self) -> float:
+        if self.timesteps == 0:
+            return 0.0
+        return self.segment_activity_sum / self.timesteps
+
+    def merge(self, other: "LayerStats") -> "LayerStats":
+        """Accumulate another run's counters for the same layer, in place."""
+        if other.name != self.name:
+            raise ValueError(f"cannot merge stats of {other.name!r} into {self.name!r}")
+        self.spike_count += other.spike_count
+        self.neuron_steps += other.neuron_steps
+        self.synaptic_ops += other.synaptic_ops
+        self.dense_synaptic_ops += other.dense_synaptic_ops
+        self.core_cycles += other.core_cycles
+        self.aggregation_cycles += other.aggregation_cycles
+        self.segment_activity_sum += other.segment_activity_sum
+        self.timesteps += other.timesteps
+        return self
+
+
+@dataclass
+class RunStats:
+    """Whole-network statistics for one batch of inferences."""
+
+    batch_size: int
+    timesteps: int
+    layers: List[LayerStats] = field(default_factory=list)
+    engine: str = ""
+    wall_clock_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_core_cycles(self) -> int:
+        return sum(l.core_cycles for l in self.layers)
+
+    @property
+    def cycles_per_inference(self) -> float:
+        return self.total_core_cycles / max(self.batch_size, 1)
+
+    @property
+    def total_synaptic_ops(self) -> int:
+        return sum(l.synaptic_ops for l in self.layers)
+
+    @property
+    def total_dense_synaptic_ops(self) -> int:
+        return sum(l.dense_synaptic_ops for l in self.layers)
+
+    @property
+    def synaptic_op_saving(self) -> float:
+        """Fraction of dense work skipped (0 when dense baseline unknown)."""
+        dense = self.total_dense_synaptic_ops
+        if dense == 0:
+            return 0.0
+        return 1.0 - self.total_synaptic_ops / dense
+
+    def spike_rates(self) -> List[float]:
+        """Per-layer spike rates, in depth order (layers with neurons only)."""
+        return [l.spike_rate for l in self.layers if l.neuron_steps > 0]
+
+    @property
+    def overall_spike_rate(self) -> float:
+        steps = sum(l.neuron_steps for l in self.layers)
+        if steps == 0:
+            return 0.0
+        return sum(l.spike_count for l in self.layers) / steps
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "RunStats") -> "RunStats":
+        """Accumulate another run over the same network (batched eval)."""
+        if len(other.layers) != len(self.layers):
+            raise ValueError("cannot merge runs over different networks")
+        if other.timesteps != self.timesteps:
+            raise ValueError("cannot merge runs with different timesteps")
+        for mine, theirs in zip(self.layers, other.layers):
+            mine.merge(theirs)
+        self.batch_size += other.batch_size
+        self.wall_clock_seconds += other.wall_clock_seconds
+        return self
+
+    def layer_table(self) -> str:
+        """Aligned text table of per-layer rates and op counts."""
+        lines = ["layer                          kind     spike_rate  synaptic_ops"]
+        for stat in self.layers:
+            lines.append(
+                f"{stat.name:<30} {stat.kind:<8} {stat.spike_rate:>10.4f}  {stat.synaptic_ops:>12d}"
+            )
+        lines.append(
+            f"overall spike rate {self.overall_spike_rate:.4f}; "
+            f"total synaptic ops {self.total_synaptic_ops}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""Property tests for the shared neuron dynamics (sw and hw paths)."""
+
+import numpy as np
+import pytest
+
+from repro.hw.aggregation import ActivationUnit
+from repro.hw.fixed import saturate
+from repro.snn import IFNeuron, LIFNeuron
+from repro.snn.dynamics import (
+    ResetMode,
+    initial_membrane,
+    multiplicative_leak,
+    neuron_step,
+    shift_leak,
+)
+from repro.tensor import Tensor
+
+
+class TestNeuronStep:
+    def test_reset_by_subtraction_keeps_residual(self):
+        v = np.zeros(1, np.float32)
+        v, spiked = neuron_step(v, np.float32(1.7), 1.0)
+        assert spiked.all()
+        assert v[0] == pytest.approx(0.7)
+
+    def test_reset_to_zero_discards_residual(self):
+        v = np.zeros(1, np.float32)
+        v, spiked = neuron_step(v, np.float32(1.7), 1.0, reset=ResetMode.ZERO)
+        assert spiked.all()
+        assert v[0] == 0.0
+
+    def test_no_spike_below_threshold(self):
+        v = np.zeros(3, np.float32)
+        v, spiked = neuron_step(v, np.float32(0.4), 1.0)
+        assert not spiked.any()
+        assert np.allclose(v, 0.4)
+
+    def test_integer_dtype_preserved(self):
+        v = np.zeros(4, np.int64)
+        v, spiked = neuron_step(v, np.int64(7), 5)
+        assert v.dtype == np.int64
+        assert spiked.all()
+        assert (v == 2).all()
+
+    def test_multiplicative_leak_applied_before_integration(self):
+        leak = multiplicative_leak(0.5)
+        v = np.full(1, 2.0, np.float32)
+        v, _ = neuron_step(v, np.float32(1.0), 10.0, leak_fn=leak)
+        assert v[0] == pytest.approx(2.0 * 0.5 + 1.0)
+
+    def test_shift_leak_matches_subtract_shift(self):
+        leak = shift_leak(4)
+        v = np.array([1600], np.int64)
+        v, _ = neuron_step(v, np.int64(0), 10_000, leak_fn=leak)
+        assert v[0] == 1600 - (1600 >> 4)
+
+    def test_shift_leak_zero_is_full_decay(self):
+        # The mapper emits shift 0 for very leaky LIF neurons
+        # (leak < ~0.29); it must zero the membrane, not raise.
+        leak = shift_leak(0)
+        v = np.array([1600, -300], np.int64)
+        v, _ = neuron_step(v, np.int64(5), 10_000, leak_fn=leak)
+        assert (v == 5).all()
+        with pytest.raises(ValueError):
+            shift_leak(-1)
+
+    def test_clamp_applied_after_integration(self):
+        clamp = lambda value: np.clip(value, -8, 8)
+        v = np.zeros(1, np.int64)
+        v, spiked = neuron_step(v, np.int64(100), 9, clamp_fn=clamp)
+        assert not spiked.any()  # clamped to 8 < 9
+        assert v[0] == 8
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            neuron_step(np.zeros(1, np.float32), np.float32(0.0), 0.0)
+
+    def test_rate_approximates_input_over_time(self):
+        # Constant drive z with reset-by-subtraction: rate -> z/threshold.
+        v = initial_membrane((1,), 1.0, 0.5)
+        fired = 0
+        for _ in range(1000):
+            v, spiked = neuron_step(v, np.float32(0.3), 1.0)
+            fired += int(spiked.sum())
+        assert fired / 1000 == pytest.approx(0.3, abs=0.01)
+
+
+class TestInitialMembrane:
+    def test_float_seeding(self):
+        v = initial_membrane((2, 2), 2.0, v_init_fraction=0.5)
+        assert v.dtype == np.float32
+        assert (v == 1.0).all()
+
+    def test_integer_seeding_rounds(self):
+        v = initial_membrane((3,), 5, v_init_fraction=0.5, dtype=np.int64)
+        assert v.dtype == np.int64
+        assert (v == 2).all()  # round(2.5) banker's-rounds to 2
+
+    def test_zero_fraction(self):
+        assert (initial_membrane((4,), 3.0, 0.0) == 0.0).all()
+
+
+class TestSharedBySoftwareNeurons:
+    """The Module-level neurons are thin wrappers over neuron_step."""
+
+    def test_if_neuron_matches_raw_step(self):
+        neuron = IFNeuron(threshold=1.3, v_init_fraction=0.5)
+        rng = np.random.default_rng(0)
+        v = initial_membrane((16,), 1.3, 0.5)
+        for _ in range(20):
+            x = rng.normal(0.3, 0.4, size=16).astype(np.float32)
+            out = neuron(Tensor(x)).data
+            v, spiked = neuron_step(v, x, 1.3)
+            assert np.array_equal(out, spiked.astype(np.float32) * 1.3)
+            assert np.array_equal(neuron.v, v)
+
+    def test_lif_neuron_matches_raw_step(self):
+        neuron = LIFNeuron(threshold=1.0, leak=0.75, v_init_fraction=0.0)
+        leak = multiplicative_leak(0.75)
+        rng = np.random.default_rng(1)
+        v = initial_membrane((8,), 1.0, 0.0)
+        for _ in range(20):
+            x = rng.uniform(0, 0.6, size=8).astype(np.float32)
+            out = neuron(Tensor(x)).data
+            v, spiked = neuron_step(v, x, 1.0, leak_fn=leak)
+            assert np.array_equal(out, spiked.astype(np.float32))
+            assert np.array_equal(neuron.v, v)
+
+
+class TestSharedByHardwareActivation:
+    """The integer activation unit runs the same neuron_step."""
+
+    def test_if_step_matches_raw_dynamics(self):
+        unit = ActivationUnit()
+        rng = np.random.default_rng(2)
+        membrane = unit.initial_membrane((32,), threshold_int=4096)
+        current = rng.integers(-3000, 6000, size=32).astype(np.int64)
+        result = unit.step(current, membrane, threshold_int=4096)
+        v, spiked = neuron_step(
+            membrane,
+            current,
+            4096,
+            clamp_fn=lambda value: saturate(value, unit.arch.psum_bits),
+        )
+        assert np.array_equal(result.spikes, spiked.astype(np.uint8))
+        assert np.array_equal(result.membrane, v)
+
+    def test_lif_step_matches_raw_dynamics(self):
+        unit = ActivationUnit()
+        rng = np.random.default_rng(3)
+        membrane = rng.integers(0, 5000, size=32).astype(np.int64)
+        current = rng.integers(-2000, 5000, size=32).astype(np.int64)
+        result = unit.step(
+            current, membrane, threshold_int=4096, lif_mode=True, leak_shift=4
+        )
+        v, spiked = neuron_step(
+            membrane,
+            current,
+            4096,
+            leak_fn=shift_leak(4),
+            clamp_fn=lambda value: saturate(value, unit.arch.psum_bits),
+        )
+        assert np.array_equal(result.spikes, spiked.astype(np.uint8))
+        assert np.array_equal(result.membrane, v)
+
+    def test_initial_membrane_shared(self):
+        unit = ActivationUnit()
+        ours = unit.initial_membrane((4, 4), threshold_int=1000, v_init_fraction=0.5)
+        shared = initial_membrane((4, 4), 1000, 0.5, dtype=np.int64)
+        assert np.array_equal(ours, shared)
+        assert ours.dtype == np.int64

@@ -1,0 +1,256 @@
+"""Simulation-engine tests: dense vs event equivalence and statistics."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.snn import (
+    DenseEngine,
+    SparseEventEngine,
+    SpikingNetwork,
+    convert_to_snn,
+    make_engine,
+)
+from repro.snn.engine import sparse_conv2d, sparse_linear
+from repro.tensor import Tensor, no_grad
+
+
+def converted_toy(seed=0):
+    model = nn.Sequential(
+        nn.Conv2d(2, 4, 3, padding=1, rng=np.random.default_rng(seed)),
+        nn.BatchNorm2d(4),
+        nn.QuantReLU(levels=2, init_step=2.0),
+        nn.Flatten(),
+        nn.Linear(4 * 4 * 4, 5, rng=np.random.default_rng(seed + 1)),
+    )
+    rng = np.random.default_rng(seed + 2)
+    model.train()
+    with no_grad():
+        for _ in range(4):
+            model(Tensor(rng.normal(size=(8, 2, 4, 4)).astype(np.float32)))
+    model.eval()
+    return convert_to_snn(model)
+
+
+def converted_resnet(seed=0):
+    """A width-scaled quantised ResNet (residual graph, QuantConv2d)."""
+    from repro.pipeline import build_quantized_twin
+
+    model = build_quantized_twin(
+        "resnet18", width=0.125, num_classes=10, levels=2, seed=seed
+    )
+    rng = np.random.default_rng(seed + 1)
+    model.train()
+    with no_grad():
+        for _ in range(2):
+            model(Tensor(rng.normal(size=(4, 3, 32, 32)).astype(np.float32)))
+    model.eval()
+    return convert_to_snn(model)
+
+
+class TestMakeEngine:
+    def test_names(self):
+        assert isinstance(make_engine("dense"), DenseEngine)
+        assert isinstance(make_engine("event"), SparseEventEngine)
+        assert isinstance(make_engine("sparse"), SparseEventEngine)
+
+    def test_instance_passthrough(self):
+        engine = SparseEventEngine()
+        assert make_engine(engine) is engine
+
+    def test_bound_engine_cannot_be_shared_across_models(self):
+        engine = SparseEventEngine()
+        SpikingNetwork(converted_toy(0), timesteps=2, engine=engine)
+        with pytest.raises(ValueError):
+            SpikingNetwork(converted_toy(1), timesteps=2, engine=engine)
+
+    def test_rebinding_same_model_is_fine(self):
+        model = converted_toy()
+        engine = SparseEventEngine()
+        SpikingNetwork(model, timesteps=2, engine=engine)
+        SpikingNetwork(model, timesteps=3, engine=engine)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_engine("warp-drive")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            make_engine(42)
+
+    def test_run_requires_bind(self):
+        with pytest.raises(RuntimeError):
+            DenseEngine().run(np.zeros((1, 2, 4, 4), np.float32), 2)
+
+    def test_invalid_density_threshold(self):
+        with pytest.raises(ValueError):
+            SparseEventEngine(density_threshold=0.0)
+
+
+class TestEquivalenceToy:
+    def test_logits_and_predictions_match(self):
+        x = np.random.default_rng(0).normal(size=(6, 2, 4, 4)).astype(np.float32)
+        dense = SpikingNetwork(converted_toy(), timesteps=6, engine="dense")
+        event = SpikingNetwork(converted_toy(), timesteps=6, engine="event")
+        ld = dense.forward(x)
+        le = event.forward(x)
+        assert np.allclose(ld, le, atol=1e-4)
+        assert np.array_equal(ld.argmax(1), le.argmax(1))
+
+    def test_per_step_match(self):
+        x = np.random.default_rng(1).normal(size=(4, 2, 4, 4)).astype(np.float32)
+        dense = SpikingNetwork(converted_toy(), timesteps=4, engine="dense")
+        event = SpikingNetwork(converted_toy(), timesteps=4, engine="event")
+        for a, b in zip(dense.forward_per_step(x, 5), event.forward_per_step(x, 5)):
+            assert np.allclose(a, b, atol=1e-4)
+
+    def test_event_engine_is_repeatable(self):
+        x = np.random.default_rng(2).normal(size=(3, 2, 4, 4)).astype(np.float32)
+        net = SpikingNetwork(converted_toy(), timesteps=4, engine="event")
+        assert np.array_equal(net.forward(x), net.forward(x))
+
+
+class TestEquivalenceResidual:
+    """The event engine must handle non-sequential graphs (ResNet)."""
+
+    def test_resnet_logits_and_predictions_match(self):
+        model = converted_resnet()
+        x = np.random.default_rng(3).normal(size=(4, 3, 32, 32)).astype(np.float32)
+        dense = SpikingNetwork(model, timesteps=4, engine="dense")
+        ld = dense.forward(x)
+        event = SpikingNetwork(model, timesteps=4, engine="event")
+        le = event.forward(x)
+        assert np.allclose(ld, le, atol=1e-3)
+        assert np.array_equal(ld.argmax(1), le.argmax(1))
+
+    def test_resnet_event_does_less_work(self):
+        model = converted_resnet()
+        x = np.random.default_rng(4).normal(size=(4, 3, 32, 32)).astype(np.float32)
+        dense = SpikingNetwork(model, timesteps=4, engine="dense")
+        dense.forward(x)
+        event = SpikingNetwork(model, timesteps=4, engine="event")
+        event.forward(x)
+        assert (
+            event.last_run_stats.total_synaptic_ops
+            < dense.last_run_stats.total_synaptic_ops
+        )
+
+
+class TestRunStats:
+    def test_stats_populated(self):
+        x = np.random.default_rng(5).normal(size=(5, 2, 4, 4)).astype(np.float32)
+        net = SpikingNetwork(converted_toy(), timesteps=4, engine="event")
+        net.forward(x)
+        stats = net.last_run_stats
+        assert stats is not None
+        assert stats.engine == "event"
+        assert stats.batch_size == 5
+        assert stats.timesteps == 4
+        assert stats.wall_clock_seconds > 0
+        kinds = [l.kind for l in stats.layers]
+        assert kinds == ["conv", "neuron", "linear"]
+
+    def test_spike_rates_in_unit_interval(self):
+        x = np.random.default_rng(6).normal(size=(4, 2, 4, 4)).astype(np.float32)
+        net = SpikingNetwork(converted_toy(), timesteps=4, engine="event")
+        net.forward(x)
+        rates = net.last_run_stats.spike_rates()
+        assert len(rates) == 1
+        assert 0.0 <= rates[0] <= 1.0
+
+    def test_dense_engine_counts_full_ops(self):
+        x = np.random.default_rng(7).normal(size=(2, 2, 4, 4)).astype(np.float32)
+        net = SpikingNetwork(converted_toy(), timesteps=3, engine="dense")
+        net.forward(x)
+        stats = net.last_run_stats
+        conv = stats.layers[0]
+        # conv: 2 samples x 3 steps x 16 output pixels x (2*3*3 taps) x 4 out-ch
+        assert conv.synaptic_ops == 2 * 3 * 16 * 18 * 4
+        assert conv.synaptic_ops == conv.dense_synaptic_ops
+
+    def test_event_ops_bounded_by_dense(self):
+        x = np.random.default_rng(8).normal(size=(4, 2, 4, 4)).astype(np.float32)
+        net = SpikingNetwork(converted_toy(), timesteps=4, engine="event")
+        net.forward(x)
+        stats = net.last_run_stats
+        assert 0 < stats.total_synaptic_ops <= stats.total_dense_synaptic_ops
+        assert 0.0 <= stats.synaptic_op_saving < 1.0
+
+    def test_layer_table_renders(self):
+        x = np.random.default_rng(9).normal(size=(2, 2, 4, 4)).astype(np.float32)
+        net = SpikingNetwork(converted_toy(), timesteps=2, engine="event")
+        net.forward(x)
+        table = net.last_run_stats.layer_table()
+        assert "spike_rate" in table
+        assert "overall" in table
+
+    def test_interceptors_removed_after_run(self):
+        net = SpikingNetwork(converted_toy(), timesteps=2, engine="event")
+        x = np.random.default_rng(10).normal(size=(2, 2, 4, 4)).astype(np.float32)
+        net.forward(x)
+        for _, module in net.model.named_modules():
+            assert "forward" not in module.__dict__
+
+
+class TestTimestepValidation:
+    def test_zero_timesteps_rejected_not_defaulted(self):
+        net = SpikingNetwork(converted_toy(), timesteps=4)
+        x = np.zeros((1, 2, 4, 4), np.float32)
+        with pytest.raises(ValueError):
+            net.forward(x, timesteps=0)
+        with pytest.raises(ValueError):
+            net.forward_per_step(x, timesteps=0)
+        with pytest.raises(ValueError):
+            net.accuracy_per_step(x, np.zeros(1, np.int64), timesteps=-1)
+
+    def test_none_uses_default(self):
+        net = SpikingNetwork(converted_toy(), timesteps=3)
+        x = np.zeros((1, 2, 4, 4), np.float32)
+        net.forward(x, timesteps=None)
+        assert net.last_run_stats.timesteps == 3
+
+
+class TestSparseKernels:
+    def test_sparse_conv_matches_dense_at_any_density(self):
+        rng = np.random.default_rng(11)
+        w = rng.normal(size=(5, 3, 3, 3)).astype(np.float32)
+        for density in (0.0, 0.05, 0.5, 1.0):
+            x = (rng.random((2, 3, 8, 8)) < density).astype(np.float32) * 1.5
+            got, performed = sparse_conv2d(x, w, None, stride=1, padding=1)
+            from repro.tensor import functional as F
+            from repro.tensor.functional import im2col
+
+            want = F.conv2d(Tensor(x), Tensor(w), None, stride=1, padding=1).data
+            assert np.allclose(got, want, atol=1e-5)
+            cols, _, _ = im2col(x, 3, 1, 1)
+            assert performed == np.count_nonzero(cols) * 5
+
+    def test_sparse_conv_strided(self):
+        rng = np.random.default_rng(12)
+        w = rng.normal(size=(4, 2, 3, 3)).astype(np.float32)
+        x = (rng.random((1, 2, 9, 9)) < 0.2).astype(np.float32)
+        got, _ = sparse_conv2d(x, w, None, stride=2, padding=1)
+        from repro.tensor import functional as F
+
+        want = F.conv2d(Tensor(x), Tensor(w), None, stride=2, padding=1).data
+        assert np.allclose(got, want, atol=1e-5)
+
+    def test_sparse_conv_with_bias(self):
+        rng = np.random.default_rng(13)
+        w = rng.normal(size=(3, 2, 3, 3)).astype(np.float32)
+        b = rng.normal(size=3).astype(np.float32)
+        x = np.zeros((2, 2, 5, 5), np.float32)  # fully silent input
+        got, performed = sparse_conv2d(x, w, b, stride=1, padding=1)
+        assert performed == 0
+        # Silent input: every output pixel is exactly the bias.
+        assert np.allclose(got, b.reshape(1, 3, 1, 1) * np.ones_like(got))
+
+    def test_sparse_linear_matches_dense(self):
+        rng = np.random.default_rng(14)
+        w = rng.normal(size=(7, 20)).astype(np.float32)
+        b = rng.normal(size=7).astype(np.float32)
+        x = (rng.random((4, 20)) < 0.3).astype(np.float32) * 2.0
+        got, performed = sparse_linear(x, w, b)
+        want = x @ w.T + b
+        assert np.allclose(got, want, atol=1e-5)
+        assert performed == np.count_nonzero(x) * 7
