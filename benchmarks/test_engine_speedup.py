@@ -1,4 +1,4 @@
-"""Dense vs event-driven engine: synaptic-op savings and wall clock.
+"""Dense vs event vs time-batched engines: op savings and wall clock.
 
 The paper's thesis (§III) is that event-driven execution makes cost
 scale with spike activity instead of network size: at the observed
@@ -6,11 +6,18 @@ spike rates (≈0.12 for ResNet-18, ≈0.16 for VGG-11) the aggregation
 core skips the overwhelming majority of dense MACs.  This benchmark
 checks that the software event engine realises exactly that saving —
 fewer synaptic operations than the dense reference at sub-50% spike
-rates — while producing the same predictions, and reports the measured
-wall-clock of both backends for the record.
+rates — while producing the same predictions; that the time-batched
+engine beats the dense reference by >= 3x wall-clock on the
+hardware-faithful frame-at-a-time workload (the PYNQ-Z2 runs batch-1
+inference; Table I latencies are per frame); and it records the full
+three-engine trajectory in ``BENCH_engines.json`` at the repo root so
+successive PRs can track the wall-clock curve.
 """
 
+import json
+import platform
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -21,16 +28,29 @@ from repro.pipeline.trainer import TrainConfig, Trainer
 from repro.snn import SpikingNetwork, convert_to_snn
 
 TIMESTEPS = 8
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engines.json"
+
+
+def _converted_vgg(width):
+    """A BN-warmed, briefly-trained converted VGG and an eval batch."""
+    ds = SyntheticCIFAR(num_train=128, num_test=48, noise=0.8, seed=3)
+    model = build_quantized_twin(
+        "vgg11", width=width, num_classes=10, levels=2, seed=0
+    )
+    Trainer(model, TrainConfig(epochs=1, lr=1e-3)).fit(ds.train_x, ds.train_y)
+    convert_to_snn(model)
+    return model, ds.test_x
 
 
 @pytest.fixture(scope="module")
 def converted_vgg():
-    """A BN-warmed, briefly-trained converted VGG and an eval batch."""
-    ds = SyntheticCIFAR(num_train=128, num_test=48, noise=0.8, seed=3)
-    model = build_quantized_twin("vgg11", width=0.25, num_classes=10, levels=2, seed=0)
-    Trainer(model, TrainConfig(epochs=1, lr=1e-3)).fit(ds.train_x, ds.train_y)
-    convert_to_snn(model)
-    return model, ds.test_x
+    return _converted_vgg(0.25)
+
+
+@pytest.fixture(scope="module")
+def converted_vgg_bench():
+    """The repo's standard accuracy-benchmark geometry (width 0.125)."""
+    return _converted_vgg(0.125)
 
 
 def _run(model, x, engine):
@@ -120,3 +140,101 @@ def test_event_ops_track_spike_rate_per_layer():
         assert ratio >= 0.5 * rate
         checked += 1
     assert checked == 2
+
+
+def _timed_interleaved(networks, x, repeats=24):
+    """Best-of-k wall clock per engine, measured in interleaved rounds.
+
+    Interleaving means a machine-wide slow phase (shared CI box, cache
+    pressure) hits every engine alike, so the *ratios* stay stable even
+    when absolute times wobble; min-of-k then filters scheduler noise.
+    """
+    for network in networks.values():
+        network.forward(x)  # warm caches, BLAS, plan/pad workspaces
+    best = {name: float("inf") for name in networks}
+    for _ in range(repeats):
+        for name, network in networks.items():
+            started = time.perf_counter()
+            network.forward(x)
+            best[name] = min(best[name], time.perf_counter() - started)
+    return best
+
+
+def test_batched_engine_wall_clock_speedup(converted_vgg_bench):
+    """Three-engine wall clock on frame-at-a-time inference + artifact.
+
+    The scenario is the hardware's own workload: one 32x32 frame, T=8,
+    the repo's standard VGG-11 geometry.  The dense engine re-runs the
+    full model eight times; the time-batched engine runs each layer
+    once over the (T, ...) stack, which must be >= 3x faster.  The
+    measured trajectory of all three engines (and a small-batch point)
+    is recorded in BENCH_engines.json.
+    """
+    model, x = converted_vgg_bench
+    frame = x[:1]
+    networks = {
+        engine: SpikingNetwork(model, timesteps=TIMESTEPS, engine=engine)
+        for engine in ("dense", "event", "batched")
+    }
+    seconds = _timed_interleaved(networks, frame)
+    results = {}
+    for engine, network in networks.items():
+        logits = network.forward(frame)
+        results[engine] = {
+            "wall_clock_ms": round(seconds[engine] * 1e3, 3),
+            "synaptic_ops": int(network.last_run_stats.total_synaptic_ops),
+            "overall_spike_rate": round(
+                network.last_run_stats.overall_spike_rate, 6
+            ),
+            "logits_max_abs_diff_vs_dense": 0.0,
+            "prediction": int(logits.argmax(1)[0]),
+            "_logits": logits,
+        }
+    dense_logits = results["dense"].pop("_logits")
+    for engine in ("event", "batched"):
+        logits = results[engine].pop("_logits")
+        results[engine]["logits_max_abs_diff_vs_dense"] = float(
+            np.abs(logits - dense_logits).max()
+        )
+
+    speedup = (
+        results["dense"]["wall_clock_ms"] / results["batched"]["wall_clock_ms"]
+    )
+    batch_nets = {
+        engine: SpikingNetwork(model, timesteps=TIMESTEPS, engine=engine)
+        for engine in ("dense", "batched")
+    }
+    batch16 = {
+        engine: round(s * 1e3, 3)
+        for engine, s in _timed_interleaved(batch_nets, x[:16], repeats=3).items()
+    }
+
+    record = {
+        "benchmark": "engines_wall_clock",
+        "scenario": {
+            "model": "vgg11",
+            "width": 0.125,
+            "timesteps": TIMESTEPS,
+            "batch": 1,
+            "input": "32x32x3 synthetic CIFAR frame",
+        },
+        "engines": results,
+        "batched_speedup_vs_dense": round(speedup, 3),
+        "batch16_wall_clock_ms": batch16,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwall clock (ms): " + ", ".join(
+        f"{k} {v['wall_clock_ms']}" for k, v in results.items()
+    ))
+    print(f"batched speedup vs dense: {speedup:.2f}x -> {BENCH_PATH}")
+
+    # All three engines agree on the frame's prediction and logits.
+    preds = {v["prediction"] for v in results.values()}
+    assert len(preds) == 1
+    assert results["batched"]["logits_max_abs_diff_vs_dense"] < 1e-4
+    # The batched engine bills the same dense MAC count...
+    assert results["batched"]["synaptic_ops"] == results["dense"]["synaptic_ops"]
+    # ...but delivers the acceptance-criterion wall-clock win.
+    assert speedup >= 3.0

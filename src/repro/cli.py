@@ -128,6 +128,7 @@ def _curve_and_rates(model_name: str, args):
         finetune_epochs=max(1, args.epochs - 2),
         seed=args.seed,
         engine=args.engine,
+        workers=args.workers,
     )
     return dataset, curve
 
@@ -202,10 +203,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--engine",
-        choices=["dense", "event"],
+        choices=["dense", "event", "batched"],
         default="dense",
         help="SNN simulation backend for training artefacts: full dense "
-        "recompute per timestep, or sparse event propagation",
+        "recompute per timestep, sparse event propagation, or "
+        "time-batched layer-sequential execution (fastest)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="forked batch shards per SNN inference (1 = in-process); "
+        "statistics are merged and match a single-worker run",
     )
     parser.add_argument("--top", type=int, default=12, help="rows to show for dse")
     parser.add_argument(

@@ -7,8 +7,11 @@ step size and whose membrane potential starts at threshold/2 (the QCFS
 optimum), using reset-by-subtraction.  The resulting stateful network is
 run for T timesteps by :class:`SpikingNetwork` on a pluggable
 :mod:`repro.snn.engine` backend — ``"dense"`` (reference per-timestep
-recompute) or ``"event"`` (sparse event propagation whose cost scales
-with spike rate, like the paper's hardware).
+recompute), ``"event"`` (sparse event propagation whose cost scales
+with spike rate, like the paper's hardware) or ``"batched"``
+(layer-sequential time batching: one big GEMM per stateless layer over
+all T timesteps, the fastest software path) — optionally sharded over
+``workers`` forked processes along the batch dimension.
 """
 
 from repro.snn.dynamics import (
@@ -25,6 +28,7 @@ from repro.snn.engine import (
     DenseEngine,
     SimulationEngine,
     SparseEventEngine,
+    TimeBatchedEngine,
     make_engine,
 )
 from repro.snn.network import SpikingNetwork
@@ -64,6 +68,7 @@ __all__ = [
     "SimulationEngine",
     "DenseEngine",
     "SparseEventEngine",
+    "TimeBatchedEngine",
     "make_engine",
     "LayerStats",
     "RunStats",

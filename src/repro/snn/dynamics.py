@@ -94,6 +94,7 @@ def neuron_step(
     reset: ResetMode = ResetMode.SUBTRACT,
     leak_fn: Optional[LeakFn] = None,
     clamp_fn: Optional[ClampFn] = None,
+    in_place: bool = False,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Advance one timestep of IF/LIF dynamics.
 
@@ -110,10 +111,17 @@ def neuron_step(
     leak_fn:
         Optional leak applied to ``v`` *before* integration — use
         :func:`multiplicative_leak` (software) or :func:`shift_leak`
-        (hardware); None means pure IF.
+        (hardware); None means pure IF.  A leak MUST return a fresh
+        array (never mutate or alias its input): the step integrates
+        into the leak's result in place.  Both library leaks do.
     clamp_fn:
         Optional range clamp applied after integration (the hardware's
         16-bit partial-sum saturation); None for the float path.
+    in_place:
+        Integrate into ``v`` itself instead of a fresh array.  Only
+        valid when the caller owns ``v`` exclusively (e.g. a per-run
+        membrane buffer stepped in a loop); the default keeps the
+        caller's array untouched.
 
     Returns
     -------
@@ -125,13 +133,20 @@ def neuron_step(
         raise ValueError("threshold must be positive")
     if leak_fn is not None:
         v = leak_fn(v)
-    v = v + current
+        in_place = True  # both library leaks return a private copy
+    if in_place:
+        v += current
+    else:
+        v = v + current  # fresh array: the reset below may mutate it freely
     if clamp_fn is not None:
         v = clamp_fn(v)
     spiked = v >= threshold
     thr = np.asarray(threshold, dtype=v.dtype)
     if ResetMode(reset) is ResetMode.SUBTRACT:
-        v = np.where(spiked, v - thr, v)
+        # Bitwise identical to selecting v - thr where spiked (0*thr is
+        # exactly 0, v - 0 is exactly v) and several times faster than
+        # a masked ufunc or np.where on this substrate.
+        v -= spiked * thr
     else:
         v = np.where(spiked, np.zeros((), dtype=v.dtype), v)
     return v, spiked

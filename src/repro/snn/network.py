@@ -9,9 +9,12 @@ host-side software implements.
 Execution is delegated to a pluggable :class:`repro.snn.engine`
 backend: ``engine="dense"`` re-runs the full model every timestep (the
 reference), ``engine="event"`` propagates only active spike events so
-per-timestep cost scales with spike rate, like the paper's hardware.
-Every run leaves a :class:`repro.snn.stats.RunStats` on
-``last_run_stats`` with per-layer spike rates and synaptic-op counts.
+per-timestep cost scales with spike rate, like the paper's hardware,
+and ``engine="batched"`` time-batches all T timesteps into one
+layer-sequential pass (the fastest software path).  ``workers=K``
+shards every batch across K forked processes.  Every run leaves a
+:class:`repro.snn.stats.RunStats` on ``last_run_stats`` with per-layer
+spike rates and synaptic-op counts.
 """
 
 from __future__ import annotations
@@ -37,8 +40,12 @@ class SpikingNetwork:
     timesteps:
         Default number of timesteps T per inference.
     engine:
-        Execution backend: ``"dense"``, ``"event"`` or a bound-ready
-        :class:`repro.snn.engine.SimulationEngine` instance.
+        Execution backend: ``"dense"``, ``"event"``, ``"batched"`` or a
+        bound-ready :class:`repro.snn.engine.SimulationEngine` instance.
+    workers:
+        Default number of batch shards run in forked worker processes
+        per inference (1 = in-process).  Statistics of a sharded run
+        are merged and match a single-worker run.
     """
 
     def __init__(
@@ -46,14 +53,18 @@ class SpikingNetwork:
         model: Module,
         timesteps: int = 8,
         engine: EngineSpec = "dense",
+        workers: int = 1,
     ) -> None:
         if timesteps < 1:
             raise ValueError("timesteps must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         if not spiking_layers(model):
             raise ValueError("model has no spiking layers; convert it first")
         self.model = model
         self.model.eval()
         self.timesteps = timesteps
+        self.workers = int(workers)
         self.engine: SimulationEngine = make_engine(engine)
         if self.engine.model is not None and self.engine.model is not model:
             # Rebinding would silently redirect the other network's
@@ -72,27 +83,50 @@ class SpikingNetwork:
             raise ValueError("timesteps must be >= 1")
         return steps
 
+    def _resolve_workers(self, workers: Optional[int]) -> int:
+        count = self.workers if workers is None else workers
+        if count < 1:
+            raise ValueError("workers must be >= 1")
+        return count
+
     def forward(
-        self, x: np.ndarray, timesteps: Optional[int] = None
+        self,
+        x: np.ndarray,
+        timesteps: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> np.ndarray:
         """Accumulated logits after T timesteps for a batch ``x`` (N,C,H,W)."""
-        run = self.engine.run(x, self._resolve_timesteps(timesteps))
+        run = self.engine.run(
+            x,
+            self._resolve_timesteps(timesteps),
+            workers=self._resolve_workers(workers),
+        )
         self.last_run_stats = run.stats
         return run.logits
 
     __call__ = forward
 
     def forward_per_step(
-        self, x: np.ndarray, timesteps: Optional[int] = None
+        self,
+        x: np.ndarray,
+        timesteps: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> List[np.ndarray]:
         """Cumulative logits after each timestep (for accuracy-vs-T curves).
 
         Returns a list of length T where entry t is the logits summed
         over timesteps 0..t.  One pass of this costs the same as a
         single forward at the maximum T, so accuracy-vs-timesteps
-        figures (paper Figs. 7, 9) need only one sweep of the data.
+        figures (paper Figs. 7, 9) need only one sweep of the data —
+        and the time-batched engine produces the whole curve from its
+        single layer-sequential pass.
         """
-        run = self.engine.run(x, self._resolve_timesteps(timesteps), per_step=True)
+        run = self.engine.run(
+            x,
+            self._resolve_timesteps(timesteps),
+            per_step=True,
+            workers=self._resolve_workers(workers),
+        )
         self.last_run_stats = run.stats
         return run.per_step
 

@@ -22,7 +22,7 @@ Conventions:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Callable, List, Optional
 
 
 @dataclass
@@ -77,6 +77,7 @@ class RunStats:
     layers: List[LayerStats] = field(default_factory=list)
     engine: str = ""
     wall_clock_seconds: float = 0.0
+    workers: int = 1  # batch shards merged into this record
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -108,6 +109,39 @@ class RunStats:
     def spike_rates(self) -> List[float]:
         """Per-layer spike rates, in depth order (layers with neurons only)."""
         return [l.spike_rate for l in self.layers if l.neuron_steps > 0]
+
+    def input_spike_rates(
+        self,
+        frame_rate: float = 1.0,
+        skip: Optional[Callable[[str], bool]] = None,
+    ) -> List[float]:
+        """Observed *input* activity of each synapse layer, in depth order.
+
+        A synapse layer's event-driven cost is set by the spike rate of
+        the neuron layer feeding it, so this is the per-layer rate
+        vector the hardware latency/power models consume.  Layers fed
+        by the analog input frame (no upstream neuron yet) are billed
+        at ``frame_rate`` (dense, 1.0 by default), mirroring the
+        PS-side frame convolution.  ``skip`` drops synapse layers by
+        name — e.g. ResNet projection shortcuts, which the hardware
+        mapper folds into the main layer as an auxiliary pass rather
+        than mapping separately.
+
+        The upstream rate is resolved by flat registration order, which
+        is exact for chains; at residual merge points the consuming
+        layer actually sees main-branch plus shortcut spikes, so its
+        billed input rate is the trunk neuron's — an approximation that
+        understates activity at the handful of merge convs.
+        """
+        rates: List[float] = []
+        upstream: float = frame_rate
+        for layer in self.layers:
+            if layer.kind == "neuron":
+                upstream = layer.spike_rate
+            elif layer.kind in ("conv", "linear", "fc"):
+                if skip is None or not skip(layer.name):
+                    rates.append(upstream)
+        return rates
 
     @property
     def overall_spike_rate(self) -> float:

@@ -10,7 +10,8 @@ kernel's rows are streamed into the PE row-by-row.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -24,29 +25,92 @@ def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return (size + 2 * padding - kernel) // stride + 1
 
 
+# Sliding-window gather plans keyed by (C, H, W, K, stride, padding).
+# A plan is the flat tap-index array into one padded sample plus the
+# output spatial size; networks reuse a handful of shapes thousands of
+# times (every timestep of every layer), so the index arithmetic is
+# paid once per shape instead of once per call.  Bounded FIFO so
+# pathological shape churn (e.g. a DSE sweep) cannot grow it unboundedly.
+_PLAN_CACHE: "OrderedDict[Tuple[int, int, int, int, int, int], Tuple[np.ndarray, int, int]]" = OrderedDict()
+_PLAN_CACHE_CAPACITY = 64
+
+
+def _im2col_plan(
+    c: int, h: int, w: int, kernel: int, stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Cached flat gather indices mapping a padded (C, HP, WP) sample to
+    its im2col rows, with the output spatial size."""
+    key = (c, h, w, kernel, stride, padding)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        oh = _conv_output_size(h, kernel, stride, padding)
+        ow = _conv_output_size(w, kernel, stride, padding)
+        hp, wp = h + 2 * padding, w + 2 * padding
+        # Offsets of the C*K*K taps of one window into the flat sample.
+        taps = (
+            np.arange(c)[:, None, None] * (hp * wp)
+            + np.arange(kernel)[None, :, None] * wp
+            + np.arange(kernel)[None, None, :]
+        ).reshape(-1)
+        # Top-left corner of each of the OH*OW windows.
+        starts = (
+            np.arange(oh)[:, None] * (stride * wp) + np.arange(ow)[None, :] * stride
+        ).reshape(-1)
+        indices = (starts[:, None] + taps[None, :]).astype(np.intp).reshape(-1)
+        if len(_PLAN_CACHE) >= _PLAN_CACHE_CAPACITY:
+            _PLAN_CACHE.popitem(last=False)
+        plan = (indices, oh, ow)
+        _PLAN_CACHE[key] = plan
+    return plan
+
+
+# Reusable zero-padded workspaces keyed by the full call signature
+# (N, C, H, W, padding, dtype) so a buffer is only ever reused by calls
+# that overwrite exactly the same interior — the border is written once
+# (zeros) and stays zero for the buffer's lifetime.  np.pad would
+# re-allocate, re-zero and walk its per-axis edge machinery on every
+# unfold.  Callers never see the buffer: im2col's gather copies out of
+# it immediately.  Bounded FIFO like the plans, and large arrays skip
+# the cache entirely (the per-call overhead is amortised there and
+# pinning multi-hundred-MB activations at module scope is not).
+_PAD_CACHE: "OrderedDict[Tuple[int, int, int, int, int, str], np.ndarray]" = OrderedDict()
+_PAD_CACHE_CAPACITY = 16
+_PAD_CACHE_MAX_BYTES = 16 * 1024 * 1024
+
+
+def _padded_workspace(x: np.ndarray, padding: int) -> np.ndarray:
+    n, c, h, w = x.shape
+    hp, wp = h + 2 * padding, w + 2 * padding
+    if n * c * hp * wp * x.itemsize > _PAD_CACHE_MAX_BYTES:
+        return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    key = (n, c, h, w, padding, x.dtype.str)
+    buf = _PAD_CACHE.get(key)
+    if buf is None:
+        if len(_PAD_CACHE) >= _PAD_CACHE_CAPACITY:
+            _PAD_CACHE.popitem(last=False)
+        buf = np.zeros((n, c, hp, wp), dtype=x.dtype)
+        _PAD_CACHE[key] = buf
+    buf[:, :, padding:-padding, padding:-padding] = x
+    return buf
+
+
 def im2col(
     x: np.ndarray, kernel: int, stride: int, padding: int
 ) -> Tuple[np.ndarray, int, int]:
     """Unfold ``x`` (N, C, H, W) into columns (N*OH*OW, C*K*K).
 
     Returns the column matrix together with the output spatial size.
+    The gather runs off a cached index plan (one per distinct
+    (shape, kernel, stride, padding)) and produces a fresh contiguous
+    matrix directly — ready for GEMM with no extra copy.
     """
     n, c, h, w = x.shape
-    oh = _conv_output_size(h, kernel, stride, padding)
-    ow = _conv_output_size(w, kernel, stride, padding)
+    indices, oh, ow = _im2col_plan(c, h, w, kernel, stride, padding)
     if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-
-    # Strided sliding-window view: (N, C, K, K, OH, OW)
-    sn, sc, sh, sw = x.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(n, c, kernel, kernel, oh, ow),
-        strides=(sn, sc, sh, sw, sh * stride, sw * stride),
-        writeable=False,
-    )
-    cols = windows.transpose(0, 4, 5, 1, 2, 3).reshape(n * oh * ow, c * kernel * kernel)
-    return np.ascontiguousarray(cols), oh, ow
+        x = _padded_workspace(x, padding)
+    flat = x.reshape(n, -1)
+    cols = np.take(flat, indices, axis=1).reshape(n * oh * ow, c * kernel * kernel)
+    return cols, oh, ow
 
 
 def col2im(
@@ -131,10 +195,38 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
 # ----------------------------------------------------------------------
 # Pooling
 # ----------------------------------------------------------------------
+def _tap_views(data: np.ndarray, kernel: int) -> list:
+    """The k*k strided tap views of a (N, C, H, W) array tiled by ``kernel``."""
+    return [
+        data[:, :, i::kernel, j::kernel]
+        for i in range(kernel)
+        for j in range(kernel)
+    ]
+
+
 def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
-    """Max pooling over non-overlapping (or strided) windows."""
+    """Max pooling over non-overlapping (or strided) windows.
+
+    The tiled no-grad case (stride == kernel, spatial dims divisible —
+    i.e. every inference/SNN-engine call) reduces k*k strided views
+    with ``np.maximum`` — roughly an order of magnitude faster than the
+    window gather.  The im2col route remains for training, where the
+    backward pass needs the per-window argmax.
+    """
     stride = stride or kernel
     n, c, h, w = x.shape
+    if (
+        stride == kernel
+        and h % kernel == 0
+        and w % kernel == 0
+        and not x.requires_grad
+    ):
+        taps = _tap_views(x.data, kernel)
+        out = np.maximum(taps[0], taps[1]) if len(taps) > 1 else taps[0].copy()
+        for tap in taps[2:]:
+            np.maximum(out, tap, out=out)
+        return Tensor(out)
+
     cols, oh, ow = im2col(
         x.data.reshape(n * c, 1, h, w), kernel, stride, padding=0
     )  # (N*C*OH*OW, K*K)
@@ -155,9 +247,33 @@ def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
 
 
 def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
-    """Average pooling."""
+    """Average pooling (tiled fast path sums strided views, with a
+    strided-scatter backward; strided/ragged windows use im2col)."""
     stride = stride or kernel
     n, c, h, w = x.shape
+    if stride == kernel and h % kernel == 0 and w % kernel == 0:
+        taps = _tap_views(x.data, kernel)
+        acc = taps[0] + taps[1] if len(taps) > 1 else taps[0].copy()
+        for tap in taps[2:]:
+            np.add(acc, tap, out=acc)
+        inv = 1.0 / (kernel * kernel)
+        if np.issubdtype(acc.dtype, np.integer):
+            out_data = acc * inv  # promote, matching cols.mean on ints
+        else:
+            out_data = acc * np.asarray(inv, dtype=acc.dtype)
+
+        def backward_tiled(g: np.ndarray) -> None:
+            if not x.requires_grad:
+                return
+            gk = g * inv
+            gx = np.empty((n, c, h, w), dtype=gk.dtype)
+            for i in range(kernel):
+                for j in range(kernel):
+                    gx[:, :, i::kernel, j::kernel] = gk
+            x._accumulate(gx)
+
+        return Tensor._make(out_data, (x,), backward_tiled)
+
     cols, oh, ow = im2col(x.data.reshape(n * c, 1, h, w), kernel, stride, padding=0)
     out_data = cols.mean(axis=1).reshape(n, c, oh, ow)
     scale = 1.0 / (kernel * kernel)

@@ -26,6 +26,19 @@ class TestParser:
         args = build_parser().parse_args(["tab1"])
         assert args.timesteps == 8
         assert args.width == 0.125
+        assert args.engine == "dense"
+        assert args.workers == 1
+
+    def test_batched_engine_and_workers(self):
+        args = build_parser().parse_args(
+            ["fig7", "--engine", "batched", "--workers", "2"]
+        )
+        assert args.engine == "batched"
+        assert args.workers == 2
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig7", "--engine", "warp"])
 
 
 class TestHardwareArtefacts:

@@ -1,4 +1,4 @@
-"""Simulation-engine tests: dense vs event equivalence and statistics."""
+"""Simulation-engine tests: dense vs event vs batched equivalence and statistics."""
 
 import numpy as np
 import pytest
@@ -8,6 +8,7 @@ from repro.snn import (
     DenseEngine,
     SparseEventEngine,
     SpikingNetwork,
+    TimeBatchedEngine,
     convert_to_snn,
     make_engine,
 )
@@ -15,7 +16,7 @@ from repro.snn.engine import sparse_conv2d, sparse_linear
 from repro.tensor import Tensor, no_grad
 
 
-def converted_toy(seed=0):
+def converted_toy(seed=0, neuron="if"):
     model = nn.Sequential(
         nn.Conv2d(2, 4, 3, padding=1, rng=np.random.default_rng(seed)),
         nn.BatchNorm2d(4),
@@ -28,6 +29,29 @@ def converted_toy(seed=0):
     with no_grad():
         for _ in range(4):
             model(Tensor(rng.normal(size=(8, 2, 4, 4)).astype(np.float32)))
+    model.eval()
+    return convert_to_snn(model, neuron=neuron)
+
+
+def converted_pooled_toy(seed=0):
+    """Conv/BN/pool chain — exercises the batched engine's stateless
+    interceptors (BatchNorm + MaxPool) on both sides of a neuron layer."""
+    model = nn.Sequential(
+        nn.Conv2d(2, 4, 3, padding=1, rng=np.random.default_rng(seed)),
+        nn.BatchNorm2d(4),
+        nn.QuantReLU(levels=2, init_step=2.0),
+        nn.MaxPool2d(2),
+        nn.Conv2d(4, 4, 3, padding=1, rng=np.random.default_rng(seed + 1)),
+        nn.QuantReLU(levels=2, init_step=2.0),
+        nn.AvgPool2d(2),
+        nn.Flatten(),
+        nn.Linear(4 * 2 * 2, 5, rng=np.random.default_rng(seed + 2)),
+    )
+    rng = np.random.default_rng(seed + 3)
+    model.train()
+    with no_grad():
+        for _ in range(4):
+            model(Tensor(rng.normal(size=(8, 2, 8, 8)).astype(np.float32)))
     model.eval()
     return convert_to_snn(model)
 
@@ -53,6 +77,8 @@ class TestMakeEngine:
         assert isinstance(make_engine("dense"), DenseEngine)
         assert isinstance(make_engine("event"), SparseEventEngine)
         assert isinstance(make_engine("sparse"), SparseEventEngine)
+        assert isinstance(make_engine("batched"), TimeBatchedEngine)
+        assert isinstance(make_engine("time-batched"), TimeBatchedEngine)
 
     def test_instance_passthrough(self):
         engine = SparseEventEngine()
@@ -108,6 +134,140 @@ class TestEquivalenceToy:
         x = np.random.default_rng(2).normal(size=(3, 2, 4, 4)).astype(np.float32)
         net = SpikingNetwork(converted_toy(), timesteps=4, engine="event")
         assert np.array_equal(net.forward(x), net.forward(x))
+
+
+class TestEquivalenceBatched:
+    """The time-batched engine reproduces dense logits: same kernels,
+    same per-sample summation order, restructured loop.  The only
+    admissible difference is BLAS blocking on the T-fold-larger GEMMs
+    (ulp-level), so logits agree tightly and predictions exactly."""
+
+    def _assert_identical(self, a, b, atol=1e-5):
+        assert np.allclose(a, b, atol=atol)
+        assert np.array_equal(a.argmax(1), b.argmax(1))
+
+    def test_if_logits_identical(self):
+        x = np.random.default_rng(20).normal(size=(6, 2, 4, 4)).astype(np.float32)
+        dense = SpikingNetwork(converted_toy(), timesteps=6, engine="dense")
+        batched = SpikingNetwork(converted_toy(), timesteps=6, engine="batched")
+        self._assert_identical(dense.forward(x), batched.forward(x))
+
+    def test_lif_logits_identical(self):
+        x = np.random.default_rng(21).normal(size=(5, 2, 4, 4)).astype(np.float32)
+        dense = SpikingNetwork(converted_toy(neuron="lif"), timesteps=5, engine="dense")
+        batched = SpikingNetwork(
+            converted_toy(neuron="lif"), timesteps=5, engine="batched"
+        )
+        self._assert_identical(dense.forward(x), batched.forward(x))
+
+    def test_pooled_chain_identical(self):
+        x = np.random.default_rng(22).normal(size=(4, 2, 8, 8)).astype(np.float32)
+        dense = SpikingNetwork(converted_pooled_toy(), timesteps=4, engine="dense")
+        batched = SpikingNetwork(converted_pooled_toy(), timesteps=4, engine="batched")
+        self._assert_identical(dense.forward(x), batched.forward(x))
+
+    def test_per_step_logits_identical(self):
+        x = np.random.default_rng(23).normal(size=(4, 2, 4, 4)).astype(np.float32)
+        dense = SpikingNetwork(converted_toy(), timesteps=4, engine="dense")
+        batched = SpikingNetwork(converted_toy(), timesteps=4, engine="batched")
+        steps_d = dense.forward_per_step(x, 5)
+        steps_b = batched.forward_per_step(x, 5)
+        assert len(steps_b) == 5
+        for a, b in zip(steps_d, steps_b):
+            self._assert_identical(a, b)
+
+    def test_resnet_residual_graph_identical(self):
+        model = converted_resnet()
+        x = np.random.default_rng(24).normal(size=(4, 3, 32, 32)).astype(np.float32)
+        dense = SpikingNetwork(model, timesteps=4, engine="dense")
+        ld = dense.forward(x)
+        dense_stats = dense.last_run_stats
+        batched = SpikingNetwork(model, timesteps=4, engine="batched")
+        lb = batched.forward(x)
+        self._assert_identical(ld, lb, atol=1e-4)
+        # Batched bills the same full dense MAC count and sees the same
+        # spikes — the wall-clock win changes no accounting.
+        stats = batched.last_run_stats
+        assert stats.total_synaptic_ops == dense_stats.total_synaptic_ops
+        assert stats.spike_rates() == pytest.approx(
+            dense_stats.spike_rates(), abs=1e-3
+        )
+
+    def test_stats_and_cleanup(self):
+        x = np.random.default_rng(25).normal(size=(3, 2, 8, 8)).astype(np.float32)
+        net = SpikingNetwork(converted_pooled_toy(), timesteps=3, engine="batched")
+        net.forward(x)
+        stats = net.last_run_stats
+        assert stats.engine == "batched"
+        assert stats.batch_size == 3
+        assert [l.kind for l in stats.layers] == [
+            "conv", "neuron", "conv", "neuron", "linear",
+        ]
+        # All interceptors (synapse, neuron and stateless) uninstalled.
+        for _, module in net.model.named_modules():
+            assert "forward" not in module.__dict__
+
+
+class TestWorkerSharding:
+    """workers=K forks the batch into shards; results and merged stats
+    must match the single-worker run exactly."""
+
+    def test_logits_match_single_worker(self):
+        model = converted_toy()
+        x = np.random.default_rng(30).normal(size=(6, 2, 4, 4)).astype(np.float32)
+        net = SpikingNetwork(model, timesteps=4, engine="batched")
+        single = net.forward(x, workers=1)
+        sharded = net.forward(x, workers=2)
+        # Shards are smaller GEMMs; BLAS blocking may differ by ulps.
+        assert np.allclose(single, sharded, atol=1e-5)
+        assert np.array_equal(single.argmax(1), sharded.argmax(1))
+
+    def test_merged_stats_match_single_worker(self):
+        model = converted_toy()
+        x = np.random.default_rng(31).normal(size=(6, 2, 4, 4)).astype(np.float32)
+        net = SpikingNetwork(model, timesteps=4, engine="dense")
+        net.forward(x, workers=1)
+        one = net.last_run_stats
+        net.forward(x, workers=2)
+        two = net.last_run_stats
+        assert two.workers == 2
+        assert two.batch_size == one.batch_size
+        assert two.total_synaptic_ops == one.total_synaptic_ops
+        assert two.spike_rates() == one.spike_rates()
+        for a, b in zip(one.layers, two.layers):
+            assert a.name == b.name
+            assert a.spike_count == b.spike_count
+            assert a.synaptic_ops == b.synaptic_ops
+
+    def test_per_step_sharded(self):
+        model = converted_toy()
+        x = np.random.default_rng(32).normal(size=(5, 2, 4, 4)).astype(np.float32)
+        net = SpikingNetwork(model, timesteps=3, engine="batched")
+        single = net.forward_per_step(x, workers=1)
+        sharded = net.forward_per_step(x, workers=3)
+        for a, b in zip(single, sharded):
+            assert np.allclose(a, b, atol=1e-5)
+
+    def test_workers_capped_at_batch_size(self):
+        net = SpikingNetwork(converted_toy(), timesteps=2, engine="dense")
+        x = np.random.default_rng(33).normal(size=(2, 2, 4, 4)).astype(np.float32)
+        net.forward(x, workers=8)  # only 2 samples -> 2 shards
+        assert net.last_run_stats.workers == 2
+        assert net.last_run_stats.batch_size == 2
+
+    def test_invalid_workers_rejected(self):
+        net = SpikingNetwork(converted_toy(), timesteps=2)
+        x = np.zeros((1, 2, 4, 4), np.float32)
+        with pytest.raises(ValueError):
+            net.forward(x, workers=0)
+        with pytest.raises(ValueError):
+            SpikingNetwork(converted_toy(), timesteps=2, workers=0)
+
+    def test_network_default_workers(self):
+        net = SpikingNetwork(converted_toy(), timesteps=2, workers=2)
+        x = np.random.default_rng(34).normal(size=(4, 2, 4, 4)).astype(np.float32)
+        net.forward(x)
+        assert net.last_run_stats.workers == 2
 
 
 class TestEquivalenceResidual:

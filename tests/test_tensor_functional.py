@@ -39,6 +39,29 @@ class TestIm2col:
         cols, oh, ow = im2col(x, kernel=2, stride=2, padding=1)
         assert (oh, ow) == (3, 3)
 
+    def test_pad_workspace_not_shared_across_paddings(self):
+        # Regression: two unfolds whose *padded* sizes collide but whose
+        # paddings differ must not share a workspace — the second call's
+        # border must be zeros, not the first call's activations.
+        a = np.full((1, 1, 8, 8), 7.0, dtype=np.float32)  # pad=1 -> 10x10
+        im2col(a, kernel=3, stride=1, padding=1)
+        b = np.ones((1, 1, 6, 6), dtype=np.float32)  # pad=2 -> 10x10
+        cols, _, _ = im2col(b, kernel=5, stride=1, padding=2)
+        assert 7.0 not in cols
+        # Top-left window of the padded input: 2 border rows/cols of 0.
+        first = cols[0].reshape(5, 5)
+        assert np.array_equal(first[:2], np.zeros((2, 5), np.float32))
+        assert np.array_equal(first[:, :2], np.zeros((5, 2), np.float32))
+
+    def test_repeated_unfolds_reuse_workspace_correctly(self):
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+            cols, _, _ = im2col(x, 3, 1, 1)
+            # Interior must be fresh per call even though the padded
+            # buffer is reused.
+            assert cols[0, 4] == pytest.approx(x[0, 0, 0, 0])
+
     def test_col2im_is_adjoint(self):
         # <im2col(x), y> == <x, col2im(y)> for random x, y.
         rng = np.random.default_rng(0)
