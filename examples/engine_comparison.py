@@ -1,24 +1,29 @@
-"""Dense vs event-driven vs time-batched SNN engines, side by side.
+"""Dense vs event-driven vs time-batched vs adaptive SNN engines.
 
 The paper's accelerator is fast because it only pays for spikes that
-actually fire.  ``repro.snn.engine`` brings the same structure to the
+actually fire.  ``repro.snn.engines`` brings the same structure to the
 software simulator: the ``event`` backend propagates only active spike
 events, so its synaptic-operation count scales with the observed spike
-rate, and the ``batched`` backend restructures execution from
-time-outer to layer-outer — every stateless layer runs once over a
-``(T*N, ...)`` stack, so wall clock stops paying the T-fold Python and
-per-call overhead.  ``--workers K`` additionally shards each batch
-across K forked processes (statistics are merged and match a
-single-worker run); sharding pays off on multi-core machines — on a
-single core the fork overhead makes it a demo, not a speedup.
+rate; the ``batched`` backend restructures execution from time-outer to
+layer-outer — every stateless layer runs once over a ``(T*N, ...)``
+stack; and the ``auto`` backend profiles a calibration run (per-layer
+wall clock + observed density) and compiles a cached per-layer plan
+that mixes batched GEMM and event gather, the same
+measure-then-specialise loop the paper's mapper applies in hardware.
+``--workers K`` additionally shards each batch across K forked
+processes or threads (``--shard-mode``); statistics are merged and
+match a single-worker run.
 
 This example converts a small VGG-11, runs the same batch through all
 backends and prints the agreement between their logits together with
 per-backend spike rates, synaptic-op counts and wall clock.
+``--profile`` appends each backend's per-layer wall-clock profile
+(``RunStats.profile_table()``).
 
 Run:
     python examples/engine_comparison.py
-    python examples/engine_comparison.py --workers 2
+    python examples/engine_comparison.py --workers 2 --shard-mode thread
+    python examples/engine_comparison.py --profile
 """
 
 import argparse
@@ -40,7 +45,19 @@ def main() -> None:
         "--workers",
         type=int,
         default=1,
-        help="forked batch shards per inference (1 = in-process)",
+        help="batch shards per inference run in parallel (1 = in-process)",
+    )
+    parser.add_argument(
+        "--shard-mode",
+        choices=["auto", "fork", "thread"],
+        default="auto",
+        dest="shard_mode",
+        help="substrate for --workers > 1: forked processes or a thread pool",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print each backend's per-layer wall-clock/density profile",
     )
     args = parser.parse_args()
 
@@ -52,11 +69,18 @@ def main() -> None:
 
     x = dataset.test_x
     results = {}
-    for engine in ("dense", "event", "batched"):
+    for engine in ("dense", "event", "batched", "auto"):
         network = SpikingNetwork(
-            model, timesteps=TIMESTEPS, engine=engine, workers=args.workers
+            model,
+            timesteps=TIMESTEPS,
+            engine=engine,
+            workers=args.workers,
+            shard_mode=args.shard_mode,
         )
-        network.forward(x[:8])  # warm up caches / BLAS threads
+        # Warm up caches / BLAS threads on the full batch — for auto
+        # this is the calibration pass (plans are keyed by the full
+        # input shape), so the timed run executes the compiled plan.
+        network.forward(x)
         started = time.perf_counter()
         logits = network.forward(x)
         elapsed = time.perf_counter() - started
@@ -68,10 +92,12 @@ def main() -> None:
             f"\n         synaptic ops        {stats.total_synaptic_ops:,}"
             f"\n         overall spike rate  {stats.overall_spike_rate:.4f}"
         )
+        if args.profile:
+            print(stats.profile_table())
 
     dense_logits, _, dense_s = results["dense"]
     event_stats = results["event"][1]
-    for engine in ("event", "batched"):
+    for engine in ("event", "batched", "auto"):
         logits, _, elapsed = results[engine]
         agreement = float((dense_logits.argmax(1) == logits.argmax(1)).mean())
         print(
@@ -79,6 +105,17 @@ def main() -> None:
             f"max |logit diff| {np.abs(dense_logits - logits).max():.2e}, "
             f"speedup {dense_s / elapsed:.2f}x"
         )
+    auto_stats = results["auto"][1]
+    chosen = {
+        layer.name: layer.backend
+        for layer in auto_stats.layers
+        if layer.kind in ("conv", "linear")
+    }
+    event_layers = sum(1 for backend in chosen.values() if backend == "event")
+    print(
+        f"\nauto engine plan: {event_layers}/{len(chosen)} synapse layers "
+        f"routed to the event gather, the rest stay on the batched GEMM"
+    )
     print(
         f"\nevent-driven op saving: {event_stats.synaptic_op_saving:.1%} "
         f"(the fraction of dense MACs the paper's hardware never executes)"

@@ -129,20 +129,34 @@ def _curve_and_rates(model_name: str, args):
         seed=args.seed,
         engine=args.engine,
         workers=args.workers,
+        shard_mode=args.shard_mode,
     )
     return dataset, curve
+
+
+def _print_profile(curve, args) -> None:
+    """With --profile: per-layer wall-clock/density table of the last run."""
+    if not getattr(args, "profile", False):
+        return
+    stats = curve.result.snn.last_run_stats if curve.result is not None else None
+    if stats is None:
+        return
+    print("\nper-layer profile (last evaluation batch):")
+    print(stats.profile_table())
 
 
 def _run_fig7(args) -> None:
     _print_header("Fig. 7: ResNet-18 accuracy vs timesteps")
     _, curve = _curve_and_rates("resnet18", args)
     _print_curve(curve)
+    _print_profile(curve, args)
 
 
 def _run_fig9(args) -> None:
     _print_header("Fig. 9: VGG-11 accuracy vs timesteps")
     _, curve = _curve_and_rates("vgg11", args)
     _print_curve(curve)
+    _print_profile(curve, args)
 
 
 def _run_fig6(args) -> None:
@@ -150,6 +164,7 @@ def _run_fig6(args) -> None:
     dataset, curve = _curve_and_rates("resnet18", args)
     stats = spike_rate_experiment(curve, dataset, timesteps=8)
     print(stats.layer_table())
+    _print_profile(curve, args)
 
 
 def _run_fig8(args) -> None:
@@ -157,6 +172,7 @@ def _run_fig8(args) -> None:
     dataset, curve = _curve_and_rates("vgg11", args)
     stats = spike_rate_experiment(curve, dataset, timesteps=8)
     print(stats.layer_table())
+    _print_profile(curve, args)
 
 
 def _print_curve(curve) -> None:
@@ -203,18 +219,37 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--engine",
-        choices=["dense", "event", "batched"],
+        choices=["dense", "event", "batched", "auto"],
         default="dense",
         help="SNN simulation backend for training artefacts: full dense "
-        "recompute per timestep, sparse event propagation, or "
-        "time-batched layer-sequential execution (fastest)",
+        "recompute per timestep, sparse event propagation, "
+        "time-batched layer-sequential execution, or the adaptive "
+        "auto backend (profiles a calibration run, then picks "
+        "GEMM vs event-gather per layer; fastest)",
     )
     parser.add_argument(
         "--workers",
         type=int,
         default=1,
-        help="forked batch shards per SNN inference (1 = in-process); "
-        "statistics are merged and match a single-worker run",
+        help="batch shards per SNN inference run in parallel "
+        "(1 = in-process); statistics are merged and match a "
+        "single-worker run",
+    )
+    parser.add_argument(
+        "--shard-mode",
+        choices=["auto", "fork", "thread"],
+        default="auto",
+        dest="shard_mode",
+        help="parallel substrate for --workers > 1: forked processes, "
+        "a thread pool (works where fork is unavailable), or pick "
+        "automatically",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="after a training artefact, print the per-layer profile "
+        "(wall clock, density, ops, chosen backend) of the last "
+        "evaluation batch (RunStats.profile_table())",
     )
     parser.add_argument("--top", type=int, default=12, help="rows to show for dse")
     parser.add_argument(

@@ -75,14 +75,16 @@ def accuracy_vs_timesteps_experiment(
     seed: int = 0,
     engine: str = "dense",
     workers: int = 1,
+    shard_mode: str = "auto",
 ) -> AccuracyCurve:
     """Run the full pipeline and return the accuracy-vs-T curve.
 
     ``engine`` selects the SNN simulation backend (``"dense"``,
-    ``"event"`` or ``"batched"``); accuracy is backend-independent,
-    wall clock is not — the batched backend computes the whole
-    accuracy-vs-T curve from one layer-sequential pass.  ``workers``
-    shards evaluation batches across forked processes.
+    ``"event"``, ``"batched"`` or the adaptive ``"auto"``); accuracy is
+    backend-independent, wall clock is not — the batched and auto
+    backends compute the whole accuracy-vs-T curve from one
+    layer-sequential pass.  ``workers`` shards evaluation batches
+    across forked processes or threads (``shard_mode``).
     """
     dataset = dataset or SyntheticCIFAR(num_train=2000, num_test=500, noise=1.0, seed=seed)
     result = run_conversion_pipeline(
@@ -97,6 +99,7 @@ def accuracy_vs_timesteps_experiment(
         seed=seed,
         engine=engine,
         workers=workers,
+        shard_mode=shard_mode,
     )
     match_t = None
     for t, acc in enumerate(result.snn_accuracy_per_step, start=1):

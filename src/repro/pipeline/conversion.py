@@ -150,15 +150,17 @@ def run_conversion_pipeline(
     progress: Optional[Callable[[str], None]] = None,
     engine: EngineSpec = "dense",
     workers: int = 1,
+    shard_mode: str = "auto",
 ) -> ConversionResult:
     """Run the full 3-stage pipeline on ``dataset``.
 
     ``max_timesteps`` (default ``max(timesteps, 16)``) controls how far
     the per-step accuracy curve extends — paper Figs. 7/9 plot up to ~30.
     ``engine`` selects the SNN execution backend (``"dense"``,
-    ``"event"`` or ``"batched"``) and ``workers`` the number of forked
-    batch shards per inference; the accuracy numbers are independent of
-    both.
+    ``"event"``, ``"batched"`` or the adaptive ``"auto"``), ``workers``
+    the number of batch shards per inference and ``shard_mode`` their
+    substrate (forked processes or threads); the accuracy numbers are
+    independent of all three.
     """
     say = progress or (lambda message: None)
     ann_config = ann_config or TrainConfig(epochs=8, seed=seed)
@@ -208,7 +210,13 @@ def run_conversion_pipeline(
     snn_model = convert_to_snn(
         snn_twin, neuron=neuron, reset=reset, v_init_fraction=v_init_fraction
     )
-    snn = SpikingNetwork(snn_model, timesteps=timesteps, engine=engine, workers=workers)
+    snn = SpikingNetwork(
+        snn_model,
+        timesteps=timesteps,
+        engine=engine,
+        workers=workers,
+        shard_mode=shard_mode,
+    )
     per_step = snn.accuracy_per_step(test_x, test_y, timesteps=max_timesteps)
     snn_acc = per_step[timesteps - 1]
 

@@ -6,12 +6,14 @@ by an integrate-and-fire neuron whose firing threshold is the learned
 step size and whose membrane potential starts at threshold/2 (the QCFS
 optimum), using reset-by-subtraction.  The resulting stateful network is
 run for T timesteps by :class:`SpikingNetwork` on a pluggable
-:mod:`repro.snn.engine` backend — ``"dense"`` (reference per-timestep
+:mod:`repro.snn.engines` backend — ``"dense"`` (reference per-timestep
 recompute), ``"event"`` (sparse event propagation whose cost scales
-with spike rate, like the paper's hardware) or ``"batched"``
+with spike rate, like the paper's hardware), ``"batched"``
 (layer-sequential time batching: one big GEMM per stateless layer over
-all T timesteps, the fastest software path) — optionally sharded over
-``workers`` forked processes along the batch dimension.
+all T timesteps) or ``"auto"`` (profiles a calibration run and compiles
+a cached per-layer GEMM/event plan, the fastest software path) —
+optionally sharded over ``workers`` forked processes or threads
+(``shard_mode``) along the batch dimension.
 """
 
 from repro.snn.dynamics import (
@@ -24,7 +26,8 @@ from repro.snn.dynamics import (
 from repro.snn.neurons import IFNeuron, LIFNeuron
 from repro.snn.convert import convert_to_snn, spiking_layers
 from repro.snn.stats import LayerStats, RunStats
-from repro.snn.engine import (
+from repro.snn.engines import (
+    AutoEngine,
     DenseEngine,
     SimulationEngine,
     SparseEventEngine,
@@ -66,6 +69,7 @@ __all__ = [
     "spiking_layers",
     "SpikingNetwork",
     "SimulationEngine",
+    "AutoEngine",
     "DenseEngine",
     "SparseEventEngine",
     "TimeBatchedEngine",

@@ -1,790 +1,64 @@
-"""Pluggable simulation engines for timestep-unrolled SNN execution.
+"""Backward-compatible facade over :mod:`repro.snn.engines`.
 
-The paper's central claim is that event-driven, sparsity-exploiting
-execution is what makes the accelerator fast: per timestep the hardware
-only pays for kernel-row segments that actually carry spikes.  The
-software simulator historically did the opposite — it re-ran the full
-dense model every timestep, O(T x dense) regardless of spike rate.
+The engine layer grew from one 800-line module into the
+``repro.snn.engines`` package (``base`` / ``dense`` / ``event`` /
+``batched`` / ``auto`` plus the ``profiling`` and ``sharding``
+infrastructure).  Every public name that ever lived here keeps
+importing from this module unchanged::
 
-This module restructures SNN execution into an engine layer with two
-backends behind one :class:`SimulationEngine` interface:
+    from repro.snn.engine import DenseEngine, SparseEventEngine, TimeBatchedEngine
+    from repro.snn.engine import make_engine, sparse_conv2d, sparse_linear
 
-``DenseEngine``
-    The reference backend: one dense forward pass of the converted
-    model per timestep (exactly the old ``SpikingNetwork`` behaviour).
-
-``SparseEventEngine``
-    Propagates only active spike events.  Conv and linear layers whose
-    input plane is sparse are executed by gathering the active im2col
-    rows (output windows touched by at least one spike) and the active
-    columns (taps that carry a spike anywhere in the batch) and
-    multiplying only that submatrix — per-timestep matmul cost scales
-    with spike rate, mirroring the paper's aggregation core.  Dense
-    inputs (the analog input frame, like the PS-side frame conv in
-    §IV) fall back to the dense kernel.
-
-``TimeBatchedEngine``
-    The wall-clock backend.  Execution is restructured from
-    time-outer/model-inner to layer-outer/time-inner: the direct-coded
-    input is tiled once into a ``(T*N, ...)`` stack, every stateless
-    layer (conv/linear/pool/flatten/residual add) runs exactly once as
-    one large GEMM over all T timesteps, and only the stateful IF/LIF
-    layers loop over the time axis — vectorised over the batch per step
-    through the shared :func:`repro.snn.dynamics.neuron_step`.  Same
-    dense arithmetic as ``DenseEngine`` (same kernels, same summation
-    order per sample), ~T-fold fewer Python-level layer dispatches and
-    T-fold larger matmuls; per-step logits fall out of the time axis
-    for free.
-
-All engines run the *same* module graph — the event and batched
-backends install per-instance forward interceptors on conv/linear (and,
-for the batched backend, neuron) modules for the duration of a run — so
-arbitrary models (VGG chains, ResNet residual graphs) work identically
-on any backend, and their logits agree up to float summation order.
-
-Every run produces a :class:`repro.snn.stats.RunStats` with per-layer
-spike rates and performed-vs-dense synaptic-op counts, the single
-instrumentation point consumed by ``SpikingNetwork``, the spike-rate
-experiments and the engine benchmarks.
-
-:meth:`SimulationEngine.run` additionally accepts ``workers=K`` to
-shard the batch dimension across forked processes (read-only weights
-shared copy-on-write); shard results are concatenated and their stats
-merged through :meth:`repro.snn.stats.RunStats.merge`, so a K-worker
-run reports the same rates and op counts as a single-worker run.
+New code should import from :mod:`repro.snn.engines` directly.
 """
 
 from __future__ import annotations
 
-import abc
-import multiprocessing
-import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
-
-import numpy as np
-
-from repro.nn.layers import AvgPool2d, BatchNorm2d, Conv2d, Linear, MaxPool2d
-from repro.nn.module import Module
-from repro.nn.quant import QuantConv2d, QuantLinear, _WeightFakeQuant
-from repro.snn.convert import reset_network_state
-from repro.snn.dynamics import initial_membrane, neuron_step
-from repro.snn.neurons import IFNeuron
-from repro.snn.stats import LayerStats, RunStats
-from repro.tensor import Tensor, no_grad
-from repro.tensor.functional import im2col
-
-
-@dataclass
-class EngineRun:
-    """Result of one engine invocation."""
-
-    logits: np.ndarray
-    stats: RunStats
-    per_step: Optional[List[np.ndarray]] = None
-
-
-# ----------------------------------------------------------------------
-# Sparse kernels
-# ----------------------------------------------------------------------
-def _conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
-    return (size + 2 * padding - kernel) // stride + 1
-
-
-def dense_conv2d(
-    x: np.ndarray,
-    weight: np.ndarray,
-    bias: Optional[np.ndarray],
-    stride: int,
-    padding: int,
-) -> np.ndarray:
-    """Plain im2col convolution (the reference kernel, no sparsity scans)."""
-    n = x.shape[0]
-    c_out, _, k, _ = weight.shape
-    cols, oh, ow = im2col(x, k, stride, padding)
-    out = cols @ weight.reshape(c_out, -1).T
-    if bias is not None:
-        out += bias
-    return np.ascontiguousarray(out.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2))
-
-
-def sparse_conv2d(
-    x: np.ndarray,
-    weight: np.ndarray,
-    bias: Optional[np.ndarray],
-    stride: int,
-    padding: int,
-) -> Tuple[np.ndarray, int]:
-    """Event-driven convolution of a sparse activation plane.
-
-    Gathers the active im2col rows (output windows touched by at least
-    one spike) and the active columns (taps carrying a spike anywhere
-    in the batch) and multiplies only that submatrix when it is a
-    genuine shrink; silent windows contribute exactly zero (plus
-    bias), so the result equals the dense convolution up to float
-    summation order.  When the submatrix is not meaningfully smaller
-    the full matrix is multiplied — on this numpy substrate a dense
-    BLAS matmul outruns any per-element sparse route at moderate
-    densities, so the gather gate is what keeps the event backend at
-    wall-clock parity with dense outside the very sparse regime where
-    it wins outright.
-
-    Returns ``(output, performed_ops)`` where ``performed_ops`` counts
-    one op per nonzero im2col entry per output channel — the
-    event-driven synaptic-operation count the hardware's aggregation
-    core would execute, which is what the run statistics report.
-    """
-    n = x.shape[0]
-    c_out, _, k, _ = weight.shape
-    cols, oh, ow = im2col(x, k, stride, padding)
-    w_mat = weight.reshape(c_out, -1)
-    performed = int(np.count_nonzero(cols)) * c_out
-    row_active = cols.any(axis=1)
-    active_rows = np.flatnonzero(row_active)
-    if active_rows.size == cols.shape[0]:
-        out = cols @ w_mat.T
-    else:
-        out = np.zeros(
-            (cols.shape[0], c_out), dtype=np.result_type(x.dtype, weight.dtype)
-        )
-        if active_rows.size:
-            sub = cols[active_rows]
-            active_cols = np.flatnonzero(sub.any(axis=0))
-            if active_rows.size * active_cols.size < 0.25 * cols.size:
-                out[active_rows] = sub[:, active_cols] @ w_mat[:, active_cols].T
-            else:
-                out[active_rows] = sub @ w_mat.T
-    if bias is not None:
-        out += bias
-    out = out.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
-    return np.ascontiguousarray(out), performed
-
-
-def sparse_linear(
-    x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray]
-) -> Tuple[np.ndarray, int]:
-    """Event-driven affine map over a sparse feature batch."""
-    active = np.flatnonzero(x.any(axis=0))
-    performed = int(np.count_nonzero(x)) * weight.shape[0]
-    if active.size == x.shape[1]:
-        # Every feature fires somewhere in the batch: gathering would
-        # copy both operands for nothing.
-        out = x @ weight.T
-    else:
-        out = x[:, active] @ weight[:, active].T
-    if bias is not None:
-        out = out + bias
-    return out, performed
-
-
-# ----------------------------------------------------------------------
-# Multi-process batch sharding
-# ----------------------------------------------------------------------
-# Fork-shard context: set by the parent immediately before the pool
-# fork so children inherit the engine, model weights and input batch
-# copy-on-write instead of through pickling.
-_SHARD_CONTEXT: Optional[tuple] = None
-
-
-def _shard_worker(index: int) -> "EngineRun":
-    engine, x, timesteps, per_step, bounds = _SHARD_CONTEXT
-    lo, hi = bounds[index]
-    return engine._run_single(x[lo:hi], timesteps, per_step)
-
-
-def _run_batch_shards(
-    engine: "SimulationEngine",
-    x: np.ndarray,
-    timesteps: int,
-    per_step: bool,
-    bounds: List[Tuple[int, int]],
-) -> List["EngineRun"]:
-    """Run contiguous batch shards, forked in parallel where possible.
-
-    Fork is the only start method that shares the (read-only) model
-    weights without serialising them; where it is unavailable the
-    shards run sequentially in-process, which keeps results and merged
-    statistics bit-identical to the parallel path.
-    """
-    global _SHARD_CONTEXT
-    if len(bounds) > 1 and "fork" in multiprocessing.get_all_start_methods():
-        context = multiprocessing.get_context("fork")
-        _SHARD_CONTEXT = (engine, x, timesteps, per_step, bounds)
-        try:
-            with context.Pool(processes=len(bounds)) as pool:
-                return pool.map(_shard_worker, range(len(bounds)))
-        finally:
-            _SHARD_CONTEXT = None
-    return [engine._run_single(x[lo:hi], timesteps, per_step) for lo, hi in bounds]
-
-
-# An effective-weight cache entry: the exact source arrays it was
-# computed from (held strongly, so their ids cannot be recycled) plus
-# the result.  Every weight-update path in this repo *rebinds*
-# ``param.data`` (optimizer steps and ``load_state_dict`` both assign a
-# fresh array), so identity checks against the sources detect any
-# training or checkpoint load and invalidate automatically.
-_WeightEntry = Tuple[np.ndarray, Optional[np.ndarray], Optional[int], np.ndarray]
-
-
-def _effective_weight(module: Module, cache: Dict[int, _WeightEntry]) -> np.ndarray:
-    """Fake-quantised weight of ``module``, cached across runs.
-
-    Effective weights are constant across timesteps (and across runs,
-    until the parameters are rebound by training), so engines that
-    bypass the module's own forward pay the fake-quant
-    straight-through op once instead of per call.
-    """
-    key = id(module)
-    source = module.weight.data
-    is_quant = isinstance(module, (QuantConv2d, QuantLinear))
-    scale = module.weight_scale.data if is_quant else None
-    bits = module.bits if is_quant else None
-    entry = cache.get(key)
-    if (
-        entry is not None
-        and entry[0] is source
-        and entry[1] is scale
-        and entry[2] == bits
-    ):
-        return entry[3]
-    if is_quant:
-        with no_grad():
-            weight = _WeightFakeQuant.apply(
-                module.weight, module.weight_scale, module.bits
-            ).data
-    else:
-        weight = source
-    cache[key] = (source, scale, bits, weight)
-    return weight
-
-
-# ----------------------------------------------------------------------
-# Engine interface
-# ----------------------------------------------------------------------
-class SimulationEngine(abc.ABC):
-    """Executes a converted spiking model for T timesteps.
-
-    Engines are bound to a model once (:meth:`bind`) and then invoked
-    through :meth:`run`, which owns the timestep loop, state reset and
-    statistics collection.  Subclasses customise per-layer execution by
-    installing instance-level forward interceptors for the duration of
-    a run, and may replace the whole-run schedule via :meth:`_execute`.
-    """
-
-    name: str = "abstract"
-
-    def __init__(self) -> None:
-        self.model: Optional[Module] = None
-        self._synapse_modules: List[Tuple[str, Module]] = []
-        self._neuron_modules: List[Tuple[str, IFNeuron]] = []
-
-    # ------------------------------------------------------------------
-    def bind(self, model: Module) -> "SimulationEngine":
-        """Attach the engine to a converted model (discovers layers)."""
-        self.model = model
-        self._synapse_modules = []
-        self._neuron_modules = []
-        for name, module in model.named_modules():
-            if isinstance(module, (Conv2d, Linear)):
-                self._synapse_modules.append((name or type(module).__name__, module))
-            elif isinstance(module, IFNeuron):
-                self._neuron_modules.append((name or type(module).__name__, module))
-        return self
-
-    # ------------------------------------------------------------------
-    def run(
-        self,
-        x: np.ndarray,
-        timesteps: int,
-        per_step: bool = False,
-        workers: int = 1,
-    ) -> EngineRun:
-        """Run a batch for T timesteps; accumulate logits in place.
-
-        ``workers > 1`` shards the batch dimension into contiguous
-        blocks executed in forked worker processes; logits are
-        concatenated in batch order and per-shard statistics merged, so
-        rates and op counts match a single-worker run (up to float
-        summation order at shard boundaries — a shard is a smaller
-        GEMM, the same caveat as any BLAS reordering).
-        """
-        if self.model is None:
-            raise RuntimeError("engine is not bound to a model; call bind() first")
-        if timesteps < 1:
-            raise ValueError("timesteps must be >= 1")
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
-        x = np.asarray(x)
-        workers = min(int(workers), max(int(x.shape[0]), 1))
-        if workers == 1:
-            return self._run_single(x, timesteps, per_step)
-
-        started = time.perf_counter()
-        blocks = np.array_split(np.arange(x.shape[0]), workers)
-        bounds = [(int(b[0]), int(b[-1]) + 1) for b in blocks if b.size]
-        runs = _run_batch_shards(self, x, timesteps, per_step, bounds)
-        logits = np.concatenate([run.logits for run in runs], axis=0)
-        stats = runs[0].stats
-        for run in runs[1:]:
-            stats.merge(run.stats)
-        stats.workers = len(bounds)
-        # Shard wall clocks overlap; report the parent-observed elapsed.
-        stats.wall_clock_seconds = time.perf_counter() - started
-        outputs: Optional[List[np.ndarray]] = None
-        if per_step:
-            outputs = [
-                np.concatenate([run.per_step[t] for run in runs], axis=0)
-                for t in range(timesteps)
-            ]
-        return EngineRun(logits=logits, stats=stats, per_step=outputs)
-
-    def _run_single(self, x: np.ndarray, timesteps: int, per_step: bool) -> EngineRun:
-        """One in-process run: reset, instrument, execute, collect stats."""
-        started = time.perf_counter()
-        reset_network_state(self.model)
-        synapse_stats = {
-            name: LayerStats(name=name, kind="linear" if isinstance(m, Linear) else "conv")
-            for name, m in self._synapse_modules
-        }
-        neuron_base = {
-            name: (m.spike_count, m.neuron_steps) for name, m in self._neuron_modules
-        }
-        self._install(synapse_stats)
-        try:
-            total, outputs = self._execute(x, timesteps, per_step)
-        finally:
-            self._uninstall()
-
-        layers: List[LayerStats] = []
-        for name, module in self._all_layers_in_order():
-            if isinstance(module, IFNeuron):
-                base_spikes, base_steps = neuron_base[name]
-                layers.append(
-                    LayerStats(
-                        name=name,
-                        kind="neuron",
-                        spike_count=module.spike_count - base_spikes,
-                        neuron_steps=module.neuron_steps - base_steps,
-                        timesteps=timesteps,
-                    )
-                )
-            else:
-                stat = synapse_stats[name]
-                stat.timesteps = timesteps
-                layers.append(stat)
-        stats = RunStats(
-            batch_size=int(x.shape[0]),
-            timesteps=timesteps,
-            layers=layers,
-            engine=self.name,
-            wall_clock_seconds=time.perf_counter() - started,
-        )
-        return EngineRun(logits=total, stats=stats, per_step=outputs)
-
-    def _execute(
-        self, x: np.ndarray, timesteps: int, per_step: bool
-    ) -> Tuple[np.ndarray, Optional[List[np.ndarray]]]:
-        """The run schedule: default is time-outer/model-inner.
-
-        Returns ``(accumulated_logits, per_step_cumulative_or_None)``.
-        Subclasses may restructure the whole schedule (e.g. the
-        time-batched engine runs the model once over a ``(T*N, ...)``
-        stack).
-        """
-        total: Optional[np.ndarray] = None
-        outputs: Optional[List[np.ndarray]] = [] if per_step else None
-        inp = Tensor(x)
-        with no_grad():
-            for _ in range(timesteps):
-                logits = self.model(inp).data
-                if total is None:
-                    total = logits.copy()
-                else:
-                    total += logits
-                if outputs is not None:
-                    outputs.append(total.copy())
-        return total, outputs
-
-    def _all_layers_in_order(self) -> List[Tuple[str, Module]]:
-        """Synapse and neuron layers interleaved in graph (registration) order."""
-        synapse = dict(self._synapse_modules)
-        neurons = dict(self._neuron_modules)
-        ordered: List[Tuple[str, Module]] = []
-        for name, module in self.model.named_modules():
-            if name in synapse or name in neurons:
-                ordered.append((name, module))
-        return ordered
-
-    # ------------------------------------------------------------------
-    # Per-run instrumentation hooks
-    # ------------------------------------------------------------------
-    @abc.abstractmethod
-    def _make_interceptor(
-        self, module: Module, stat: LayerStats, orig: Callable[[Tensor], Tensor]
-    ) -> Callable[[Tensor], Tensor]:
-        """Build the forward replacement installed on ``module`` for a run."""
-
-    def _install(self, stats: Dict[str, LayerStats]) -> None:
-        self._installed: List[Module] = []
-        for name, module in self._synapse_modules:
-            interceptor = self._make_interceptor(module, stats[name], module.forward)
-            object.__setattr__(module, "forward", interceptor)
-            self._installed.append(module)
-
-    def _uninstall(self) -> None:
-        for module in self._installed:
-            if "forward" in module.__dict__:
-                object.__delattr__(module, "forward")
-        self._installed = []
-
-
-def _dense_op_count(module: Module, x_shape: Sequence[int]) -> int:
-    """MACs a dense execution of ``module`` needs on input ``x_shape``."""
-    if isinstance(module, Conv2d):
-        n, c, h, w = x_shape
-        oh = _conv_out_size(h, module.kernel_size, module.stride, module.padding)
-        ow = _conv_out_size(w, module.kernel_size, module.stride, module.padding)
-        taps = c * module.kernel_size * module.kernel_size
-        return n * oh * ow * taps * module.out_channels
-    return int(x_shape[0]) * module.in_features * module.out_features
-
-
-class DenseEngine(SimulationEngine):
-    """Reference backend: full dense recompute every timestep."""
-
-    name = "dense"
-
-    def _make_interceptor(self, module, stat, orig):
-        def forward(x: Tensor) -> Tensor:
-            ops = _dense_op_count(module, x.shape)
-            stat.synaptic_ops += ops
-            stat.dense_synaptic_ops += ops
-            return orig(x)
-
-        return forward
-
-
-class SparseEventEngine(SimulationEngine):
-    """Event-driven backend: compute only active spike contributions.
-
-    Effective (fake-quantised) weights are computed once per run and
-    all conv/linear layers execute through the sparsity-adaptive
-    kernels above.  ``density_threshold`` gates the *accounting*:
-    inputs whose nonzero fraction reaches it (e.g. the analog input
-    frame) are billed at the full dense MAC count, mirroring the
-    PS-side frame convolution in the paper, instead of the
-    per-spike-contribution count.
-    """
-
-    name = "event"
-
-    def __init__(self, density_threshold: float = 0.6) -> None:
-        super().__init__()
-        if not 0.0 < density_threshold <= 1.0:
-            raise ValueError("density_threshold must be in (0, 1]")
-        self.density_threshold = density_threshold
-        self._weight_cache: Dict[int, _WeightEntry] = {}
-        # Last (input, output, billed ops) per layer within one run.
-        # Direct encoding feeds the first conv the *same* frame array
-        # every timestep, so its output is reused T-1 times — the
-        # software twin of the accelerator's frame-psum cache.  The
-        # identity check makes this safe for every other layer too:
-        # downstream activations are fresh arrays each timestep.
-        self._io_cache: Dict[int, Tuple[np.ndarray, np.ndarray, int]] = {}
-
-    def _effective_weight(self, module: Module) -> np.ndarray:
-        return _effective_weight(module, self._weight_cache)
-
-    def _install(self, stats) -> None:
-        # The weight cache survives runs (entries self-invalidate on
-        # parameter rebinds); the io cache holds run-scoped activations.
-        self._io_cache = {}
-        super()._install(stats)
-
-    def _uninstall(self) -> None:
-        super()._uninstall()
-        self._io_cache = {}
-
-    def _make_interceptor(self, module, stat, orig):
-        is_conv = isinstance(module, Conv2d)
-
-        def forward(x: Tensor) -> Tensor:
-            data = x.data
-            dense_ops = _dense_op_count(module, data.shape)
-            stat.dense_synaptic_ops += dense_ops
-            cached = self._io_cache.get(id(module))
-            if cached is not None and cached[0] is data:
-                # Identical input array as last timestep (the constant
-                # analog frame): reuse the output, bill the same ops.
-                stat.synaptic_ops += cached[2]
-                return Tensor(cached[1])
-            density = np.count_nonzero(data) / max(data.size, 1)
-            weight = self._effective_weight(module)
-            bias = module.bias.data if module.bias is not None else None
-            if density >= self.density_threshold:
-                # Dense input (e.g. the analog frame): no sparsity to
-                # exploit — run the plain kernel and, like the PS-side
-                # frame conv, bill the full dense MAC count.
-                if is_conv:
-                    out = dense_conv2d(
-                        data, weight, bias, module.stride, module.padding
-                    )
-                else:
-                    out = data @ weight.T if bias is None else data @ weight.T + bias
-                billed = dense_ops
-            else:
-                if is_conv:
-                    out, billed = sparse_conv2d(
-                        data, weight, bias, module.stride, module.padding
-                    )
-                else:
-                    out, billed = sparse_linear(data, weight, bias)
-            stat.synaptic_ops += billed
-            self._io_cache[id(module)] = (data, out, billed)
-            return Tensor(out)
-
-        return forward
-
-
-class TimeBatchedEngine(SimulationEngine):
-    """Layer-sequential backend: one pass over a ``(T*N, ...)`` stack.
-
-    The direct-coded input is tiled once along the batch axis, so every
-    stateless layer executes exactly once per run — conv/linear become
-    a single GEMM covering all T timesteps — and only the stateful
-    neuron layers iterate over the time axis, stepping the shared
-    :func:`repro.snn.dynamics.neuron_step` on a per-run membrane buffer
-    vectorised over ``(N, ...)``.  This is valid for any feed-forward
-    module graph (chains, residual blocks): stateless layers are
-    pointwise in the batch dimension, so reordering time inside them
-    changes nothing, and neuron layers see their T inputs in exactly
-    the order the dense engine would feed them.
-
-    Arithmetic is the dense reference arithmetic — same kernels, same
-    per-sample summation order — so logits match ``DenseEngine``
-    exactly, and op accounting bills full dense MACs like the dense
-    backend.  The win is wall clock: T-fold fewer Python layer
-    dispatches, T-fold larger matmuls (better BLAS utilisation), one
-    im2col per layer per run, and the constant input frame's convolution
-    is computed once and re-tiled instead of recomputed T times (the
-    software twin of the accelerator's frame-psum cache).  Per-step
-    logits fall out of the explicit time axis for free, which makes
-    accuracy-vs-timesteps sweeps the biggest beneficiary.
-    """
-
-    name = "batched"
-
-    def __init__(self) -> None:
-        super().__init__()
-        self._weight_cache: Dict[int, _WeightEntry] = {}
-        # Arrays known to be T-fold tilings of an (N, ...) prefix, keyed
-        # by id.  Strong references keep ids stable for the run's
-        # duration.  Seeded with the tiled input; a synapse layer fed a
-        # constant array computes its N-batch output once and re-tiles,
-        # propagating constancy until a stateful layer breaks it.
-        self._constant_arrays: Dict[int, np.ndarray] = {}
-        self._run_timesteps = 0
-        self._run_batch = 0
-        self._stateless_modules: List[Module] = []
-
-    def bind(self, model: Module) -> "TimeBatchedEngine":
-        super().bind(model)
-        self._stateless_modules = [
-            module
-            for _, module in model.named_modules()
-            if isinstance(module, (BatchNorm2d, AvgPool2d, MaxPool2d))
-        ]
-        return self
-
-    # ------------------------------------------------------------------
-    def _execute(
-        self, x: np.ndarray, timesteps: int, per_step: bool
-    ) -> Tuple[np.ndarray, Optional[List[np.ndarray]]]:
-        n = int(x.shape[0])
-        self._run_timesteps = timesteps
-        self._run_batch = n
-        tiled = self._tile_constant(x)
-        with no_grad():
-            out = self.model(Tensor(tiled)).data
-        stepped = out.reshape((timesteps, n) + out.shape[1:])
-        # Sequential cumulative sum over the time axis: identical float
-        # summation order to the dense engine's ``total += logits``.
-        cumulative = np.cumsum(stepped, axis=0)
-        total = np.ascontiguousarray(cumulative[-1])
-        outputs = None
-        if per_step:
-            outputs = [np.ascontiguousarray(cumulative[t]) for t in range(timesteps)]
-        return total, outputs
-
-    def _tile_constant(self, out: np.ndarray) -> np.ndarray:
-        """Tile an (N, ...) array into the (T*N, ...) stack and mark it
-        constant, so downstream stateless layers can keep computing on
-        the N-batch prefix only."""
-        tiled = np.ascontiguousarray(
-            np.broadcast_to(out, (self._run_timesteps,) + out.shape)
-        ).reshape((self._run_timesteps * out.shape[0],) + out.shape[1:])
-        self._constant_arrays[id(tiled)] = tiled
-        return tiled
-
-    # ------------------------------------------------------------------
-    def _install(self, stats) -> None:
-        # The weight cache survives runs (entries self-invalidate on
-        # parameter rebinds); constant-tiling tags are run-scoped.
-        self._constant_arrays = {}
-        super()._install(stats)
-        for _, module in self._neuron_modules:
-            interceptor = self._make_neuron_interceptor(module)
-            object.__setattr__(module, "forward", interceptor)
-            self._installed.append(module)
-        for module in self._stateless_modules:
-            interceptor = self._make_stateless_interceptor(module)
-            object.__setattr__(module, "forward", interceptor)
-            self._installed.append(module)
-
-    def _uninstall(self) -> None:
-        super()._uninstall()
-        self._constant_arrays = {}
-
-    # ------------------------------------------------------------------
-    def _make_interceptor(self, module, stat, orig):
-        is_conv = isinstance(module, Conv2d)
-
-        def forward(x: Tensor) -> Tensor:
-            data = x.data
-            ops = _dense_op_count(module, data.shape)
-            stat.synaptic_ops += ops
-            stat.dense_synaptic_ops += ops
-            weight = _effective_weight(module, self._weight_cache)
-            bias = module.bias.data if module.bias is not None else None
-            constant = id(data) in self._constant_arrays
-            work = data[: self._run_batch] if constant else data
-            if is_conv:
-                out = dense_conv2d(work, weight, bias, module.stride, module.padding)
-            else:
-                out = work @ weight.T
-                if bias is not None:
-                    out += bias
-            if constant:
-                out = self._tile_constant(out)
-            return Tensor(out)
-
-        return forward
-
-    def _make_stateless_interceptor(
-        self, module: Module
-    ) -> Callable[[Tensor], Tensor]:
-        """Constancy propagation + lean eval-BN through stateless layers.
-
-        A stateless layer fed a known T-fold tiling computes its output
-        on the N-batch prefix once and re-tiles; any other input runs
-        once over the full (T*N, ...) stack.  Eval-mode BatchNorm runs
-        the module's exact arithmetic directly on the ndarray — the
-        same op sequence, so results are bitwise identical to the dense
-        engine's, without the autograd wrappers.  Training-mode
-        BatchNorm depends on whole-batch statistics, so it always falls
-        back to the module's own forward on the full stack.
-        """
-        orig = module.forward
-        is_bn = isinstance(module, BatchNorm2d)
-        bn_terms: List[Optional[Tuple[np.ndarray, ...]]] = [None]
-
-        def forward(x: Tensor) -> Tensor:
-            data = x.data
-            if module.training:
-                return orig(x)
-            constant = id(data) in self._constant_arrays
-            work = data[: self._run_batch] if constant else data
-            if is_bn:
-                if bn_terms[0] is None:
-                    shape = (1, module.num_features, 1, 1)
-                    mu = module.running_mean.reshape(shape)
-                    inv = (module.running_var.reshape(shape) + module.eps) ** -0.5
-                    bn_terms[0] = (
-                        mu,
-                        inv,
-                        module.gamma.data.reshape(shape),
-                        module.beta.data.reshape(shape),
-                    )
-                mu, inv, g, b = bn_terms[0]
-                out = ((work - mu) * inv) * g + b
-            elif constant:
-                out = orig(Tensor(work)).data
-            else:
-                return orig(x)
-            return Tensor(self._tile_constant(out) if constant else out)
-
-        return forward
-
-    def _make_neuron_interceptor(
-        self, module: IFNeuron
-    ) -> Callable[[Tensor], Tensor]:
-        def forward(x: Tensor) -> Tensor:
-            data = x.data
-            t = self._run_timesteps
-            n = data.shape[0] // t
-            stacked = data.reshape((t, n) + data.shape[1:])
-            leak_fn = module._leak_fn()
-            # The membrane buffer is private to this run (reset to None
-            # at run start), so stepping integrates in place; the spike
-            # plane is scaled by the threshold as it is stored (one
-            # fused pass per step instead of an extra (T*N, ...)
-            # multiply at the end).
-            v = module.v
-            if v is None:
-                v = initial_membrane(
-                    stacked.shape[1:],
-                    module.threshold,
-                    module.v_init_fraction,
-                    dtype=data.dtype,
-                )
-            out = np.empty(stacked.shape, dtype=np.float32)
-            for step in range(t):
-                v, spiked = neuron_step(
-                    v,
-                    stacked[step],
-                    module.threshold,
-                    reset=module.reset,
-                    leak_fn=leak_fn,
-                    in_place=True,
-                )
-                np.multiply(
-                    spiked, module.threshold, out=out[step], casting="unsafe"
-                )
-            module.v = v
-            # Spikes are exactly 0 or threshold (> 0), so one count over
-            # the whole (T, N, ...) plane replaces T small reductions.
-            module.spike_count += int(np.count_nonzero(out))
-            module.neuron_steps += int(out.size)
-            module.last_spikes = out[-1] / module.threshold
-            return Tensor(out.reshape(data.shape))
-
-        return forward
-
-
-# ----------------------------------------------------------------------
-# Factory
-# ----------------------------------------------------------------------
-ENGINES = {
-    "dense": DenseEngine,
-    "event": SparseEventEngine,
-    "sparse": SparseEventEngine,  # alias
-    "batched": TimeBatchedEngine,
-    "time-batched": TimeBatchedEngine,  # alias
-}
-
-EngineSpec = Union[str, SimulationEngine]
-
-
-def make_engine(spec: EngineSpec = "dense") -> SimulationEngine:
-    """Resolve an engine name or pass an instance through."""
-    if isinstance(spec, SimulationEngine):
-        return spec
-    if isinstance(spec, str):
-        try:
-            return ENGINES[spec.lower()]()
-        except KeyError:
-            raise ValueError(
-                f"unknown engine {spec!r}; choose from {sorted(set(ENGINES))}"
-            ) from None
-    raise TypeError(f"engine must be a name or SimulationEngine, got {type(spec)!r}")
+from repro.snn.engines import (
+    AutoEngine,
+    DenseEngine,
+    ENGINES,
+    EngineRun,
+    EngineSpec,
+    ExecutionPlan,
+    LRUCache,
+    LayerDecision,
+    SHARD_MODES,
+    SimulationEngine,
+    SparseEventEngine,
+    TimeBatchedEngine,
+    WEIGHT_CACHE_CAPACITY,
+    clone_for_inference,
+    dense_conv2d,
+    fork_available,
+    make_engine,
+    profiled_call,
+    resolve_shard_mode,
+    sparse_conv2d,
+    sparse_linear,
+)
+from repro.snn.engines.base import _dense_op_count, _effective_weight
+
+__all__ = [
+    "AutoEngine",
+    "DenseEngine",
+    "ENGINES",
+    "EngineRun",
+    "EngineSpec",
+    "ExecutionPlan",
+    "LRUCache",
+    "LayerDecision",
+    "SHARD_MODES",
+    "SimulationEngine",
+    "SparseEventEngine",
+    "TimeBatchedEngine",
+    "WEIGHT_CACHE_CAPACITY",
+    "clone_for_inference",
+    "dense_conv2d",
+    "fork_available",
+    "make_engine",
+    "profiled_call",
+    "resolve_shard_mode",
+    "sparse_conv2d",
+    "sparse_linear",
+]

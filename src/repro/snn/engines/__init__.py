@@ -1,0 +1,127 @@
+"""Pluggable simulation engines for timestep-unrolled SNN execution.
+
+The paper's central claim is that event-driven, sparsity-exploiting
+execution is what makes the accelerator fast: per timestep the hardware
+only pays for kernel-row segments that actually carry spikes.  This
+package structures SNN execution as an engine layer with four backends
+behind one :class:`SimulationEngine` interface:
+
+``DenseEngine`` (:mod:`repro.snn.engines.dense`)
+    The reference backend: one dense forward pass of the converted
+    model per timestep (exactly the old ``SpikingNetwork`` behaviour).
+
+``SparseEventEngine`` (:mod:`repro.snn.engines.event`)
+    Propagates only active spike events; conv/linear cost scales with
+    spike rate, mirroring the paper's aggregation core.
+
+``TimeBatchedEngine`` (:mod:`repro.snn.engines.batched`)
+    The wall-clock backend: layer-outer/time-inner execution, one GEMM
+    per stateless layer over a ``(T*N, ...)`` stack.
+
+``AutoEngine`` (:mod:`repro.snn.engines.auto`)
+    The adaptive backend: profiles a calibration run (per-layer wall
+    clock + observed density) and compiles a cached per-layer plan —
+    batched GEMM where dense arithmetic wins, event gather where the
+    measured sparsity pays, the same measure-then-specialise loop the
+    paper's mapper applies in hardware.
+
+All engines run the *same* module graph — backends install
+per-instance forward interceptors for the duration of a run — so
+arbitrary models (VGG chains, ResNet residual graphs) work identically
+on any backend, and their logits agree up to float summation order.
+Every run produces a :class:`repro.snn.stats.RunStats` with per-layer
+spike rates, performed-vs-dense synaptic-op counts and (when
+``profile_layers`` is on, the default) per-layer wall clock and input
+density — rendered by ``RunStats.profile_table()``.
+
+:meth:`SimulationEngine.run` additionally accepts ``workers=K`` to
+shard the batch dimension across forked processes or a thread pool
+(``shard_mode="fork" | "thread" | "auto"``, see
+:mod:`repro.snn.engines.sharding`); shard results are concatenated and
+their stats merged, so a K-worker run reports the same rates and op
+counts as a single-worker run.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.snn.engines.auto import (
+    AutoEngine,
+    ExecutionPlan,
+    LayerDecision,
+    PLAN_CACHE_CAPACITY,
+)
+from repro.snn.engines.base import (
+    EngineRun,
+    LRUCache,
+    SimulationEngine,
+    WEIGHT_CACHE_CAPACITY,
+    _dense_op_count,
+    _effective_weight,
+)
+from repro.snn.engines.batched import TimeBatchedEngine
+from repro.snn.engines.dense import DenseEngine, dense_conv2d
+from repro.snn.engines.event import SparseEventEngine, sparse_conv2d, sparse_linear
+from repro.snn.engines.profiling import profiled_call
+from repro.snn.engines.sharding import (
+    SHARD_MODES,
+    clone_for_inference,
+    fork_available,
+    resolve_shard_mode,
+)
+
+# ----------------------------------------------------------------------
+# Factory
+# ----------------------------------------------------------------------
+ENGINES = {
+    "dense": DenseEngine,
+    "event": SparseEventEngine,
+    "sparse": SparseEventEngine,  # alias
+    "batched": TimeBatchedEngine,
+    "time-batched": TimeBatchedEngine,  # alias
+    "auto": AutoEngine,
+    "adaptive": AutoEngine,  # alias
+}
+
+EngineSpec = Union[str, SimulationEngine]
+
+
+def make_engine(spec: EngineSpec = "dense") -> SimulationEngine:
+    """Resolve an engine name or pass an instance through."""
+    if isinstance(spec, SimulationEngine):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return ENGINES[spec.lower()]()
+        except KeyError:
+            raise ValueError(
+                f"unknown engine {spec!r}; choose from {sorted(set(ENGINES))}"
+            ) from None
+    raise TypeError(f"engine must be a name or SimulationEngine, got {type(spec)!r}")
+
+
+__all__ = [
+    "AutoEngine",
+    "DenseEngine",
+    "ENGINES",
+    "EngineRun",
+    "EngineSpec",
+    "ExecutionPlan",
+    "LRUCache",
+    "LayerDecision",
+    "PLAN_CACHE_CAPACITY",
+    "SHARD_MODES",
+    "SimulationEngine",
+    "SparseEventEngine",
+    "TimeBatchedEngine",
+    "WEIGHT_CACHE_CAPACITY",
+    "clone_for_inference",
+    "dense_conv2d",
+    "fork_available",
+    "make_engine",
+    "profiled_call",
+    "resolve_shard_mode",
+    "sparse_conv2d",
+    "sparse_linear",
+]

@@ -1,0 +1,271 @@
+"""The adaptive backend: profile once, then specialise per layer.
+
+The paper's accelerator wins by exploiting *per-layer* sparsity — the
+mapper measures each layer's activity and lays it onto the aggregation
+core accordingly.  A single global backend choice (dense / event /
+batched) throws that structure away: measured densities vary widely
+across layers, so the best kernel is a per-layer property.
+
+:class:`AutoEngine` (``engine="auto"``) closes the same
+measure-then-specialise loop in software:
+
+1. **Calibrate.** The first run for a given (input shape, T) executes
+   the time-batched GEMM schedule while the per-layer profiler records
+   each synapse layer's wall clock and observed input density (and
+   whether its input is the constant analog frame).
+2. **Compile a plan.** For every genuinely sparse layer the event
+   gather kernel is timed on the very activations the calibration run
+   produced; a layer switches to the event backend only when the
+   measured gather beats its measured GEMM by a safety margin.  Dense,
+   high-density and constant-frame layers stay on the batched GEMM.
+3. **Cache.** The plan is cached by (bound model, input shape, T) in a
+   bounded LRU, so repeat inferences skip calibration entirely and run
+   straight on the specialised per-layer schedule.  The key is the
+   *full* input shape, batch included: the GEMM/gather crossover moves
+   with the ``(T*N, ...)`` stack size, so a plan calibrated at batch 1
+   must not be extrapolated to batch 64.
+
+Because the event gather equals the dense kernel up to float summation
+order and everything else *is* the batched schedule, auto logits match
+``DenseEngine`` within summation-order tolerance, while wall clock
+tracks the best per-layer mix — never worse than the batched backend
+beyond measurement noise, and faster wherever real sparsity pays.
+
+Op accounting follows the chosen backend per layer: GEMM layers bill
+full dense MACs, event layers bill performed (per-spike) ops, and every
+layer's :class:`repro.snn.stats.LayerStats` records which backend ran
+(``profile_table`` / ``BENCH_engines.json`` show the plan).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Conv2d
+from repro.snn.engines.base import LRUCache, _dense_op_count, _effective_weight
+from repro.snn.engines.batched import TimeBatchedEngine
+from repro.snn.engines.event import sparse_conv2d, sparse_linear
+from repro.tensor import Tensor
+
+#: Distinct (input shape, T) execution plans kept per engine.
+PLAN_CACHE_CAPACITY = 8
+
+
+@dataclass
+class LayerDecision:
+    """One synapse layer's calibrated backend choice."""
+
+    name: str
+    backend: str                 # "gemm" | "event"
+    density: float               # observed input density during calibration
+    gemm_seconds: float          # measured batched-GEMM wall clock
+    event_seconds: Optional[float] = None  # measured gather wall clock (if tried)
+
+
+@dataclass
+class ExecutionPlan:
+    """A compiled per-layer backend assignment for one (shape, T) key."""
+
+    key: Tuple
+    decisions: Dict[str, LayerDecision] = field(default_factory=dict)
+
+    def backend_of(self, name: str) -> str:
+        decision = self.decisions.get(name)
+        return decision.backend if decision is not None else "gemm"
+
+    @property
+    def event_layers(self) -> int:
+        return sum(1 for d in self.decisions.values() if d.backend == "event")
+
+
+@dataclass
+class _Capture:
+    """Per-layer calibration measurement.
+
+    Numbers only — the event kernel is raced inline while the layer's
+    input is naturally live, so calibration never retains activation
+    stacks (a batched run's whole working set would otherwise stay
+    pinned until the plan compiles).
+    """
+
+    density: float
+    gemm_seconds: float
+    event_seconds: Optional[float]  # None: constant/dense input, not raced
+
+
+class AutoEngine(TimeBatchedEngine):
+    """Adaptive backend: calibrated per-layer GEMM/event execution plan.
+
+    Parameters
+    ----------
+    density_threshold:
+        Input densities at or above this never try the event kernel
+        (there is no sparsity to exploit; the gather would only copy).
+    margin:
+        The event kernel must beat the measured GEMM by this factor to
+        be chosen (< 1.0 adds hysteresis against timing noise, so a
+        borderline layer stays on the safe GEMM path).
+    """
+
+    name = "auto"
+
+    def __init__(
+        self,
+        density_threshold: float = 0.5,
+        margin: float = 0.9,
+        profile_layers: bool = True,
+    ) -> None:
+        # Calibration *is* the per-layer profile, so profiling stays on
+        # regardless of the flag an explicit False would suggest.
+        super().__init__(profile_layers=True)
+        if not 0.0 < density_threshold <= 1.0:
+            raise ValueError("density_threshold must be in (0, 1]")
+        if not 0.0 < margin <= 1.0:
+            raise ValueError("margin must be in (0, 1]")
+        self.density_threshold = density_threshold
+        self.margin = margin
+        self.calibration_runs = 0
+        self._plans = LRUCache(PLAN_CACHE_CAPACITY)
+        self._active_plan: Optional[ExecutionPlan] = None
+        self._calibration: Optional[Dict[str, _Capture]] = None
+
+    def _config(self) -> dict:
+        config = super()._config()
+        config["density_threshold"] = self.density_threshold
+        config["margin"] = self.margin
+        return config
+
+    def _share_caches(self, peer: "AutoEngine") -> None:
+        super()._share_caches(peer)
+        peer._plans = self._plans
+
+    # ------------------------------------------------------------------
+    def plan_for(self, input_shape, timesteps: int) -> Optional[ExecutionPlan]:
+        """The cached plan for a full input shape (batch included) and T."""
+        return self._plans.get((tuple(input_shape), int(timesteps)))
+
+    def _run_single(self, x, timesteps, per_step):
+        key = (tuple(np.asarray(x).shape), int(timesteps))
+        plan = self._plans.get(key)
+        self._active_plan = plan
+        self._calibration = {} if plan is None else None
+        try:
+            run = super()._run_single(x, timesteps, per_step)
+            if self._calibration is not None:
+                plan = self._compile_plan(key, self._calibration)
+                self._plans.put(key, plan)
+                self.calibration_runs += 1
+                # Ship the fresh plan back on the run: a fork-pool shard
+                # compiles in a throwaway child process, and only this
+                # payload (absorbed by the parent's _absorb_shard_runs)
+                # gets it into the surviving cache.
+                run.plan = plan
+            for layer in run.stats.layers:
+                if layer.kind == "neuron":
+                    layer.backend = "stepped"
+                else:
+                    layer.backend = plan.backend_of(layer.name)
+            return run
+        finally:
+            self._active_plan = None
+            self._calibration = None
+
+    def _absorb_shard_runs(self, runs) -> None:
+        for run in runs:
+            if run is not None and run.plan is not None:
+                self._plans.put(run.plan.key, run.plan)
+
+    # ------------------------------------------------------------------
+    def _compile_plan(
+        self, key: Tuple, captures: Dict[str, _Capture]
+    ) -> ExecutionPlan:
+        """Turn calibration measurements into a backend assignment.
+
+        The racing already happened inline (see the interceptor); here
+        the measured gather simply has to beat the measured GEMM by the
+        ``margin`` hysteresis to win the layer.
+        """
+        plan = ExecutionPlan(key=key)
+        for name, capture in captures.items():
+            backend = "gemm"
+            if (
+                capture.event_seconds is not None
+                and capture.event_seconds < capture.gemm_seconds * self.margin
+            ):
+                backend = "event"
+            plan.decisions[name] = LayerDecision(
+                name=name,
+                backend=backend,
+                density=capture.density,
+                gemm_seconds=capture.gemm_seconds,
+                event_seconds=capture.event_seconds,
+            )
+        return plan
+
+    # ------------------------------------------------------------------
+    def _make_interceptor(self, module, stat, orig):
+        gemm = super()._make_interceptor(module, stat, orig)
+        is_conv = isinstance(module, Conv2d)
+        name = stat.name
+
+        def forward(x: Tensor) -> Tensor:
+            data = x.data
+            plan = self._active_plan
+            if plan is None:
+                # Calibration: time the GEMM path, then race the event
+                # gather right here while the input is naturally live —
+                # recording numbers, never activations, keeps the
+                # calibration run's memory profile identical to a plain
+                # batched run.
+                constant = id(data) in self._constant_arrays
+                density = np.count_nonzero(data) / max(data.size, 1)
+                started = time.perf_counter()
+                out = gemm(x)
+                gemm_seconds = time.perf_counter() - started
+                event_seconds: Optional[float] = None
+                if not constant and density < self.density_threshold:
+                    weight = _effective_weight(module, self._weight_cache)
+                    bias = module.bias.data if module.bias is not None else None
+                    event_seconds = float("inf")
+                    for _ in range(2):  # best-of-2 filters scheduler noise
+                        trial = time.perf_counter()
+                        if is_conv:
+                            sparse_conv2d(
+                                data, weight, bias, module.stride, module.padding
+                            )
+                        else:
+                            sparse_linear(data, weight, bias)
+                        event_seconds = min(
+                            event_seconds, time.perf_counter() - trial
+                        )
+                self._calibration[name] = _Capture(
+                    density=density,
+                    gemm_seconds=gemm_seconds,
+                    event_seconds=event_seconds,
+                )
+                return out
+            if (
+                plan.backend_of(name) != "event"
+                or id(data) in self._constant_arrays
+            ):
+                return gemm(x)
+            # Planned event layer: one gather over the whole (T*N, ...)
+            # stack; bills performed (per-spike) ops like the event
+            # engine, with the dense MAC count as the baseline.
+            stat.dense_synaptic_ops += _dense_op_count(module, data.shape)
+            weight = _effective_weight(module, self._weight_cache)
+            bias = module.bias.data if module.bias is not None else None
+            if is_conv:
+                out, billed = sparse_conv2d(
+                    data, weight, bias, module.stride, module.padding
+                )
+            else:
+                out, billed = sparse_linear(data, weight, bias)
+            stat.synaptic_ops += billed
+            return Tensor(out)
+
+        return forward

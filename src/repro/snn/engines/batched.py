@@ -1,0 +1,235 @@
+"""Layer-sequential backend: one pass over a ``(T*N, ...)`` stack."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import AvgPool2d, BatchNorm2d, Conv2d, MaxPool2d
+from repro.nn.module import Module
+from repro.snn.dynamics import initial_membrane, neuron_step
+from repro.snn.engines.base import (
+    LRUCache,
+    SimulationEngine,
+    WEIGHT_CACHE_CAPACITY,
+    _dense_op_count,
+    _effective_weight,
+)
+from repro.snn.engines.dense import dense_conv2d
+from repro.snn.neurons import IFNeuron
+from repro.snn.stats import LayerStats
+from repro.tensor import Tensor, no_grad
+
+
+class TimeBatchedEngine(SimulationEngine):
+    """Layer-sequential backend: one pass over a ``(T*N, ...)`` stack.
+
+    The direct-coded input is tiled once along the batch axis, so every
+    stateless layer executes exactly once per run — conv/linear become
+    a single GEMM covering all T timesteps — and only the stateful
+    neuron layers iterate over the time axis, stepping the shared
+    :func:`repro.snn.dynamics.neuron_step` on a per-run membrane buffer
+    vectorised over ``(N, ...)``.  This is valid for any feed-forward
+    module graph (chains, residual blocks): stateless layers are
+    pointwise in the batch dimension, so reordering time inside them
+    changes nothing, and neuron layers see their T inputs in exactly
+    the order the dense engine would feed them.
+
+    Arithmetic is the dense reference arithmetic — same kernels, same
+    per-sample summation order — so logits match ``DenseEngine``
+    exactly, and op accounting bills full dense MACs like the dense
+    backend.  The win is wall clock: T-fold fewer Python layer
+    dispatches, T-fold larger matmuls (better BLAS utilisation), one
+    im2col per layer per run, and the constant input frame's convolution
+    is computed once and re-tiled instead of recomputed T times (the
+    software twin of the accelerator's frame-psum cache).  Per-step
+    logits fall out of the explicit time axis for free, which makes
+    accuracy-vs-timesteps sweeps the biggest beneficiary.
+    """
+
+    name = "batched"
+
+    def __init__(self, profile_layers: bool = True) -> None:
+        super().__init__(profile_layers=profile_layers)
+        self._weight_cache = LRUCache(WEIGHT_CACHE_CAPACITY)
+        # Arrays known to be T-fold tilings of an (N, ...) prefix, keyed
+        # by id.  Strong references keep ids stable for the run's
+        # duration.  Seeded with the tiled input; a synapse layer fed a
+        # constant array computes its N-batch output once and re-tiles,
+        # propagating constancy until a stateful layer breaks it.
+        self._constant_arrays: Dict[int, np.ndarray] = {}
+        self._run_timesteps = 0
+        self._run_batch = 0
+        self._stateless_modules: List[Module] = []
+
+    def _share_caches(self, peer: "SimulationEngine") -> None:
+        peer._weight_cache = self._weight_cache
+
+    def bind(self, model: Module) -> "TimeBatchedEngine":
+        super().bind(model)
+        self._stateless_modules = [
+            module
+            for _, module in model.named_modules()
+            if isinstance(module, (BatchNorm2d, AvgPool2d, MaxPool2d))
+        ]
+        return self
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self, x: np.ndarray, timesteps: int, per_step: bool
+    ) -> Tuple[np.ndarray, Optional[List[np.ndarray]]]:
+        n = int(x.shape[0])
+        self._run_timesteps = timesteps
+        self._run_batch = n
+        tiled = self._tile_constant(x)
+        with no_grad():
+            out = self.model(Tensor(tiled)).data
+        stepped = out.reshape((timesteps, n) + out.shape[1:])
+        # Sequential cumulative sum over the time axis: identical float
+        # summation order to the dense engine's ``total += logits``.
+        cumulative = np.cumsum(stepped, axis=0)
+        total = np.ascontiguousarray(cumulative[-1])
+        outputs = None
+        if per_step:
+            outputs = [np.ascontiguousarray(cumulative[t]) for t in range(timesteps)]
+        return total, outputs
+
+    def _tile_constant(self, out: np.ndarray) -> np.ndarray:
+        """Tile an (N, ...) array into the (T*N, ...) stack and mark it
+        constant, so downstream stateless layers can keep computing on
+        the N-batch prefix only."""
+        tiled = np.ascontiguousarray(
+            np.broadcast_to(out, (self._run_timesteps,) + out.shape)
+        ).reshape((self._run_timesteps * out.shape[0],) + out.shape[1:])
+        self._constant_arrays[id(tiled)] = tiled
+        return tiled
+
+    # ------------------------------------------------------------------
+    def _install(self, synapse_stats, neuron_stats) -> None:
+        # The weight cache survives runs (entries self-invalidate on
+        # parameter rebinds); constant-tiling tags are run-scoped.
+        self._constant_arrays = {}
+        super()._install(synapse_stats, neuron_stats)
+        for module in self._stateless_modules:
+            interceptor = self._make_stateless_interceptor(module)
+            self._set_forward(module, interceptor)
+
+    def _uninstall(self) -> None:
+        super()._uninstall()
+        self._constant_arrays = {}
+
+    # ------------------------------------------------------------------
+    def _make_interceptor(self, module, stat, orig):
+        is_conv = isinstance(module, Conv2d)
+
+        def forward(x: Tensor) -> Tensor:
+            data = x.data
+            ops = _dense_op_count(module, data.shape)
+            stat.synaptic_ops += ops
+            stat.dense_synaptic_ops += ops
+            weight = _effective_weight(module, self._weight_cache)
+            bias = module.bias.data if module.bias is not None else None
+            constant = id(data) in self._constant_arrays
+            work = data[: self._run_batch] if constant else data
+            if is_conv:
+                out = dense_conv2d(work, weight, bias, module.stride, module.padding)
+            else:
+                out = work @ weight.T
+                if bias is not None:
+                    out += bias
+            if constant:
+                out = self._tile_constant(out)
+            return Tensor(out)
+
+        return forward
+
+    def _make_stateless_interceptor(
+        self, module: Module
+    ) -> Callable[[Tensor], Tensor]:
+        """Constancy propagation + lean eval-BN through stateless layers.
+
+        A stateless layer fed a known T-fold tiling computes its output
+        on the N-batch prefix once and re-tiles; any other input runs
+        once over the full (T*N, ...) stack.  Eval-mode BatchNorm runs
+        the module's exact arithmetic directly on the ndarray — the
+        same op sequence, so results are bitwise identical to the dense
+        engine's, without the autograd wrappers.  Training-mode
+        BatchNorm depends on whole-batch statistics, so it always falls
+        back to the module's own forward on the full stack.
+        """
+        orig = module.forward
+        is_bn = isinstance(module, BatchNorm2d)
+        bn_terms: List[Optional[Tuple[np.ndarray, ...]]] = [None]
+
+        def forward(x: Tensor) -> Tensor:
+            data = x.data
+            if module.training:
+                return orig(x)
+            constant = id(data) in self._constant_arrays
+            work = data[: self._run_batch] if constant else data
+            if is_bn:
+                if bn_terms[0] is None:
+                    shape = (1, module.num_features, 1, 1)
+                    mu = module.running_mean.reshape(shape)
+                    inv = (module.running_var.reshape(shape) + module.eps) ** -0.5
+                    bn_terms[0] = (
+                        mu,
+                        inv,
+                        module.gamma.data.reshape(shape),
+                        module.beta.data.reshape(shape),
+                    )
+                mu, inv, g, b = bn_terms[0]
+                out = ((work - mu) * inv) * g + b
+            elif constant:
+                out = orig(Tensor(work)).data
+            else:
+                return orig(x)
+            return Tensor(self._tile_constant(out) if constant else out)
+
+        return forward
+
+    def _make_neuron_interceptor(
+        self, module: IFNeuron, stat: LayerStats
+    ) -> Callable[[Tensor], Tensor]:
+        def forward(x: Tensor) -> Tensor:
+            data = x.data
+            t = self._run_timesteps
+            n = data.shape[0] // t
+            stacked = data.reshape((t, n) + data.shape[1:])
+            leak_fn = module._leak_fn()
+            # The membrane buffer is private to this run (reset to None
+            # at run start), so stepping integrates in place; the spike
+            # plane is scaled by the threshold as it is stored (one
+            # fused pass per step instead of an extra (T*N, ...)
+            # multiply at the end).
+            v = module.v
+            if v is None:
+                v = initial_membrane(
+                    stacked.shape[1:],
+                    module.threshold,
+                    module.v_init_fraction,
+                    dtype=data.dtype,
+                )
+            out = np.empty(stacked.shape, dtype=np.float32)
+            for step in range(t):
+                v, spiked = neuron_step(
+                    v,
+                    stacked[step],
+                    module.threshold,
+                    reset=module.reset,
+                    leak_fn=leak_fn,
+                    in_place=True,
+                )
+                np.multiply(
+                    spiked, module.threshold, out=out[step], casting="unsafe"
+                )
+            module.v = v
+            # Spikes are exactly 0 or threshold (> 0), so one count over
+            # the whole (T, N, ...) plane replaces T small reductions.
+            module.spike_count += int(np.count_nonzero(out))
+            module.neuron_steps += int(out.size)
+            module.last_spikes = out[-1] / module.threshold
+            return Tensor(out.reshape(data.shape))
+
+        return forward

@@ -1,0 +1,43 @@
+"""The reference backend: full dense recompute every timestep."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.snn.engines.base import SimulationEngine, _dense_op_count
+from repro.tensor import Tensor
+from repro.tensor.functional import im2col
+
+
+def dense_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Plain im2col convolution (the reference kernel, no sparsity scans)."""
+    n = x.shape[0]
+    c_out, _, k, _ = weight.shape
+    cols, oh, ow = im2col(x, k, stride, padding)
+    out = cols @ weight.reshape(c_out, -1).T
+    if bias is not None:
+        out += bias
+    return np.ascontiguousarray(out.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2))
+
+
+class DenseEngine(SimulationEngine):
+    """Reference backend: full dense recompute every timestep."""
+
+    name = "dense"
+
+    def _make_interceptor(self, module, stat, orig):
+        def forward(x: Tensor) -> Tensor:
+            ops = _dense_op_count(module, x.shape)
+            stat.synaptic_ops += ops
+            stat.dense_synaptic_ops += ops
+            return orig(x)
+
+        return forward

@@ -1,0 +1,190 @@
+"""Event-driven backend: compute only active spike contributions.
+
+Conv and linear layers whose input plane is sparse are executed by
+gathering the active im2col rows (output windows touched by at least
+one spike) and the active columns (taps that carry a spike anywhere in
+the batch) and multiplying only that submatrix — per-timestep matmul
+cost scales with spike rate, mirroring the paper's aggregation core.
+Dense inputs (the analog input frame, like the PS-side frame conv in
+§IV) fall back to the dense kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Conv2d
+from repro.nn.module import Module
+from repro.snn.engines.base import (
+    LRUCache,
+    SimulationEngine,
+    WEIGHT_CACHE_CAPACITY,
+    _dense_op_count,
+    _effective_weight,
+)
+from repro.snn.engines.dense import dense_conv2d
+from repro.tensor import Tensor
+from repro.tensor.functional import im2col
+
+
+def sparse_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: int,
+    padding: int,
+) -> Tuple[np.ndarray, int]:
+    """Event-driven convolution of a sparse activation plane.
+
+    Gathers the active im2col rows (output windows touched by at least
+    one spike) and the active columns (taps carrying a spike anywhere
+    in the batch) and multiplies only that submatrix when it is a
+    genuine shrink; silent windows contribute exactly zero (plus
+    bias), so the result equals the dense convolution up to float
+    summation order.  When the submatrix is not meaningfully smaller
+    the full matrix is multiplied — on this numpy substrate a dense
+    BLAS matmul outruns any per-element sparse route at moderate
+    densities, so the gather gate is what keeps the event backend at
+    wall-clock parity with dense outside the very sparse regime where
+    it wins outright.
+
+    Returns ``(output, performed_ops)`` where ``performed_ops`` counts
+    one op per nonzero im2col entry per output channel — the
+    event-driven synaptic-operation count the hardware's aggregation
+    core would execute, which is what the run statistics report.
+    """
+    n = x.shape[0]
+    c_out, _, k, _ = weight.shape
+    cols, oh, ow = im2col(x, k, stride, padding)
+    w_mat = weight.reshape(c_out, -1)
+    performed = int(np.count_nonzero(cols)) * c_out
+    row_active = cols.any(axis=1)
+    active_rows = np.flatnonzero(row_active)
+    if active_rows.size == cols.shape[0]:
+        out = cols @ w_mat.T
+    else:
+        out = np.zeros(
+            (cols.shape[0], c_out), dtype=np.result_type(x.dtype, weight.dtype)
+        )
+        if active_rows.size:
+            sub = cols[active_rows]
+            active_cols = np.flatnonzero(sub.any(axis=0))
+            if active_rows.size * active_cols.size < 0.25 * cols.size:
+                out[active_rows] = sub[:, active_cols] @ w_mat[:, active_cols].T
+            else:
+                out[active_rows] = sub @ w_mat.T
+    if bias is not None:
+        out += bias
+    out = out.reshape(n, oh, ow, c_out).transpose(0, 3, 1, 2)
+    return np.ascontiguousarray(out), performed
+
+
+def sparse_linear(
+    x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray]
+) -> Tuple[np.ndarray, int]:
+    """Event-driven affine map over a sparse feature batch."""
+    active = np.flatnonzero(x.any(axis=0))
+    performed = int(np.count_nonzero(x)) * weight.shape[0]
+    if active.size == x.shape[1]:
+        # Every feature fires somewhere in the batch: gathering would
+        # copy both operands for nothing.
+        out = x @ weight.T
+    else:
+        out = x[:, active] @ weight[:, active].T
+    if bias is not None:
+        out = out + bias
+    return out, performed
+
+
+class SparseEventEngine(SimulationEngine):
+    """Event-driven backend: compute only active spike contributions.
+
+    Effective (fake-quantised) weights are computed once per run and
+    all conv/linear layers execute through the sparsity-adaptive
+    kernels above.  ``density_threshold`` gates the *accounting*:
+    inputs whose nonzero fraction reaches it (e.g. the analog input
+    frame) are billed at the full dense MAC count, mirroring the
+    PS-side frame convolution in the paper, instead of the
+    per-spike-contribution count.
+    """
+
+    name = "event"
+
+    def __init__(
+        self, density_threshold: float = 0.6, profile_layers: bool = True
+    ) -> None:
+        super().__init__(profile_layers=profile_layers)
+        if not 0.0 < density_threshold <= 1.0:
+            raise ValueError("density_threshold must be in (0, 1]")
+        self.density_threshold = density_threshold
+        self._weight_cache = LRUCache(WEIGHT_CACHE_CAPACITY)
+        # Last (input, output, billed ops) per layer within one run.
+        # Direct encoding feeds the first conv the *same* frame array
+        # every timestep, so its output is reused T-1 times — the
+        # software twin of the accelerator's frame-psum cache.  The
+        # identity check makes this safe for every other layer too:
+        # downstream activations are fresh arrays each timestep.
+        self._io_cache: Dict[int, Tuple[np.ndarray, np.ndarray, int]] = {}
+
+    def _config(self) -> dict:
+        config = super()._config()
+        config["density_threshold"] = self.density_threshold
+        return config
+
+    def _share_caches(self, peer: "SimulationEngine") -> None:
+        peer._weight_cache = self._weight_cache
+
+    def _effective_weight(self, module: Module) -> np.ndarray:
+        return _effective_weight(module, self._weight_cache)
+
+    def _install(self, synapse_stats, neuron_stats) -> None:
+        # The weight cache survives runs (entries self-invalidate on
+        # parameter rebinds); the io cache holds run-scoped activations.
+        self._io_cache = {}
+        super()._install(synapse_stats, neuron_stats)
+
+    def _uninstall(self) -> None:
+        super()._uninstall()
+        self._io_cache = {}
+
+    def _make_interceptor(self, module, stat, orig):
+        is_conv = isinstance(module, Conv2d)
+
+        def forward(x: Tensor) -> Tensor:
+            data = x.data
+            dense_ops = _dense_op_count(module, data.shape)
+            stat.dense_synaptic_ops += dense_ops
+            cached = self._io_cache.get(id(module))
+            if cached is not None and cached[0] is data:
+                # Identical input array as last timestep (the constant
+                # analog frame): reuse the output, bill the same ops.
+                stat.synaptic_ops += cached[2]
+                return Tensor(cached[1])
+            density = np.count_nonzero(data) / max(data.size, 1)
+            weight = self._effective_weight(module)
+            bias = module.bias.data if module.bias is not None else None
+            if density >= self.density_threshold:
+                # Dense input (e.g. the analog frame): no sparsity to
+                # exploit — run the plain kernel and, like the PS-side
+                # frame conv, bill the full dense MAC count.
+                if is_conv:
+                    out = dense_conv2d(
+                        data, weight, bias, module.stride, module.padding
+                    )
+                else:
+                    out = data @ weight.T if bias is None else data @ weight.T + bias
+                billed = dense_ops
+            else:
+                if is_conv:
+                    out, billed = sparse_conv2d(
+                        data, weight, bias, module.stride, module.padding
+                    )
+                else:
+                    out, billed = sparse_linear(data, weight, bias)
+            stat.synaptic_ops += billed
+            self._io_cache[id(module)] = (data, out, billed)
+            return Tensor(out)
+
+        return forward

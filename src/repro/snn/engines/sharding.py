@@ -1,0 +1,209 @@
+"""Batch sharding across forked processes or a thread pool.
+
+``SimulationEngine.run(workers=K)`` splits the batch into contiguous
+shards and runs them in parallel.  Two substrates are available:
+
+``fork``
+    The classic path: worker processes forked from the parent inherit
+    the engine, model weights and input batch copy-on-write, so nothing
+    is pickled.  Only available where the platform has the ``fork``
+    start method (not Windows, not some embedded interpreters).
+
+``thread``
+    A thread pool.  Each shard gets a *sibling* engine (same
+    configuration, shared thread-safe cross-run caches) bound to a
+    structural clone of the model that shares every parameter and
+    buffer array but owns its own module objects — so concurrent shards
+    never race on interceptors, membrane state or spike counters.  The
+    hot work is BLAS GEMMs and large-array ufuncs, which release the
+    GIL, so threads parallelise the same way fork does and work
+    everywhere fork does not.
+
+``resolve_shard_mode("auto")`` picks fork where available and threads
+otherwise, so ``workers=K`` never silently degrades to sequential
+execution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Tuple
+
+from repro.nn.module import Module
+
+SHARD_MODES = ("auto", "fork", "thread")
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_shard_mode(mode: str) -> str:
+    """Normalise a user-facing shard mode to ``"fork"`` or ``"thread"``."""
+    if mode == "thread":
+        return "thread"
+    if mode == "fork":
+        if not fork_available():
+            raise RuntimeError(
+                "the 'fork' start method is unavailable on this platform; "
+                "use shard_mode='thread' (or 'auto')"
+            )
+        return "fork"
+    if mode == "auto":
+        return "fork" if fork_available() else "thread"
+    raise ValueError(f"unknown shard_mode {mode!r}; choose from {SHARD_MODES}")
+
+
+# ----------------------------------------------------------------------
+# Fork sharding
+# ----------------------------------------------------------------------
+# Fork-shard context: set by the parent immediately before the pool
+# fork so children inherit the engine, model weights and input batch
+# copy-on-write instead of through pickling.
+_SHARD_CONTEXT: Optional[tuple] = None
+
+
+def _shard_worker(index: int):
+    engine, x, timesteps, per_step, bounds = _SHARD_CONTEXT
+    lo, hi = bounds[index]
+    return engine._run_single(x[lo:hi], timesteps, per_step)
+
+
+def _run_fork_shards(engine, x, timesteps, per_step, bounds) -> List:
+    global _SHARD_CONTEXT
+    context = multiprocessing.get_context("fork")
+    _SHARD_CONTEXT = (engine, x, timesteps, per_step, bounds)
+    try:
+        with context.Pool(processes=len(bounds)) as pool:
+            return pool.map(_shard_worker, range(len(bounds)))
+    finally:
+        _SHARD_CONTEXT = None
+
+
+# ----------------------------------------------------------------------
+# Thread sharding
+# ----------------------------------------------------------------------
+def clone_for_inference(module: Module) -> Module:
+    """Structurally clone a module tree, sharing all parameters/buffers.
+
+    Every :class:`Module` object is fresh (own ``_modules`` /
+    ``_parameters`` / ``_buffers`` dicts, own neuron membrane and spike
+    counters once it runs), while every Parameter and buffer array is
+    the *same object* as the source's — weights are shared, never
+    copied, and a training step that rebinds ``param.data`` is visible
+    to every clone because the Parameter itself is shared.  Attributes
+    that point at child modules (``self.conv1`` and friends) are
+    remapped onto the corresponding clones; an installed forward
+    interceptor (only present mid-run) is never carried over.
+    """
+    children = OrderedDict(
+        (name, clone_for_inference(child)) for name, child in module._modules.items()
+    )
+    remap = {
+        id(original): children[name]
+        for name, original in module._modules.items()
+    }
+    clone = object.__new__(type(module))
+    for key, value in module.__dict__.items():
+        if key == "_modules":
+            value = children
+        elif key in ("_parameters", "_buffers"):
+            value = OrderedDict(value)
+        elif key == "forward":
+            continue
+        elif isinstance(value, Module):
+            value = remap.get(id(value), value)
+        elif isinstance(value, (list, tuple)):
+            value = type(value)(remap.get(id(item), item) for item in value)
+        object.__setattr__(clone, key, value)
+    return clone
+
+
+def _peers_stale(engine, peers) -> bool:
+    """Detect model changes the weight-sharing clones cannot mirror.
+
+    Shared Parameter objects track ``param.data`` rebinds for free, but
+    a rebound *buffer* (``load_state_dict`` on BN running stats) or a
+    train/eval flip only lands on the original modules — either one
+    means the cached clones must be rebuilt.
+    """
+    for peer in peers:
+        if peer.model is None or peer.model.training != engine.model.training:
+            return True
+        for (_, original), (_, cloned) in zip(
+            engine.model.named_buffers(), peer.model.named_buffers()
+        ):
+            if original is not cloned:
+                return True
+    return False
+
+
+def _thread_peers_for(engine, count: int) -> List:
+    """Sibling engines over model clones, cached on the engine.
+
+    Rebuilding clones per run would defeat the cross-run caches (the
+    effective-weight LRU is keyed by module identity, so fresh clone
+    ids would miss it every time and fill it with dead entries); the
+    peers persist until the bound model changes under them.
+    """
+    peers = engine._thread_peers.get(count)
+    if peers is None or _peers_stale(engine, peers):
+        peers = []
+        for _ in range(count):
+            peer = engine._sibling()
+            peer.bind(clone_for_inference(engine.model))
+            peers.append(peer)
+        engine._thread_peers[count] = peers
+    return peers
+
+
+def _thread_pool_for(engine, count: int) -> ThreadPoolExecutor:
+    """One long-lived pool per engine, grown when more shards appear.
+
+    Persistent worker threads keep their thread-local im2col pad
+    workspaces warm across runs; Python's executor machinery drains and
+    joins the threads at interpreter exit.
+    """
+    if engine._thread_pool is None or engine._thread_pool_size < count:
+        if engine._thread_pool is not None:
+            engine._thread_pool.shutdown(wait=False)
+        engine._thread_pool = ThreadPoolExecutor(
+            max_workers=count, thread_name_prefix="snn-shard"
+        )
+        engine._thread_pool_size = count
+    return engine._thread_pool
+
+
+def _run_thread_shards(engine, x, timesteps, per_step, bounds) -> List:
+    peers = _thread_peers_for(engine, len(bounds))
+    pool = _thread_pool_for(engine, len(bounds))
+    futures = [
+        pool.submit(peer._run_single, x[lo:hi], timesteps, per_step)
+        for peer, (lo, hi) in zip(peers, bounds)
+    ]
+    return [future.result() for future in futures]
+
+
+# ----------------------------------------------------------------------
+def run_batch_shards(
+    engine,
+    x,
+    timesteps: int,
+    per_step: bool,
+    bounds: List[Tuple[int, int]],
+    mode: str,
+) -> List:
+    """Run contiguous batch shards in parallel on the resolved substrate.
+
+    ``mode`` must already be resolved (``"fork"`` or ``"thread"``).
+    Either substrate produces the same per-shard results and merged
+    statistics: a shard is the same ``_run_single`` on the same
+    contiguous slice with the same kernels.
+    """
+    if len(bounds) <= 1:
+        return [engine._run_single(x[lo:hi], timesteps, per_step) for lo, hi in bounds]
+    if mode == "fork":
+        return _run_fork_shards(engine, x, timesteps, per_step, bounds)
+    return _run_thread_shards(engine, x, timesteps, per_step, bounds)

@@ -6,15 +6,18 @@ logits.  Classification uses the accumulated logits — the standard
 readout for ANN-to-SNN converted networks and the one the accelerator's
 host-side software implements.
 
-Execution is delegated to a pluggable :class:`repro.snn.engine`
+Execution is delegated to a pluggable :mod:`repro.snn.engines`
 backend: ``engine="dense"`` re-runs the full model every timestep (the
 reference), ``engine="event"`` propagates only active spike events so
 per-timestep cost scales with spike rate, like the paper's hardware,
-and ``engine="batched"`` time-batches all T timesteps into one
-layer-sequential pass (the fastest software path).  ``workers=K``
-shards every batch across K forked processes.  Every run leaves a
+``engine="batched"`` time-batches all T timesteps into one
+layer-sequential pass, and ``engine="auto"`` profiles a calibration
+run and compiles a cached per-layer GEMM/event plan (the fastest
+software path).  ``workers=K`` shards every batch across K forked
+processes or threads (``shard_mode``).  Every run leaves a
 :class:`repro.snn.stats.RunStats` on ``last_run_stats`` with per-layer
-spike rates and synaptic-op counts.
+spike rates, synaptic-op counts and the wall-clock/density profile
+behind ``RunStats.profile_table()``.
 """
 
 from __future__ import annotations
@@ -25,7 +28,8 @@ import numpy as np
 
 from repro.nn.module import Module
 from repro.snn.convert import spiking_layers
-from repro.snn.engine import EngineSpec, SimulationEngine, make_engine
+from repro.snn.engines import EngineSpec, SimulationEngine, make_engine
+from repro.snn.engines.sharding import SHARD_MODES
 from repro.snn.stats import RunStats
 
 
@@ -40,12 +44,19 @@ class SpikingNetwork:
     timesteps:
         Default number of timesteps T per inference.
     engine:
-        Execution backend: ``"dense"``, ``"event"``, ``"batched"`` or a
-        bound-ready :class:`repro.snn.engine.SimulationEngine` instance.
+        Execution backend: ``"dense"``, ``"event"``, ``"batched"``,
+        ``"auto"`` or a bound-ready
+        :class:`repro.snn.engines.SimulationEngine` instance.
     workers:
-        Default number of batch shards run in forked worker processes
-        per inference (1 = in-process).  Statistics of a sharded run
-        are merged and match a single-worker run.
+        Default number of batch shards run in parallel per inference
+        (1 = in-process).  Statistics of a sharded run are merged and
+        match a single-worker run.
+    shard_mode:
+        Parallel substrate for ``workers > 1``: ``"fork"`` (worker
+        processes sharing weights copy-on-write), ``"thread"`` (a
+        thread pool over weight-sharing model clones; works where fork
+        is unavailable) or ``"auto"`` (fork where available, threads
+        otherwise).
     """
 
     def __init__(
@@ -54,17 +65,23 @@ class SpikingNetwork:
         timesteps: int = 8,
         engine: EngineSpec = "dense",
         workers: int = 1,
+        shard_mode: str = "auto",
     ) -> None:
         if timesteps < 1:
             raise ValueError("timesteps must be >= 1")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if shard_mode not in SHARD_MODES:
+            raise ValueError(
+                f"unknown shard_mode {shard_mode!r}; choose from {SHARD_MODES}"
+            )
         if not spiking_layers(model):
             raise ValueError("model has no spiking layers; convert it first")
         self.model = model
         self.model.eval()
         self.timesteps = timesteps
         self.workers = int(workers)
+        self.shard_mode = shard_mode
         self.engine: SimulationEngine = make_engine(engine)
         if self.engine.model is not None and self.engine.model is not model:
             # Rebinding would silently redirect the other network's
@@ -89,17 +106,22 @@ class SpikingNetwork:
             raise ValueError("workers must be >= 1")
         return count
 
+    def _resolve_shard_mode(self, shard_mode: Optional[str]) -> str:
+        return self.shard_mode if shard_mode is None else shard_mode
+
     def forward(
         self,
         x: np.ndarray,
         timesteps: Optional[int] = None,
         workers: Optional[int] = None,
+        shard_mode: Optional[str] = None,
     ) -> np.ndarray:
         """Accumulated logits after T timesteps for a batch ``x`` (N,C,H,W)."""
         run = self.engine.run(
             x,
             self._resolve_timesteps(timesteps),
             workers=self._resolve_workers(workers),
+            shard_mode=self._resolve_shard_mode(shard_mode),
         )
         self.last_run_stats = run.stats
         return run.logits
@@ -111,6 +133,7 @@ class SpikingNetwork:
         x: np.ndarray,
         timesteps: Optional[int] = None,
         workers: Optional[int] = None,
+        shard_mode: Optional[str] = None,
     ) -> List[np.ndarray]:
         """Cumulative logits after each timestep (for accuracy-vs-T curves).
 
@@ -126,6 +149,7 @@ class SpikingNetwork:
             self._resolve_timesteps(timesteps),
             per_step=True,
             workers=self._resolve_workers(workers),
+            shard_mode=self._resolve_shard_mode(shard_mode),
         )
         self.last_run_stats = run.stats
         return run.per_step

@@ -16,6 +16,13 @@ Conventions:
 * ``dense_synaptic_ops`` is what a dense recompute of the same layer
   would have cost, so ``synaptic_ops / dense_synaptic_ops`` is the
   event-driven saving.
+* ``wall_clock_seconds`` on a layer is the measured time spent inside
+  that layer's forward across the run (near-zero-overhead
+  ``perf_counter`` deltas recorded by the engine interceptors);
+  ``input_nonzero`` / ``input_size`` accumulate the observed input
+  density of synapse layers — together these are the profile the
+  adaptive engine's per-layer plan is compiled from, rendered by
+  :meth:`RunStats.profile_table`.
 * Cycle fields are only filled by the hardware model.
 """
 
@@ -39,6 +46,10 @@ class LayerStats:
     aggregation_cycles: int = 0  # hardware-only
     segment_activity_sum: float = 0.0
     timesteps: int = 0
+    wall_clock_seconds: float = 0.0  # time spent inside this layer's forward
+    input_nonzero: int = 0       # nonzero input elements seen (synapse layers)
+    input_size: int = 0          # total input elements seen (synapse layers)
+    backend: str = ""            # per-layer backend chosen by the auto engine
 
     @property
     def spike_rate(self) -> float:
@@ -46,6 +57,19 @@ class LayerStats:
         if self.neuron_steps == 0:
             return 0.0
         return self.spike_count / self.neuron_steps
+
+    @property
+    def input_density(self) -> float:
+        """Observed nonzero fraction of this layer's input activations."""
+        if self.input_size == 0:
+            return 0.0
+        return self.input_nonzero / self.input_size
+
+    @property
+    def density(self) -> float:
+        """The profiling density: input density for synapse layers (what
+        sets event-driven cost), spike rate for neuron layers."""
+        return self.spike_rate if self.kind == "neuron" else self.input_density
 
     @property
     def mean_segment_activity(self) -> float:
@@ -65,6 +89,11 @@ class LayerStats:
         self.aggregation_cycles += other.aggregation_cycles
         self.segment_activity_sum += other.segment_activity_sum
         self.timesteps += other.timesteps
+        self.wall_clock_seconds += other.wall_clock_seconds
+        self.input_nonzero += other.input_nonzero
+        self.input_size += other.input_size
+        if not self.backend:
+            self.backend = other.backend
         return self
 
 
@@ -78,6 +107,7 @@ class RunStats:
     engine: str = ""
     wall_clock_seconds: float = 0.0
     workers: int = 1  # batch shards merged into this record
+    shard_mode: str = ""  # "fork" | "thread" when workers > 1
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -173,5 +203,51 @@ class RunStats:
         lines.append(
             f"overall spike rate {self.overall_spike_rate:.4f}; "
             f"total synaptic ops {self.total_synaptic_ops}"
+        )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Per-layer wall-clock profile
+    # ------------------------------------------------------------------
+    def profile_records(self) -> List[dict]:
+        """Per-layer profile rows: name, kind, backend, wall-clock ms,
+        density and performed ops.
+
+        This is the machine-readable form embedded in the engine
+        benchmark artifact (``BENCH_engines.json``) and the data the
+        adaptive engine's execution plan is compiled from.  ``density``
+        is the layer's input density for synapse layers (what sets
+        event-driven cost) and the spike rate for neuron layers;
+        ``backend`` is the per-layer backend the run actually used
+        (falling back to the engine name when the engine makes no
+        per-layer choice).
+        """
+        return [
+            {
+                "name": layer.name,
+                "kind": layer.kind,
+                "backend": layer.backend or self.engine,
+                "wall_clock_ms": round(layer.wall_clock_seconds * 1e3, 3),
+                "density": round(layer.density, 6),
+                "synaptic_ops": int(layer.synaptic_ops),
+            }
+            for layer in self.layers
+        ]
+
+    def profile_table(self) -> str:
+        """Aligned text table of the per-layer wall-clock profile."""
+        lines = [
+            "layer                          kind     backend    wall_ms   density    synaptic_ops"
+        ]
+        for row in self.profile_records():
+            lines.append(
+                f"{row['name']:<30} {row['kind']:<8} {row['backend']:<8} "
+                f"{row['wall_clock_ms']:>9.3f}  {row['density']:>8.4f}  {row['synaptic_ops']:>14d}"
+            )
+        attributed = sum(l.wall_clock_seconds for l in self.layers)
+        lines.append(
+            f"run wall clock {self.wall_clock_seconds * 1e3:.3f} ms "
+            f"({attributed * 1e3:.3f} ms attributed to layers); "
+            f"engine {self.engine or '?'}, workers {self.workers}"
         )
         return "\n".join(lines)

@@ -10,6 +10,7 @@ kernel's rows are streamed into the PE row-by-row.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
@@ -29,10 +30,14 @@ def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
 # A plan is the flat tap-index array into one padded sample plus the
 # output spatial size; networks reuse a handful of shapes thousands of
 # times (every timestep of every layer), so the index arithmetic is
-# paid once per shape instead of once per call.  Bounded FIFO so
-# pathological shape churn (e.g. a DSE sweep) cannot grow it unboundedly.
+# paid once per shape instead of once per call.  Bounded LRU so
+# pathological shape churn (e.g. a DSE sweep) cannot grow it unboundedly
+# while the hot working set survives; plans are immutable, so one lock
+# around the OrderedDict bookkeeping makes lookups safe under the
+# engines' thread-based batch sharding.
 _PLAN_CACHE: "OrderedDict[Tuple[int, int, int, int, int, int], Tuple[np.ndarray, int, int]]" = OrderedDict()
 _PLAN_CACHE_CAPACITY = 64
+_PLAN_CACHE_LOCK = threading.Lock()
 
 
 def _im2col_plan(
@@ -41,26 +46,31 @@ def _im2col_plan(
     """Cached flat gather indices mapping a padded (C, HP, WP) sample to
     its im2col rows, with the output spatial size."""
     key = (c, h, w, kernel, stride, padding)
-    plan = _PLAN_CACHE.get(key)
-    if plan is None:
-        oh = _conv_output_size(h, kernel, stride, padding)
-        ow = _conv_output_size(w, kernel, stride, padding)
-        hp, wp = h + 2 * padding, w + 2 * padding
-        # Offsets of the C*K*K taps of one window into the flat sample.
-        taps = (
-            np.arange(c)[:, None, None] * (hp * wp)
-            + np.arange(kernel)[None, :, None] * wp
-            + np.arange(kernel)[None, None, :]
-        ).reshape(-1)
-        # Top-left corner of each of the OH*OW windows.
-        starts = (
-            np.arange(oh)[:, None] * (stride * wp) + np.arange(ow)[None, :] * stride
-        ).reshape(-1)
-        indices = (starts[:, None] + taps[None, :]).astype(np.intp).reshape(-1)
-        if len(_PLAN_CACHE) >= _PLAN_CACHE_CAPACITY:
-            _PLAN_CACHE.popitem(last=False)
-        plan = (indices, oh, ow)
+    with _PLAN_CACHE_LOCK:
+        plan = _PLAN_CACHE.get(key)
+        if plan is not None:
+            _PLAN_CACHE.move_to_end(key)
+            return plan
+    oh = _conv_output_size(h, kernel, stride, padding)
+    ow = _conv_output_size(w, kernel, stride, padding)
+    hp, wp = h + 2 * padding, w + 2 * padding
+    # Offsets of the C*K*K taps of one window into the flat sample.
+    taps = (
+        np.arange(c)[:, None, None] * (hp * wp)
+        + np.arange(kernel)[None, :, None] * wp
+        + np.arange(kernel)[None, None, :]
+    ).reshape(-1)
+    # Top-left corner of each of the OH*OW windows.
+    starts = (
+        np.arange(oh)[:, None] * (stride * wp) + np.arange(ow)[None, :] * stride
+    ).reshape(-1)
+    indices = (starts[:, None] + taps[None, :]).astype(np.intp).reshape(-1)
+    plan = (indices, oh, ow)
+    with _PLAN_CACHE_LOCK:
         _PLAN_CACHE[key] = plan
+        _PLAN_CACHE.move_to_end(key)
+        while len(_PLAN_CACHE) > _PLAN_CACHE_CAPACITY:
+            _PLAN_CACHE.popitem(last=False)
     return plan
 
 
@@ -70,10 +80,18 @@ def _im2col_plan(
 # (zeros) and stays zero for the buffer's lifetime.  np.pad would
 # re-allocate, re-zero and walk its per-axis edge machinery on every
 # unfold.  Callers never see the buffer: im2col's gather copies out of
-# it immediately.  Bounded FIFO like the plans, and large arrays skip
-# the cache entirely (the per-call overhead is amortised there and
-# pinning multi-hundred-MB activations at module scope is not).
-_PAD_CACHE: "OrderedDict[Tuple[int, int, int, int, int, str], np.ndarray]" = OrderedDict()
+# it immediately.  The cache is *per thread* (threading.local): two
+# sharding threads unfolding the same layer shape concurrently must not
+# scribble over one shared workspace.  Each thread's dict is a bounded
+# LRU, and large arrays skip the cache entirely (the per-call overhead
+# is amortised there and pinning multi-hundred-MB activations at module
+# scope is not).
+class _PadWorkspaces(threading.local):
+    def __init__(self) -> None:
+        self.buffers: "OrderedDict[Tuple[int, int, int, int, int, str], np.ndarray]" = OrderedDict()
+
+
+_PAD_CACHE = _PadWorkspaces()
 _PAD_CACHE_CAPACITY = 16
 _PAD_CACHE_MAX_BYTES = 16 * 1024 * 1024
 
@@ -84,12 +102,14 @@ def _padded_workspace(x: np.ndarray, padding: int) -> np.ndarray:
     if n * c * hp * wp * x.itemsize > _PAD_CACHE_MAX_BYTES:
         return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
     key = (n, c, h, w, padding, x.dtype.str)
-    buf = _PAD_CACHE.get(key)
+    buffers = _PAD_CACHE.buffers
+    buf = buffers.get(key)
     if buf is None:
-        if len(_PAD_CACHE) >= _PAD_CACHE_CAPACITY:
-            _PAD_CACHE.popitem(last=False)
         buf = np.zeros((n, c, hp, wp), dtype=x.dtype)
-        _PAD_CACHE[key] = buf
+        buffers[key] = buf
+    buffers.move_to_end(key)
+    while len(buffers) > _PAD_CACHE_CAPACITY:
+        buffers.popitem(last=False)
     buf[:, :, padding:-padding, padding:-padding] = x
     return buf
 

@@ -13,6 +13,7 @@ allowed but are treated as constants.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -20,12 +21,15 @@ import numpy as np
 Number = Union[int, float]
 ArrayLike = Union[Number, Sequence, np.ndarray, "Tensor"]
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread: the simulation engines run inference shards
+# on worker threads, and one thread leaving its no_grad block must not
+# re-enable (or keep disabled) graph construction for the others.
+_GRAD_STATE = threading.local()
 
 
 def is_grad_enabled() -> bool:
-    """Return True when autograd graph construction is active."""
-    return _GRAD_ENABLED
+    """Return True when autograd graph construction is active (per thread)."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 @contextlib.contextmanager
@@ -34,15 +38,15 @@ def no_grad():
 
     Inside the context, operations on tensors produce result tensors with
     ``requires_grad=False`` and no parent links, mirroring
-    ``torch.no_grad``.
+    ``torch.no_grad``.  The switch is thread-local, so concurrent
+    inference threads cannot toggle each other's grad mode.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -101,7 +105,7 @@ class Tensor:
     ) -> None:
         self.data = _as_array(data)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._parents = _parents if self.requires_grad or _parents else ()
         self._backward = _backward
         self.name = name
@@ -160,7 +164,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         parents = tuple(parents)
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         if requires:
             return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
         return Tensor(data)

@@ -28,6 +28,8 @@ class TestParser:
         assert args.width == 0.125
         assert args.engine == "dense"
         assert args.workers == 1
+        assert args.shard_mode == "auto"
+        assert args.profile is False
 
     def test_batched_engine_and_workers(self):
         args = build_parser().parse_args(
@@ -36,9 +38,21 @@ class TestParser:
         assert args.engine == "batched"
         assert args.workers == 2
 
+    def test_auto_engine_profile_and_shard_mode(self):
+        args = build_parser().parse_args(
+            ["fig9", "--engine", "auto", "--shard-mode", "thread", "--profile"]
+        )
+        assert args.engine == "auto"
+        assert args.shard_mode == "thread"
+        assert args.profile is True
+
     def test_rejects_unknown_engine(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig7", "--engine", "warp"])
+
+    def test_rejects_unknown_shard_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig7", "--shard-mode", "quantum"])
 
 
 class TestHardwareArtefacts:

@@ -1,0 +1,222 @@
+"""Adaptive (auto) engine tests: calibration, plan caching, equivalence.
+
+The auto engine runs the time-batched GEMM schedule while profiling a
+calibration pass, then compiles a per-layer GEMM/event plan cached by
+(input shape, T).  Logits must match the dense reference within float
+summation-order tolerance on every model family, calibration must not
+repeat for a cached key, and the per-layer profile (wall clock,
+density, chosen backend) must be populated for downstream consumers
+(``profile_table`` / BENCH_engines.json).
+"""
+
+import numpy as np
+import pytest
+
+from repro.snn import AutoEngine, SpikingNetwork, make_engine
+from repro.snn.engines import ExecutionPlan
+
+from test_snn_engine import converted_pooled_toy, converted_resnet, converted_toy
+
+
+def _dense_vs_auto(model_factory, x, timesteps, atol):
+    dense = SpikingNetwork(model_factory(), timesteps=timesteps, engine="dense")
+    auto = SpikingNetwork(model_factory(), timesteps=timesteps, engine="auto")
+    ld = dense.forward(x)
+    la_calibration = auto.forward(x)   # first run calibrates
+    la_planned = auto.forward(x)       # second run executes the plan
+    for la in (la_calibration, la_planned):
+        assert np.allclose(ld, la, atol=atol)
+        assert np.array_equal(ld.argmax(1), la.argmax(1))
+    return dense, auto
+
+
+class TestMakeAutoEngine:
+    def test_names(self):
+        assert isinstance(make_engine("auto"), AutoEngine)
+        assert isinstance(make_engine("adaptive"), AutoEngine)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AutoEngine(density_threshold=0.0)
+        with pytest.raises(ValueError):
+            AutoEngine(margin=0.0)
+
+    def test_profiling_cannot_be_disabled(self):
+        # Calibration is the profile; the flag is forced on.
+        assert AutoEngine(profile_layers=False).profile_layers is True
+
+
+class TestEquivalence:
+    """Auto logits match dense on every model family, both on the
+    calibration run and on the planned runs that may reroute sparse
+    layers through the event gather."""
+
+    def test_if_toy(self):
+        x = np.random.default_rng(50).normal(size=(6, 2, 4, 4)).astype(np.float32)
+        _dense_vs_auto(lambda: converted_toy(), x, timesteps=6, atol=1e-4)
+
+    def test_lif_toy(self):
+        x = np.random.default_rng(51).normal(size=(5, 2, 4, 4)).astype(np.float32)
+        _dense_vs_auto(
+            lambda: converted_toy(neuron="lif"), x, timesteps=5, atol=1e-4
+        )
+
+    def test_pooled_chain(self):
+        x = np.random.default_rng(52).normal(size=(4, 2, 8, 8)).astype(np.float32)
+        _dense_vs_auto(lambda: converted_pooled_toy(), x, timesteps=4, atol=1e-4)
+
+    def test_resnet_residual_graph(self):
+        model = converted_resnet()
+        x = np.random.default_rng(53).normal(size=(4, 3, 32, 32)).astype(np.float32)
+        dense = SpikingNetwork(model, timesteps=4, engine="dense")
+        ld = dense.forward(x)
+        auto = SpikingNetwork(model, timesteps=4, engine="auto")
+        for _ in range(2):  # calibration run, then planned run
+            la = auto.forward(x)
+            assert np.allclose(ld, la, atol=1e-3)
+            assert np.array_equal(ld.argmax(1), la.argmax(1))
+        assert auto.last_run_stats.spike_rates() == pytest.approx(
+            dense.last_run_stats.spike_rates(), abs=1e-3
+        )
+
+    def test_per_step_matches_dense(self):
+        x = np.random.default_rng(54).normal(size=(4, 2, 4, 4)).astype(np.float32)
+        dense = SpikingNetwork(converted_toy(), timesteps=4, engine="dense")
+        auto = SpikingNetwork(converted_toy(), timesteps=4, engine="auto")
+        auto.forward_per_step(x, 5)  # calibrate the (shape, T=5) key
+        steps_d = dense.forward_per_step(x, 5)
+        steps_a = auto.forward_per_step(x, 5)
+        assert len(steps_a) == 5
+        for a, b in zip(steps_d, steps_a):
+            assert np.allclose(a, b, atol=1e-4)
+
+
+class TestPlanCache:
+    def test_calibration_runs_once_per_key(self):
+        model = converted_toy()
+        engine = AutoEngine()
+        net = SpikingNetwork(model, timesteps=4, engine=engine)
+        x = np.random.default_rng(60).normal(size=(4, 2, 4, 4)).astype(np.float32)
+        net.forward(x)
+        assert engine.calibration_runs == 1
+        net.forward(x)
+        net.forward(x)  # same full input shape and T: same plan key
+        assert engine.calibration_runs == 1
+
+    def test_new_key_recalibrates(self):
+        model = converted_toy()
+        engine = AutoEngine()
+        net = SpikingNetwork(model, timesteps=4, engine=engine)
+        x = np.random.default_rng(61).normal(size=(4, 2, 4, 4)).astype(np.float32)
+        net.forward(x)
+        net.forward(x, timesteps=7)  # different T: a different plan
+        # A different batch size moves the (T*N, ...) GEMM/gather
+        # crossover, so it calibrates its own plan too.
+        net.forward(x[:2])
+        assert engine.calibration_runs == 3
+        assert engine.plan_for(x.shape, 4) is not None
+        assert engine.plan_for(x.shape, 7) is not None
+        assert engine.plan_for(x[:2].shape, 4) is not None
+
+    def test_plan_contents(self):
+        model = converted_toy()
+        engine = AutoEngine()
+        net = SpikingNetwork(model, timesteps=4, engine=engine)
+        x = np.random.default_rng(62).normal(size=(4, 2, 4, 4)).astype(np.float32)
+        net.forward(x)
+        plan = engine.plan_for(x.shape, 4)
+        assert isinstance(plan, ExecutionPlan)
+        assert set(plan.decisions) == {"0", "4"}  # the conv and the linear
+        for decision in plan.decisions.values():
+            assert decision.backend in ("gemm", "event")
+            assert 0.0 <= decision.density <= 1.0
+            assert decision.gemm_seconds > 0.0
+        # The frame conv sees the dense constant input: never event.
+        assert plan.decisions["0"].backend == "gemm"
+
+    def test_stats_record_chosen_backends(self):
+        model = converted_pooled_toy()
+        net = SpikingNetwork(model, timesteps=4, engine="auto")
+        x = np.random.default_rng(63).normal(size=(4, 2, 8, 8)).astype(np.float32)
+        net.forward(x)
+        net.forward(x)
+        stats = net.last_run_stats
+        assert stats.engine == "auto"
+        for layer in stats.layers:
+            if layer.kind == "neuron":
+                assert layer.backend == "stepped"
+            else:
+                assert layer.backend in ("gemm", "event")
+        table = stats.profile_table()
+        assert "backend" in table
+        assert "gemm" in table
+
+
+class TestProfile:
+    def test_layer_wall_clock_and_density_populated(self):
+        net = SpikingNetwork(converted_toy(), timesteps=4, engine="auto")
+        x = np.random.default_rng(70).normal(size=(4, 2, 4, 4)).astype(np.float32)
+        net.forward(x)
+        stats = net.last_run_stats
+        assert sum(l.wall_clock_seconds for l in stats.layers) > 0.0
+        for layer in stats.layers:
+            assert layer.wall_clock_seconds >= 0.0
+            assert 0.0 <= layer.density <= 1.0
+        # The first conv reads the dense analog frame.
+        assert stats.layers[0].input_density > 0.9
+
+    def test_profile_records_shape(self):
+        net = SpikingNetwork(converted_toy(), timesteps=3, engine="auto")
+        x = np.random.default_rng(71).normal(size=(2, 2, 4, 4)).astype(np.float32)
+        net.forward(x)
+        records = net.last_run_stats.profile_records()
+        assert [r["name"] for r in records] == ["0", "2", "4"]
+        for row in records:
+            assert set(row) == {
+                "name", "kind", "backend", "wall_clock_ms", "density", "synaptic_ops",
+            }
+
+    def test_batched_engine_profile_can_be_disabled(self):
+        from repro.snn import TimeBatchedEngine
+
+        net = SpikingNetwork(
+            converted_toy(), timesteps=3, engine=TimeBatchedEngine(profile_layers=False)
+        )
+        x = np.random.default_rng(72).normal(size=(2, 2, 4, 4)).astype(np.float32)
+        net.forward(x)
+        stats = net.last_run_stats
+        assert all(l.wall_clock_seconds == 0.0 for l in stats.layers)
+        assert all(l.input_size == 0 for l in stats.layers)
+        # Op and spike accounting is unaffected by the profiler switch.
+        assert stats.total_synaptic_ops > 0
+        assert stats.spike_rates()
+
+
+class TestSharding:
+    def test_auto_with_thread_workers(self):
+        model = converted_toy()
+        net = SpikingNetwork(model, timesteps=4, engine="auto")
+        x = np.random.default_rng(80).normal(size=(6, 2, 4, 4)).astype(np.float32)
+        single = net.forward(x)
+        threaded = net.forward(x, workers=2, shard_mode="thread")
+        assert np.allclose(single, threaded, atol=1e-5)
+        assert net.last_run_stats.shard_mode == "thread"
+
+    def test_auto_with_fork_workers(self):
+        model = converted_toy()
+        net = SpikingNetwork(model, timesteps=4, engine="auto")
+        x = np.random.default_rng(81).normal(size=(6, 2, 4, 4)).astype(np.float32)
+        single = net.forward(x)
+        forked = net.forward(x, workers=2, shard_mode="auto")
+        assert np.allclose(single, forked, atol=1e-5)
+
+    def test_sharded_calibration_populates_parent_plan_cache(self):
+        """Plans compiled inside shard workers must survive into the
+        parent engine's cache (fork children are throwaway processes),
+        so the next sharded inference skips calibration."""
+        model = converted_toy()
+        engine = AutoEngine()
+        net = SpikingNetwork(model, timesteps=4, engine=engine)
+        x = np.random.default_rng(82).normal(size=(6, 2, 4, 4)).astype(np.float32)
+        net.forward(x, workers=2)  # two (3, 2, 4, 4) shards
+        assert engine.plan_for((3, 2, 4, 4), 4) is not None

@@ -270,6 +270,171 @@ class TestWorkerSharding:
         assert net.last_run_stats.workers == 2
 
 
+class TestThreadSharding:
+    """shard_mode="thread" routes shards through a pool of sibling
+    engines bound to weight-sharing model clones; results and merged
+    statistics must match the single-worker (and fork) runs exactly."""
+
+    @pytest.mark.parametrize("engine", ["dense", "event", "batched"])
+    def test_logits_match_single_worker(self, engine):
+        model = converted_toy()
+        x = np.random.default_rng(40).normal(size=(6, 2, 4, 4)).astype(np.float32)
+        net = SpikingNetwork(model, timesteps=4, engine=engine)
+        single = net.forward(x, workers=1)
+        threaded = net.forward(x, workers=2, shard_mode="thread")
+        assert np.allclose(single, threaded, atol=1e-5)
+        assert np.array_equal(single.argmax(1), threaded.argmax(1))
+        assert net.last_run_stats.shard_mode == "thread"
+        assert net.last_run_stats.workers == 2
+
+    def test_merged_stats_match_single_worker(self):
+        model = converted_toy()
+        x = np.random.default_rng(41).normal(size=(6, 2, 4, 4)).astype(np.float32)
+        net = SpikingNetwork(model, timesteps=4, engine="batched")
+        net.forward(x, workers=1)
+        one = net.last_run_stats
+        net.forward(x, workers=2, shard_mode="thread")
+        two = net.last_run_stats
+        assert two.batch_size == one.batch_size
+        assert two.total_synaptic_ops == one.total_synaptic_ops
+        assert two.spike_rates() == one.spike_rates()
+        for a, b in zip(one.layers, two.layers):
+            assert a.name == b.name
+            assert a.spike_count == b.spike_count
+            assert a.synaptic_ops == b.synaptic_ops
+
+    def test_thread_sharding_is_deterministic(self):
+        model = converted_toy()
+        x = np.random.default_rng(42).normal(size=(5, 2, 4, 4)).astype(np.float32)
+        net = SpikingNetwork(model, timesteps=3, engine="batched")
+        first = net.forward(x, workers=2, shard_mode="thread")
+        second = net.forward(x, workers=2, shard_mode="thread")
+        assert np.array_equal(first, second)
+
+    def test_per_step_threaded(self):
+        model = converted_toy()
+        x = np.random.default_rng(43).normal(size=(5, 2, 4, 4)).astype(np.float32)
+        net = SpikingNetwork(model, timesteps=3, engine="batched")
+        single = net.forward_per_step(x, workers=1)
+        threaded = net.forward_per_step(x, workers=3, shard_mode="thread")
+        for a, b in zip(single, threaded):
+            assert np.allclose(a, b, atol=1e-5)
+
+    def test_parent_model_untouched(self):
+        """Thread shards run on clones: the bound model keeps no
+        interceptors and the engine stays usable in-process after."""
+        model = converted_toy()
+        net = SpikingNetwork(model, timesteps=3, engine="event")
+        x = np.random.default_rng(44).normal(size=(4, 2, 4, 4)).astype(np.float32)
+        net.forward(x, workers=2, shard_mode="thread")
+        for _, module in model.named_modules():
+            assert "forward" not in module.__dict__
+        net.forward(x, workers=1)  # still runs in-process
+
+    def test_thread_peers_and_pool_reused_across_runs(self):
+        """Sibling engines, model clones and the worker pool persist
+        between runs, so per-module caches (effective weights, pad
+        workspaces) keep hitting instead of refilling every forward."""
+        net = SpikingNetwork(converted_toy(), timesteps=3, engine="batched")
+        x = np.random.default_rng(45).normal(size=(4, 2, 4, 4)).astype(np.float32)
+        net.forward(x, workers=2, shard_mode="thread")
+        engine = net.engine
+        peers = engine._thread_peers[2]
+        pool = engine._thread_pool
+        net.forward(x, workers=2, shard_mode="thread")
+        assert engine._thread_peers[2] is peers
+        assert engine._thread_pool is pool
+        # Peers share the parent's thread-safe weight cache.
+        for peer in peers:
+            assert peer._weight_cache is engine._weight_cache
+
+    def test_invalid_shard_mode_rejected(self):
+        net = SpikingNetwork(converted_toy(), timesteps=2)
+        x = np.zeros((2, 2, 4, 4), np.float32)
+        with pytest.raises(ValueError):
+            net.forward(x, workers=2, shard_mode="quantum")
+        with pytest.raises(ValueError):
+            SpikingNetwork(converted_toy(), timesteps=2, shard_mode="quantum")
+
+    def test_clone_shares_weights_and_remaps_children(self):
+        from repro.snn.engines import clone_for_inference
+
+        model = converted_resnet()
+        clone = clone_for_inference(model)
+        assert clone is not model
+        # Every parameter object is shared, never copied.
+        for (name_a, param_a), (name_b, param_b) in zip(
+            model.named_parameters(), clone.named_parameters()
+        ):
+            assert name_a == name_b
+            assert param_a is param_b
+        # Module objects are all fresh, and attribute access reaches the
+        # clone's children, not the original's.
+        originals = {id(m) for _, m in model.named_modules()}
+        for _, module in clone.named_modules():
+            assert id(module) not in originals
+        assert clone.conv1 is clone._modules["conv1"]
+        assert clone.layer1 is clone._modules["layer1"]
+
+
+class TestBoundedCaches:
+    """Cross-run caches are bounded LRUs so long-lived multi-model
+    processes cannot grow memory without limit."""
+
+    def test_lru_cache_evicts_least_recently_used(self):
+        from repro.snn.engines import LRUCache
+
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a"
+        cache.put("c", 3)           # evicts "b", the LRU entry
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_effective_weight_cache_bounded(self):
+        from repro.snn.engines import WEIGHT_CACHE_CAPACITY
+        from repro.snn.engines.base import _effective_weight
+
+        engine = TimeBatchedEngine()
+        modules = [
+            nn.Linear(3, 2, rng=np.random.default_rng(i))
+            for i in range(WEIGHT_CACHE_CAPACITY + 10)
+        ]
+        for module in modules:
+            weight = _effective_weight(module, engine._weight_cache)
+            assert weight is module.weight.data
+        assert len(engine._weight_cache) == WEIGHT_CACHE_CAPACITY
+
+    def test_pad_workspace_cache_bounded(self):
+        from repro.tensor.functional import (
+            _PAD_CACHE,
+            _PAD_CACHE_CAPACITY,
+            im2col,
+        )
+
+        rng = np.random.default_rng(0)
+        for n in range(1, _PAD_CACHE_CAPACITY + 6):
+            x = rng.normal(size=(n, 2, 4, 4)).astype(np.float32)
+            im2col(x, 3, 1, 1)
+        assert len(_PAD_CACHE.buffers) <= _PAD_CACHE_CAPACITY
+
+    def test_im2col_plan_cache_bounded(self):
+        from repro.tensor.functional import (
+            _PLAN_CACHE,
+            _PLAN_CACHE_CAPACITY,
+            _im2col_plan,
+        )
+
+        for h in range(4, 4 + _PLAN_CACHE_CAPACITY + 8):
+            _im2col_plan(1, h, 4, 3, 1, 1)
+        assert len(_PLAN_CACHE) <= _PLAN_CACHE_CAPACITY
+
+
 class TestEquivalenceResidual:
     """The event engine must handle non-sequential graphs (ResNet)."""
 
