@@ -1,0 +1,62 @@
+"""The machine-readable contract of ``BENCH_engines.json``.
+
+CI uploads the artifact and downstream tooling (plus successive PRs
+tracking the wall-clock trajectory) parse it, so the shape is asserted
+in two places from this single definition: inside the benchmark that
+writes the record, and by ``check_bench_schema.py`` as a standalone CI
+step over the emitted file — schema drift fails the job instead of
+being discovered broken later.
+"""
+
+TOP_LEVEL_KEYS = (
+    "benchmark",
+    "scenario",
+    "engines",
+    "batched_speedup_vs_dense",
+    "auto_vs_best_fixed",
+    "batch16_wall_clock_ms",
+    "python",
+    "machine",
+)
+
+SCENARIO_KEYS = ("model", "width", "timesteps", "batch", "input")
+
+ENGINE_NAMES = {"dense", "event", "batched", "auto"}
+
+PROFILE_ROW_KEYS = (
+    "name",
+    "kind",
+    "backend",
+    "wall_clock_ms",
+    "density",
+    "synaptic_ops",
+)
+
+PROFILE_BACKENDS = ("gemm", "event", "stepped")
+
+
+def assert_engines_schema(record: dict) -> None:
+    """Raise AssertionError where ``record`` violates the contract."""
+    for key in TOP_LEVEL_KEYS:
+        assert key in record, f"missing top-level key {key!r}"
+    assert record["benchmark"] == "engines_wall_clock"
+    scenario = record["scenario"]
+    for key in SCENARIO_KEYS:
+        assert key in scenario, f"missing scenario key {key!r}"
+    engines = record["engines"]
+    assert set(engines) >= ENGINE_NAMES
+    for name, entry in engines.items():
+        for key in ("wall_clock_ms", "synaptic_ops", "overall_spike_rate"):
+            assert isinstance(entry[key], (int, float)), f"{name}.{key}"
+        assert isinstance(entry["prediction"], int), f"{name}.prediction"
+        assert isinstance(
+            entry["logits_max_abs_diff_vs_dense"], (int, float)
+        ), f"{name}.logits_max_abs_diff_vs_dense"
+    profile = engines["auto"]["profile"]
+    assert isinstance(profile, list) and profile, "auto profile missing"
+    for row in profile:
+        for key in PROFILE_ROW_KEYS:
+            assert key in row, f"profile row missing {key!r}"
+        assert row["backend"] in PROFILE_BACKENDS, row["backend"]
+        assert 0.0 <= row["density"] <= 1.0
+    assert isinstance(record["auto_vs_best_fixed"], (int, float))

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Validate an emitted ``BENCH_engines.json`` against the schema.
+
+Usage::
+
+    python benchmarks/check_bench_schema.py BENCH_engines.json
+
+Exits nonzero (failing the CI job) when the artifact is missing,
+unparsable, or drifts from the contract in ``bench_schema.py``.  Pure
+stdlib on purpose: it runs before/without the test environment.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_schema import assert_engines_schema  # noqa: E402
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: check_bench_schema.py <BENCH_engines.json>", file=sys.stderr)
+        return 2
+    path = Path(argv[1])
+    if not path.exists():
+        print(f"schema check failed: {path} does not exist", file=sys.stderr)
+        return 1
+    try:
+        record = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        print(f"schema check failed: {path} is not JSON ({error})", file=sys.stderr)
+        return 1
+    try:
+        assert_engines_schema(record)
+    except AssertionError as error:
+        print(f"schema drift in {path}: {error}", file=sys.stderr)
+        return 1
+    engines = ", ".join(sorted(record["engines"]))
+    print(f"{path}: schema ok ({engines})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -29,6 +29,15 @@ from repro.eval import (
     table3_experiment,
     table4_experiment,
 )
+from repro.eval.experiments import INPUT_FORMATS
+from repro.snn.engines import ENGINES
+from repro.snn.engines.sharding import SHARD_MODES
+
+# argparse `choices` stays in lockstep with the engine registry and the
+# sharding substrate list, so a bad --engine/--shard-mode value dies at
+# the parser with the valid choices spelled out instead of surfacing as
+# a traceback from deep inside the engine factory.
+ENGINE_CHOICES = tuple(sorted(set(ENGINES)))
 
 HARDWARE_ARTEFACTS = ("tab1", "tab2", "tab3", "tab4", "asic", "dse")
 TRAINING_ARTEFACTS = ("fig6", "fig7", "fig8", "fig9")
@@ -162,7 +171,11 @@ def _run_fig9(args) -> None:
 def _run_fig6(args) -> None:
     _print_header("Fig. 6: ResNet-18 per-layer spike rates")
     dataset, curve = _curve_and_rates("resnet18", args)
-    stats = spike_rate_experiment(curve, dataset, timesteps=8)
+    stats = spike_rate_experiment(
+        curve, dataset, timesteps=8, input_format=args.input_format
+    )
+    if args.input_format == "events":
+        print("input: rate-encoded COO spike stream (event-driven mode)")
     print(stats.layer_table())
     _print_profile(curve, args)
 
@@ -170,7 +183,11 @@ def _run_fig6(args) -> None:
 def _run_fig8(args) -> None:
     _print_header("Fig. 8: VGG-11 per-layer spike rates")
     dataset, curve = _curve_and_rates("vgg11", args)
-    stats = spike_rate_experiment(curve, dataset, timesteps=8)
+    stats = spike_rate_experiment(
+        curve, dataset, timesteps=8, input_format=args.input_format
+    )
+    if args.input_format == "events":
+        print("input: rate-encoded COO spike stream (event-driven mode)")
     print(stats.layer_table())
     _print_profile(curve, args)
 
@@ -219,7 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--engine",
-        choices=["dense", "event", "batched", "auto"],
+        choices=ENGINE_CHOICES,
         default="dense",
         help="SNN simulation backend for training artefacts: full dense "
         "recompute per timestep, sparse event propagation, "
@@ -237,12 +254,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--shard-mode",
-        choices=["auto", "fork", "thread"],
+        choices=SHARD_MODES,
         default="auto",
         dest="shard_mode",
         help="parallel substrate for --workers > 1: forked processes, "
         "a thread pool (works where fork is unavailable), or pick "
         "automatically",
+    )
+    parser.add_argument(
+        "--input-format",
+        choices=INPUT_FORMATS,
+        default="frames",
+        dest="input_format",
+        help="input presentation for the spike-rate artefacts (fig6/fig8): "
+        "direct-coded analog frames (the PS frame-conversion mode) or "
+        "a rate-encoded COO spike stream (the event-driven input mode)",
     )
     parser.add_argument(
         "--profile",

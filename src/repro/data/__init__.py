@@ -9,7 +9,12 @@ uses (see DESIGN.md §2 for the substitution rationale).
 
 from repro.data.datasets import SyntheticCIFAR, train_test_split
 from repro.data.loaders import DataLoader
-from repro.data.encodings import direct_encode, rate_encode
+from repro.data.encodings import (
+    direct_encode,
+    direct_encode_stream,
+    rate_encode,
+    rate_encode_stream,
+)
 from repro.data.events import EventStream, SyntheticDVS, accumulate_events
 from repro.data.augment import Augmenter, cutout, random_crop, random_horizontal_flip
 
@@ -26,4 +31,6 @@ __all__ = [
     "random_horizontal_flip",
     "cutout",
     "rate_encode",
+    "rate_encode_stream",
+    "direct_encode_stream",
 ]

@@ -13,6 +13,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.snn.spikes import SpikeStream
+
 
 def direct_encode(x: np.ndarray, timesteps: int) -> np.ndarray:
     """Repeat the analog frame at every timestep.
@@ -48,3 +50,51 @@ def rate_encode(
     p = np.zeros_like(x, dtype=np.float32) if span == 0 else (x - lo) / span * max_rate
     draws = rng.random((timesteps,) + x.shape)
     return (draws < p).astype(np.uint8)
+
+
+def direct_encode_stream(x: np.ndarray, timesteps: int) -> SpikeStream:
+    """:func:`direct_encode` as a COO :class:`SpikeStream`.
+
+    The analog frame's nonzero coordinates are extracted once and
+    repeated per timestep with their float amplitudes as per-event
+    values, so ``stream.to_dense()`` reproduces ``direct_encode(x, T)``
+    bit-for-bit without ever materialising the ``(T,) + x.shape``
+    broadcast here.
+    """
+    if timesteps < 1:
+        raise ValueError("timesteps must be >= 1")
+    x = np.asarray(x)
+    where = np.nonzero(x)
+    coords = np.stack(where, axis=1).astype(np.int64)
+    events = coords.shape[0]
+    values = x[where]
+    return SpikeStream(
+        coords=np.tile(coords, (timesteps, 1)),
+        timestep=np.repeat(np.arange(timesteps, dtype=np.int64), events),
+        shape=x.shape,
+        timesteps=timesteps,
+        values=np.tile(values, timesteps),
+    )
+
+
+def rate_encode_stream(
+    x: np.ndarray,
+    timesteps: int,
+    rng: Optional[np.random.Generator] = None,
+    max_rate: float = 1.0,
+) -> SpikeStream:
+    """:func:`rate_encode` emitted directly as a COO :class:`SpikeStream`.
+
+    Draws the same Bernoulli spikes (identical ``rng`` consumption, so
+    ``stream.to_dense()`` equals ``rate_encode(x, T, rng)``) but hands
+    back coordinates instead of a dense ``(T,) + x.shape`` plane — the
+    event-driven input format the accelerator ingests natively.
+    """
+    frames = rate_encode(x, timesteps, rng=rng, max_rate=max_rate)
+    where = np.nonzero(frames)
+    return SpikeStream(
+        coords=np.stack(where[1:], axis=1).astype(np.int64),
+        timestep=where[0].astype(np.int64),
+        shape=frames.shape[1:],
+        timesteps=timesteps,
+    )

@@ -16,9 +16,11 @@ format (binary spike planes per timestep) trivially.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import List, Tuple
 
 import numpy as np
+
+from repro.snn.spikes import SpikeStream
 
 NUM_GESTURES = 4  # right, left, down, diagonal
 
@@ -42,6 +44,25 @@ class EventStream:
     def as_spike_frames(self) -> np.ndarray:
         """(T, 2, H, W) float32 binary frames for the spiking input path."""
         return self.events.astype(np.float32)
+
+    def to_spike_stream(self) -> SpikeStream:
+        """This recording as a batch-1 COO :class:`SpikeStream`.
+
+        Coordinates are extracted straight from the event planes — no
+        float densification — so the stream is the exact event-driven
+        payload the PS would transfer to the SIA (§IV).
+        """
+        t, c, h, w = self.events.shape
+        where = np.nonzero(self.events)
+        coords = np.stack(
+            [np.zeros_like(where[0]), where[1], where[2], where[3]], axis=1
+        )
+        return SpikeStream(
+            coords=coords,
+            timestep=where[0],
+            shape=(1, c, h, w),
+            timesteps=t,
+        )
 
 
 def _motion_for_label(label: int) -> Tuple[int, int]:
@@ -119,6 +140,33 @@ class SyntheticDVS:
 
     def mean_event_rate(self) -> float:
         return float(np.mean([s.event_rate for s in self.train]))
+
+    def spike_stream(self, split: str = "train") -> Tuple[SpikeStream, np.ndarray]:
+        """One batched COO :class:`SpikeStream` (+ labels) for a split.
+
+        Per-sample coordinate blocks are concatenated with the batch
+        index prepended — the whole split travels as a single
+        event-driven payload, never as a dense (N, T, 2, H, W) stack.
+        """
+        samples: List[EventStream] = self.train if split == "train" else self.test
+        coord_blocks, step_blocks = [], []
+        for n, sample in enumerate(samples):
+            where = np.nonzero(sample.events)
+            coord_blocks.append(
+                np.stack(
+                    [np.full_like(where[0], n), where[1], where[2], where[3]],
+                    axis=1,
+                )
+            )
+            step_blocks.append(where[0])
+        stream = SpikeStream(
+            coords=np.concatenate(coord_blocks, axis=0),
+            timestep=np.concatenate(step_blocks),
+            shape=(len(samples), 2, self.height, self.width),
+            timesteps=self.timesteps,
+        )
+        labels = np.array([s.label for s in samples], dtype=np.int64)
+        return stream, labels
 
 
 def accumulate_events(events: np.ndarray, bins: int) -> np.ndarray:

@@ -33,13 +33,19 @@ from repro.pipeline.conversion import (
 from repro.pipeline.trainer import TrainConfig
 from repro.snn import SpikingNetwork, collect_spike_stats, convert_to_snn
 from repro.snn.metrics import SpikeStats
-from repro.snn.stats import RunStats
+from repro.snn.spikes import SpikeTrace
+from repro.snn.stats import RunStats, resolve_layer_rates
 
 # A measured-activity source for the hardware latency/power models:
-# either the RunStats of an actual simulated run (its per-layer input
-# rates are derived via RunStats.input_spike_rates) or an explicit
-# per-synapse-layer input-rate sequence.
-RateSource = Union[RunStats, Sequence[float]]
+# the RunStats of an actual simulated run (its per-layer input rates
+# are derived via RunStats.input_spike_rates), a portable SpikeTrace
+# (RunStats.spike_trace() — observed densities sourced from SpikeStream
+# metadata on stream runs), or an explicit per-synapse-layer
+# input-rate sequence.
+RateSource = Union[RunStats, SpikeTrace, Sequence[float]]
+
+#: Valid input formats for the spike-rate experiments.
+INPUT_FORMATS = ("frames", "events")
 
 
 # ----------------------------------------------------------------------
@@ -124,10 +130,27 @@ def spike_rate_experiment(
     dataset: SyntheticCIFAR,
     timesteps: int = 8,
     max_samples: int = 256,
+    input_format: str = "frames",
 ) -> SpikeStats:
-    """Per-layer average spike rate of the converted network (Fig. 6/8)."""
+    """Per-layer average spike rate of the converted network (Fig. 6/8).
+
+    ``input_format="frames"`` presents the direct-coded analog frames
+    (the PS frame-conversion mode); ``"events"`` rate-encodes the same
+    images into a binary COO :class:`repro.snn.spikes.SpikeStream` and
+    runs the network on the event stream (the accelerator's
+    event-driven input mode), so the reported rates reflect genuinely
+    event-driven input statistics.
+    """
+    if input_format not in INPUT_FORMATS:
+        raise ValueError(
+            f"unknown input_format {input_format!r}; choose from {INPUT_FORMATS}"
+        )
     network: SpikingNetwork = curve.result.snn
     x = dataset.test_x[:max_samples]
+    if input_format == "events":
+        from repro.data.encodings import rate_encode_stream
+
+        x = rate_encode_stream(x, timesteps, rng=np.random.default_rng(0))
     return collect_spike_stats(network, x, timesteps=timesteps)
 
 
@@ -162,27 +185,12 @@ def _layer_input_rates(source: RateSource, n_layers: int) -> List[float]:
     """Resolve a measured-rate source into one input rate per synapse layer.
 
     The latency model bills each layer by the activity of the spike
-    plane *feeding* it, so a :class:`RunStats` is resolved through
-    :meth:`RunStats.input_spike_rates` (frame-fed layers at rate 1.0,
-    like the PS-side frame conv).  Layer counts must match the mapped
-    geometry — a mismatch means the stats came from a different
-    architecture, which is a caller error worth failing loudly on.
+    plane *feeding* it; resolution (RunStats / SpikeTrace / explicit
+    sequence, with the mapper's shortcut-folding fallback) is the
+    shared :func:`repro.snn.stats.resolve_layer_rates`, the same
+    resolver the traffic model uses.
     """
-    if isinstance(source, RunStats):
-        rates = source.input_spike_rates()
-        if len(rates) != n_layers:
-            # The mapper folds ResNet projection shortcuts into the
-            # main mapped layer as an auxiliary pass, so a simulated
-            # run reports more synapse layers than the programme maps.
-            rates = source.input_spike_rates(skip=lambda name: "shortcut" in name)
-    else:
-        rates = [float(r) for r in source]
-    if len(rates) != n_layers:
-        raise ValueError(
-            f"measured rates cover {len(rates)} synapse layers but the mapped "
-            f"network has {n_layers}; stats must come from the same architecture"
-        )
-    return rates
+    return resolve_layer_rates(source, n_layers)
 
 
 def table1_experiment(
@@ -274,11 +282,12 @@ def table3_experiment(arch: ArchConfig = PYNQ_Z2) -> List[dict]:
 def table4_experiment(
     arch: ArchConfig = PYNQ_Z2,
     power_watts: float = 1.54,
-    run_stats: Optional[RunStats] = None,
+    run_stats: Optional[Union[RunStats, SpikeTrace]] = None,
 ) -> Dict[str, object]:
     """This-work column + prior art + the 2x / 4.5x headline ratios.
 
-    ``run_stats`` (from any simulated run) additionally reports the
+    ``run_stats`` (a simulated run's :class:`RunStats` or its portable
+    :class:`repro.snn.spikes.SpikeTrace`) additionally reports the
     *measured* event-driven throughput: the core executes only the
     performed synaptic ops but delivers the dense network's work, so
     the dense-equivalent rate is ``peak GOPS x dense/performed ops`` —

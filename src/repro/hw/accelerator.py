@@ -25,6 +25,7 @@ from repro.hw.config import ArchConfig, LayerKind
 from repro.hw.core import CoreRunStats, SpikingCore
 from repro.hw.fixed import fixed_mul, saturate
 from repro.hw.mapper import MappedLayer, MappedNetwork
+from repro.snn.spikes import SpikeStream
 from repro.snn.stats import LayerStats, RunStats
 from repro.tensor.functional import im2col
 
@@ -50,22 +51,56 @@ class SpikingInferenceAccelerator:
 
     # ------------------------------------------------------------------
     def run(
-        self, x: np.ndarray, timesteps: int = 8
+        self, x, timesteps: Optional[int] = None
     ) -> tuple[np.ndarray, RunReport]:
         """Run a batch of frames; returns (logits, report).
 
-        ``x`` is float (N, C, H, W); logits are float (N, classes),
-        reconstructed from the integer accumulators with the mapped
-        output scale.
+        ``x`` is float (N, C, H, W) for the PS frame-conversion input
+        mode (``timesteps`` defaults to 8), or a binary COO
+        :class:`repro.snn.spikes.SpikeStream` for the event-driven
+        input mode (§IV: event streams transfer directly to the SIA) —
+        then ``timesteps`` comes from the stream (an explicit mismatch
+        fails loudly, like the simulation engines) and the first layer
+        executes on the spiking core like any other spiking layer (no
+        PS-side frame convolution and no frame-psum reuse: every
+        timestep carries fresh events).  Logits are float
+        (N, classes), reconstructed from the integer accumulators with
+        the mapped output scale.
         """
-        if x.ndim != 4:
-            raise ValueError("x must be (N, C, H, W)")
-        if timesteps < 1:
-            raise ValueError("timesteps must be >= 1")
-        n = x.shape[0]
-        frame_int = np.clip(
-            np.round(x / self.network.input_scale), -128, 127
-        ).astype(np.int64)
+        event_input = isinstance(x, SpikeStream)
+        if event_input:
+            if timesteps is not None and timesteps != x.timesteps:
+                raise ValueError(
+                    f"timesteps ({timesteps}) must match the input stream's "
+                    f"({x.timesteps}); a SpikeStream carries its own time axis"
+                )
+            if x.values is not None:
+                raise ValueError(
+                    "event-driven accelerator input must be a binary "
+                    "SpikeStream (per-event values are not transferable "
+                    "as single-bit spikes)"
+                )
+            first = self.network.layers[0].config
+            expected = (first.in_channels, first.in_height, first.in_width)
+            if tuple(x.shape[1:]) != expected:
+                raise ValueError(
+                    f"stream plane shape {tuple(x.shape[1:])} does not match "
+                    f"the mapped network's input {expected}"
+                )
+            n = x.batch_size
+            timesteps = x.timesteps
+            frame_int = None
+        else:
+            x = np.asarray(x)
+            if x.ndim != 4:
+                raise ValueError("x must be (N, C, H, W)")
+            timesteps = 8 if timesteps is None else timesteps
+            if timesteps < 1:
+                raise ValueError("timesteps must be >= 1")
+            n = x.shape[0]
+            frame_int = np.clip(
+                np.round(x / self.network.input_scale), -128, 127
+            ).astype(np.int64)
 
         stats = [
             LayerRunStats(name=l.name, kind=l.config.kind.value)
@@ -78,16 +113,19 @@ class SpikingInferenceAccelerator:
         # frame convolution is computed once and reused every step.
         frame_psums: Dict[int, np.ndarray] = {}
 
-        for _ in range(timesteps):
+        for t in range(timesteps):
             outputs.clear()
+            step_int = (
+                x.step(t).to_dense(np.int64) if event_input else frame_int
+            )
             for idx, layer in enumerate(self.network.layers):
                 spikes_in = (
-                    frame_int if layer.input_index < 0 else outputs[layer.input_index]
+                    step_int if layer.input_index < 0 else outputs[layer.input_index]
                 )
                 if layer.spiking:
                     spikes_out = self._run_spiking_layer(
                         idx, layer, spikes_in, outputs, membranes, stats[idx],
-                        frame_psums,
+                        frame_psums, event_input,
                     )
                     outputs[idx] = spikes_out
                 else:
@@ -100,20 +138,27 @@ class SpikingInferenceAccelerator:
 
         assert logits_int is not None, "network has no output layer"
         logits = logits_int.astype(np.float64) * self.network.layers[-1].output_scale
+        engine = "sia-event" if self.event_driven else "sia-dense"
+        if event_input:
+            engine += "-stream"
         report = RunReport(
             batch_size=n,
             timesteps=timesteps,
             layers=stats,
-            engine="sia-event" if self.event_driven else "sia-dense",
+            engine=engine,
         )
         return logits, report
 
-    def predict(self, x: np.ndarray, timesteps: int = 8) -> np.ndarray:
+    def predict(self, x, timesteps: Optional[int] = None) -> np.ndarray:
         logits, _ = self.run(x, timesteps)
         return logits.argmax(axis=-1)
 
     def accuracy(
-        self, x: np.ndarray, y: np.ndarray, timesteps: int = 8, batch_size: int = 128
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        timesteps: Optional[int] = None,
+        batch_size: int = 128,
     ) -> float:
         correct = 0
         for start in range(0, len(x), batch_size):
@@ -147,9 +192,10 @@ class SpikingInferenceAccelerator:
         membranes: Dict[int, np.ndarray],
         stat: LayerRunStats,
         frame_psums: Dict[int, np.ndarray],
+        event_input: bool = False,
     ) -> np.ndarray:
         c = layer.config
-        if layer.frame_input:
+        if layer.frame_input and not event_input:
             if idx not in frame_psums:
                 frame_psums[idx] = self._frame_psum(layer, spikes_in)
             psum = frame_psums[idx]

@@ -9,15 +9,32 @@ and in total, the bytes moved per inference — weights, input spikes,
 output spikes, membrane swap traffic (for layers whose membranes exceed
 the ping-pong capacity), residual partial sums, and configuration — and
 the implied DDR bandwidth at a target frame rate.
+
+Spike traffic supports two transfer encodings.  By default every spike
+plane is billed as a full binary bitmap (one bit per neuron per
+timestep — the dense worst case).  Given *measured* activity — a
+:class:`repro.snn.spikes.SpikeTrace`, the :class:`repro.snn.stats.
+RunStats` of a simulated run, or an input :class:`repro.snn.spikes.
+SpikeStream` whose coordinates are counted directly — each plane is
+billed at ``min(bitmap, events x address_bytes)``: the PS ships
+whichever of bitmap or address-event (AER) coding is smaller for the
+observed density, so DRAM bytes follow actual event coordinates
+instead of an assumed rate.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Sequence, Union
 
 from repro.hw.config import ArchConfig, LayerKind
 from repro.hw.mapper import MappedLayer, MappedNetwork
+from repro.snn.spikes import SpikeStream, SpikeTrace
+from repro.snn.stats import RunStats, resolve_layer_rates
+
+#: A measured-activity source: per-synapse-layer input rates.
+RateSource = Union[RunStats, SpikeTrace, Sequence[float]]
 
 
 @dataclass(frozen=True)
@@ -48,6 +65,7 @@ class LayerTraffic:
 class TrafficReport:
     layers: List[LayerTraffic]
     timesteps: int
+    measured: bool = False  # spike bytes derived from observed activity
 
     @property
     def total_bytes(self) -> int:
@@ -75,7 +93,46 @@ class TrafficModel:
     def __init__(self, arch: ArchConfig) -> None:
         self.arch = arch
 
-    def layer_traffic(self, layer: MappedLayer, timesteps: int) -> LayerTraffic:
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _event_coded_bytes(neurons: int, rate: float, timesteps: int) -> int:
+        """AER transfer cost: one address word per event."""
+        addr_bits = max(int(neurons - 1).bit_length(), 1)
+        addr_bytes = -(-addr_bits // 8)
+        events = rate * neurons * timesteps
+        return int(math.ceil(events * addr_bytes))
+
+    def _spike_plane_bytes(
+        self, neurons: int, timesteps: int, rate: Optional[float]
+    ) -> int:
+        """Bytes to move one spike plane for T timesteps.
+
+        Unknown activity ships the full bitmap; measured activity ships
+        whichever of bitmap and address-event coding is smaller.
+        """
+        bitmap = (-(-neurons // 8)) * timesteps
+        if rate is None:
+            return bitmap
+        return min(bitmap, self._event_coded_bytes(neurons, rate, timesteps))
+
+    def layer_traffic(
+        self,
+        layer: MappedLayer,
+        timesteps: int,
+        input_rate: Optional[float] = None,
+        output_rate: Optional[float] = None,
+        frame_as_events: bool = False,
+    ) -> LayerTraffic:
+        """Transfer volume of one layer, optionally at measured rates.
+
+        ``input_rate`` / ``output_rate`` are the observed nonzero
+        fractions of the layer's input and output spike planes (e.g.
+        from a :class:`repro.snn.spikes.SpikeTrace`); ``None`` bills
+        the dense bitmap.  ``frame_as_events`` marks a frame-input
+        layer that is actually fed binary events (the event-driven
+        input mode), whose inbound transfer is spike-coded rather than
+        an INT8 frame.
+        """
         c = layer.config
         psum_bytes = self.arch.psum_bits // 8
 
@@ -83,12 +140,17 @@ class TrafficModel:
         if layer.residual_projection is not None:
             weight_bytes += int(layer.residual_projection.weights_int.size)
 
-        if layer.frame_input:
-            in_bits = c.in_neurons * self.arch.adder_bits  # INT8 frame
+        if layer.frame_input and not frame_as_events:
+            # INT8 analog frame: always a dense transfer, rate or not.
+            in_bits = c.in_neurons * self.arch.adder_bits
+            spike_in = (-(-in_bits // 8)) * timesteps
         else:
-            in_bits = c.in_neurons  # binary spikes
-        spike_in = (-(-in_bits // 8)) * timesteps
-        spike_out = (-(-c.out_neurons // 8)) * timesteps if layer.spiking else 0
+            spike_in = self._spike_plane_bytes(c.in_neurons, timesteps, input_rate)
+        spike_out = (
+            self._spike_plane_bytes(c.out_neurons, timesteps, output_rate)
+            if layer.spiking
+            else 0
+        )
 
         # Membrane swap: layers whose 16-bit state exceeds one ping-pong
         # half stream the overflow through DDR every timestep (read +
@@ -117,7 +179,48 @@ class TrafficModel:
         )
 
     def network_traffic(
-        self, network: MappedNetwork, timesteps: int = 8
+        self,
+        network: MappedNetwork,
+        timesteps: int = 8,
+        measured: Optional[RateSource] = None,
+        input_stream: Optional[SpikeStream] = None,
     ) -> TrafficReport:
-        layers = [self.layer_traffic(l, timesteps) for l in network.layers]
-        return TrafficReport(layers=layers, timesteps=timesteps)
+        """Whole-network traffic, optionally from measured spike activity.
+
+        ``measured`` supplies one observed input rate per mapped
+        synapse layer (a :class:`repro.snn.spikes.SpikeTrace`, a
+        simulated run's :class:`repro.snn.stats.RunStats`, or an
+        explicit sequence); each layer's output rate is read off the
+        next layer's input rate (exact for chains, the same
+        approximation the latency model makes at residual merges).
+        ``input_stream`` counts the first layer's inbound events
+        straight from COO coordinates — and supplies ``timesteps`` —
+        for the event-driven input mode.
+        """
+        if input_stream is not None:
+            timesteps = input_stream.timesteps
+        rates: List[Optional[float]] = [None] * len(network.layers)
+        if measured is not None:
+            # The shared resolver (RunStats / SpikeTrace / sequence,
+            # with the mapper's shortcut-folding fallback).
+            rates = list(resolve_layer_rates(measured, len(network.layers)))
+        if input_stream is not None and network.layers:
+            # Observed mean density of the inbound event stream itself.
+            rates[0] = input_stream.density
+        layers = []
+        for idx, layer in enumerate(network.layers):
+            out_rate = rates[idx + 1] if idx + 1 < len(rates) else None
+            layers.append(
+                self.layer_traffic(
+                    layer,
+                    timesteps,
+                    input_rate=rates[idx],
+                    output_rate=out_rate,
+                    frame_as_events=(idx == 0 and input_stream is not None),
+                )
+            )
+        return TrafficReport(
+            layers=layers,
+            timesteps=timesteps,
+            measured=measured is not None or input_stream is not None,
+        )

@@ -25,6 +25,7 @@ from repro.snn.dynamics import (
 )
 from repro.snn.neurons import IFNeuron, LIFNeuron
 from repro.snn.convert import convert_to_snn, spiking_layers
+from repro.snn.spikes import SpikeStream, SpikeTrace, StepSpikes
 from repro.snn.stats import LayerStats, RunStats
 from repro.snn.engines import (
     AutoEngine,
@@ -76,6 +77,9 @@ __all__ = [
     "make_engine",
     "LayerStats",
     "RunStats",
+    "SpikeStream",
+    "SpikeTrace",
+    "StepSpikes",
     "SpikeStats",
     "collect_spike_stats",
 ]

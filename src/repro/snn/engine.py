@@ -18,6 +18,8 @@ from repro.snn.engines import (
     AutoEngine,
     DenseEngine,
     ENGINES,
+    conv_active_windows,
+    pooled_coords,
     EngineRun,
     EngineSpec,
     ExecutionPlan,
@@ -54,9 +56,11 @@ __all__ = [
     "TimeBatchedEngine",
     "WEIGHT_CACHE_CAPACITY",
     "clone_for_inference",
+    "conv_active_windows",
     "dense_conv2d",
     "fork_available",
     "make_engine",
+    "pooled_coords",
     "profiled_call",
     "resolve_shard_mode",
     "sparse_conv2d",

@@ -62,7 +62,13 @@ from repro.snn.engines.base import (
 )
 from repro.snn.engines.batched import TimeBatchedEngine
 from repro.snn.engines.dense import DenseEngine, dense_conv2d
-from repro.snn.engines.event import SparseEventEngine, sparse_conv2d, sparse_linear
+from repro.snn.engines.event import (
+    SparseEventEngine,
+    conv_active_windows,
+    pooled_coords,
+    sparse_conv2d,
+    sparse_linear,
+)
 from repro.snn.engines.profiling import profiled_call
 from repro.snn.engines.sharding import (
     SHARD_MODES,
@@ -117,9 +123,11 @@ __all__ = [
     "TimeBatchedEngine",
     "WEIGHT_CACHE_CAPACITY",
     "clone_for_inference",
+    "conv_active_windows",
     "dense_conv2d",
     "fork_available",
     "make_engine",
+    "pooled_coords",
     "profiled_call",
     "resolve_shard_mode",
     "sparse_conv2d",

@@ -39,6 +39,9 @@ layer's :class:`repro.snn.stats.LayerStats` records which backend ran
 
 from __future__ import annotations
 
+import json
+import logging
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
@@ -49,10 +52,16 @@ from repro.nn.layers import Conv2d
 from repro.snn.engines.base import LRUCache, _dense_op_count, _effective_weight
 from repro.snn.engines.batched import TimeBatchedEngine
 from repro.snn.engines.event import sparse_conv2d, sparse_linear
+from repro.snn.spikes import SpikeStream
 from repro.tensor import Tensor
+
+logger = logging.getLogger(__name__)
 
 #: Distinct (input shape, T) execution plans kept per engine.
 PLAN_CACHE_CAPACITY = 8
+
+#: On-disk format tag for persisted execution plans.
+PLAN_FILE_FORMAT = "repro-execution-plans/v1"
 
 
 @dataclass
@@ -68,7 +77,16 @@ class LayerDecision:
 
 @dataclass
 class ExecutionPlan:
-    """A compiled per-layer backend assignment for one (shape, T) key."""
+    """A compiled per-layer backend assignment for one (kind, shape, T) key.
+
+    ``key`` is ``(input_kind, input_shape, timesteps)`` where
+    ``input_kind`` is ``"dense"`` for direct-coded frames and
+    ``"stream"`` for COO spike-stream input — the two present very
+    different densities to the layers, so they never share a plan.
+    Plans serialise to JSON (:meth:`to_json` / :meth:`from_json`) so a
+    compiled plan can persist beside a model checkpoint and be reloaded
+    by another process (``AutoEngine(plan_path=...)``).
+    """
 
     key: Tuple
     decisions: Dict[str, LayerDecision] = field(default_factory=dict)
@@ -80,6 +98,68 @@ class ExecutionPlan:
     @property
     def event_layers(self) -> int:
         return sum(1 for d in self.decisions.values() if d.backend == "event")
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """This plan as a JSON-serialisable dict."""
+        kind, shape, timesteps = self.key
+        return {
+            "format": PLAN_FILE_FORMAT,
+            "key": {
+                "input_kind": kind,
+                "input_shape": list(shape),
+                "timesteps": timesteps,
+            },
+            "decisions": [
+                {
+                    "name": d.name,
+                    "backend": d.backend,
+                    "density": d.density,
+                    "gemm_seconds": d.gemm_seconds,
+                    "event_seconds": d.event_seconds,
+                }
+                for d in self.decisions.values()
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ExecutionPlan":
+        """Rebuild a plan from a :meth:`to_payload` dict."""
+        if payload.get("format") != PLAN_FILE_FORMAT:
+            raise ValueError(
+                f"not an execution plan document (format "
+                f"{payload.get('format')!r}, expected {PLAN_FILE_FORMAT!r})"
+            )
+        key_info = payload["key"]
+        plan = cls(
+            key=(
+                str(key_info["input_kind"]),
+                tuple(int(s) for s in key_info["input_shape"]),
+                int(key_info["timesteps"]),
+            )
+        )
+        for entry in payload["decisions"]:
+            plan.decisions[entry["name"]] = LayerDecision(
+                name=entry["name"],
+                backend=entry["backend"],
+                density=float(entry["density"]),
+                gemm_seconds=float(entry["gemm_seconds"]),
+                event_seconds=(
+                    None
+                    if entry["event_seconds"] is None
+                    else float(entry["event_seconds"])
+                ),
+            )
+        return plan
+
+    def to_json(self) -> str:
+        """This plan as a standalone JSON document."""
+        return json.dumps(self.to_payload(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExecutionPlan":
+        """Rebuild a plan serialised by :meth:`to_json`."""
+        return cls.from_payload(json.loads(text))
 
 
 @dataclass
@@ -109,6 +189,18 @@ class AutoEngine(TimeBatchedEngine):
         The event kernel must beat the measured GEMM by this factor to
         be chosen (< 1.0 adds hysteresis against timing noise, so a
         borderline layer stays on the safe GEMM path).
+    drift_threshold:
+        The drift guard: after a planned run, each layer's *observed*
+        input density is compared with the density the plan was
+        calibrated at; if the worst relative deviation exceeds this
+        threshold the plan is dropped (one log line,
+        ``RunStats.replan_triggered``) so the next run recalibrates —
+        the software twin of the mapper re-measuring when the workload
+        distribution shifts.
+    plan_path:
+        Optional JSON file persisting compiled plans across processes
+        (kept beside model checkpoints).  Existing plans are loaded at
+        construction; every fresh calibration rewrites the file.
     """
 
     name = "auto"
@@ -117,6 +209,8 @@ class AutoEngine(TimeBatchedEngine):
         self,
         density_threshold: float = 0.5,
         margin: float = 0.9,
+        drift_threshold: float = 0.5,
+        plan_path: Optional[str] = None,
         profile_layers: bool = True,
     ) -> None:
         # Calibration *is* the per-layer profile, so profiling stays on
@@ -126,17 +220,33 @@ class AutoEngine(TimeBatchedEngine):
             raise ValueError("density_threshold must be in (0, 1]")
         if not 0.0 < margin <= 1.0:
             raise ValueError("margin must be in (0, 1]")
+        if drift_threshold <= 0.0:
+            raise ValueError("drift_threshold must be > 0")
         self.density_threshold = density_threshold
         self.margin = margin
+        self.drift_threshold = drift_threshold
+        self.plan_path = plan_path
         self.calibration_runs = 0
+        self.replans_triggered = 0
         self._plans = LRUCache(PLAN_CACHE_CAPACITY)
         self._active_plan: Optional[ExecutionPlan] = None
         self._calibration: Optional[Dict[str, _Capture]] = None
+        # Single-writer guard for the plan file: fork-pool children
+        # inherit this engine (and plan_path) copy-on-write, but only
+        # the owning process persists — children ship plans/evictions
+        # back on the EngineRun for the parent to absorb and write.
+        self._owner_pid = os.getpid()
+        if plan_path is not None:
+            self.load_plans(plan_path, missing_ok=True)
 
     def _config(self) -> dict:
+        # plan_path is deliberately not inherited by thread-shard
+        # siblings: they share this engine's plan cache already, and
+        # the parent is the single writer of the persistence file.
         config = super()._config()
         config["density_threshold"] = self.density_threshold
         config["margin"] = self.margin
+        config["drift_threshold"] = self.drift_threshold
         return config
 
     def _share_caches(self, peer: "AutoEngine") -> None:
@@ -144,12 +254,73 @@ class AutoEngine(TimeBatchedEngine):
         peer._plans = self._plans
 
     # ------------------------------------------------------------------
-    def plan_for(self, input_shape, timesteps: int) -> Optional[ExecutionPlan]:
+    # Plan persistence
+    # ------------------------------------------------------------------
+    def save_plans(self, path: Optional[str] = None) -> None:
+        """Write every cached plan to ``path`` (default: ``plan_path``).
+
+        The write is atomic (temp file + rename) so a concurrent
+        ``AutoEngine(plan_path=...)`` in another process never reads a
+        torn document.
+        """
+        path = path if path is not None else self.plan_path
+        if path is None:
+            raise ValueError("no path given and no plan_path configured")
+        payload = {
+            "format": PLAN_FILE_FORMAT,
+            "plans": [plan.to_payload() for _, plan in self._plans.items()],
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    def load_plans(self, path: Optional[str] = None, missing_ok: bool = False) -> int:
+        """Load persisted plans into the cache; returns how many."""
+        path = path if path is not None else self.plan_path
+        if path is None:
+            raise ValueError("no path given and no plan_path configured")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            if missing_ok:
+                return 0
+            raise
+        if payload.get("format") != PLAN_FILE_FORMAT:
+            raise ValueError(
+                f"{path} is not an execution-plan file "
+                f"(format {payload.get('format')!r})"
+            )
+        count = 0
+        for entry in payload.get("plans", []):
+            plan = ExecutionPlan.from_payload(dict(entry, format=PLAN_FILE_FORMAT))
+            self._plans.put(plan.key, plan)
+            count += 1
+        return count
+
+    def _persist_plans(self) -> None:
+        # Fork children inherit plan_path but must not write: their
+        # copy-on-write cache is partial, and concurrent writers would
+        # race on the file.  The parent persists on absorb.
+        if self.plan_path is not None and os.getpid() == self._owner_pid:
+            self.save_plans(self.plan_path)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _plan_key(x, timesteps: int) -> Tuple:
+        kind = "stream" if isinstance(x, SpikeStream) else "dense"
+        return (kind, tuple(x.shape), int(timesteps))
+
+    def plan_for(
+        self, input_shape, timesteps: int, kind: str = "dense"
+    ) -> Optional[ExecutionPlan]:
         """The cached plan for a full input shape (batch included) and T."""
-        return self._plans.get((tuple(input_shape), int(timesteps)))
+        return self._plans.get((kind, tuple(input_shape), int(timesteps)))
 
     def _run_single(self, x, timesteps, per_step):
-        key = (tuple(np.asarray(x).shape), int(timesteps))
+        key = self._plan_key(x, timesteps)
         plan = self._plans.get(key)
         self._active_plan = plan
         self._calibration = {} if plan is None else None
@@ -159,11 +330,19 @@ class AutoEngine(TimeBatchedEngine):
                 plan = self._compile_plan(key, self._calibration)
                 self._plans.put(key, plan)
                 self.calibration_runs += 1
+                self._persist_plans()
                 # Ship the fresh plan back on the run: a fork-pool shard
                 # compiles in a throwaway child process, and only this
                 # payload (absorbed by the parent's _absorb_shard_runs)
                 # gets it into the surviving cache.
                 run.plan = plan
+            else:
+                if self._check_drift(key, plan, run.stats):
+                    # Like a fresh plan, an eviction must ride back to
+                    # the parent: a fork shard pops only its throwaway
+                    # copy-on-write cache, and thread siblings carry no
+                    # plan_path, so the parent re-drops and re-persists.
+                    run.dropped_plan_key = key
             for layer in run.stats.layers:
                 if layer.kind == "neuron":
                     layer.backend = "stepped"
@@ -174,10 +353,61 @@ class AutoEngine(TimeBatchedEngine):
             self._active_plan = None
             self._calibration = None
 
+    def _check_drift(self, key, plan: ExecutionPlan, stats) -> bool:
+        """Drop the plan when observed densities left its calibration.
+
+        Relative drift is ``|observed - calibrated| / calibrated`` per
+        planned synapse layer; crossing ``drift_threshold`` on any
+        layer means the GEMM/event crossover the plan encodes was
+        measured on a different activity regime (distribution shift),
+        so the plan is evicted and the next run recalibrates.  Layers
+        whose *absolute* deviation is tiny are ignored: near-silent
+        layers naturally vary by large relative factors between batches
+        without moving the GEMM/gather crossover, and billing them
+        would make the guard oscillate calibrate/drop forever.  Returns
+        whether the plan was dropped.
+        """
+        worst = 0.0
+        for layer in stats.layers:
+            decision = plan.decisions.get(layer.name)
+            if decision is None or layer.input_size == 0:
+                continue
+            deviation = abs(layer.input_density - decision.density)
+            if deviation < 0.01:  # below any kernel crossover's resolution
+                continue
+            worst = max(worst, deviation / max(decision.density, 1e-6))
+        stats.plan_drift = worst
+        if worst <= self.drift_threshold:
+            return False
+        stats.replan_triggered = True
+        self.replans_triggered += 1
+        self._plans.pop(key)
+        self._persist_plans()
+        logger.info(
+            "auto engine: observed layer density drifted %.0f%% from the "
+            "compiled plan's calibration (threshold %.0f%%); plan %s "
+            "dropped, next run recalibrates",
+            worst * 100.0,
+            self.drift_threshold * 100.0,
+            key,
+        )
+        return True
+
     def _absorb_shard_runs(self, runs) -> None:
+        changed = False
         for run in runs:
-            if run is not None and run.plan is not None:
+            if run is None:
+                continue
+            if run.plan is not None:
                 self._plans.put(run.plan.key, run.plan)
+                changed = True
+            if run.dropped_plan_key is not None:
+                # Re-drop in the surviving cache (a no-op for thread
+                # siblings, which share it) and rewrite the plan file.
+                self._plans.pop(run.dropped_plan_key)
+                changed = True
+        if changed:
+            self._persist_plans()
 
     # ------------------------------------------------------------------
     def _compile_plan(

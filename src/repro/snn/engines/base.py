@@ -33,6 +33,7 @@ from repro.snn.engines.sharding import (
     run_batch_shards,
 )
 from repro.snn.neurons import IFNeuron
+from repro.snn.spikes import SpikeStream
 from repro.snn.stats import LayerStats, RunStats
 from repro.tensor import Tensor, no_grad
 
@@ -41,16 +42,18 @@ from repro.tensor import Tensor, no_grad
 class EngineRun:
     """Result of one engine invocation.
 
-    ``plan`` is an engine-private payload shipped back from shard
-    workers (picklable, so it survives the fork-pool return trip): the
-    auto engine uses it to hand a freshly compiled execution plan from
-    a worker process back to the parent's plan cache.
+    ``plan`` and ``dropped_plan_key`` are engine-private payloads
+    shipped back from shard workers (picklable, so they survive the
+    fork-pool return trip): the auto engine uses them to hand a freshly
+    compiled execution plan — or a drift-guard eviction — from a worker
+    back to the parent's surviving plan cache.
     """
 
     logits: np.ndarray
     stats: RunStats
     per_step: Optional[List[np.ndarray]] = None
     plan: Optional[object] = None
+    dropped_plan_key: Optional[Tuple] = None
 
 
 # ----------------------------------------------------------------------
@@ -86,6 +89,16 @@ class LRUCache:
             self._data.move_to_end(key)
             while len(self._data) > self.capacity:
                 self._data.popitem(last=False)
+
+    def pop(self, key, default=None):
+        """Remove and return an entry (drift-triggered plan invalidation)."""
+        with self._lock:
+            return self._data.pop(key, default)
+
+    def items(self) -> List[Tuple]:
+        """Snapshot of (key, value) pairs, least-recently-used first."""
+        with self._lock:
+            return list(self._data.items())
 
     def clear(self) -> None:
         with self._lock:
@@ -269,6 +282,11 @@ class SimulationEngine(abc.ABC):
         arrays — BLAS releases the GIL on the hot GEMMs, and it works
         where fork is unavailable), or ``"auto"`` (fork where the
         platform has it, threads otherwise).
+
+        ``x`` may also be a COO :class:`repro.snn.spikes.SpikeStream`
+        — per-timestep input planes instead of one direct-coded frame.
+        The stream's ``timesteps`` must match ``timesteps``, and shards
+        slice the stream's batch axis exactly like a dense batch.
         """
         if self.model is None:
             raise RuntimeError("engine is not bound to a model; call bind() first")
@@ -280,7 +298,14 @@ class SimulationEngine(abc.ABC):
             raise ValueError(
                 f"unknown shard_mode {shard_mode!r}; choose from {SHARD_MODES}"
             )
-        x = np.asarray(x)
+        if isinstance(x, SpikeStream):
+            if timesteps != x.timesteps:
+                raise ValueError(
+                    f"timesteps ({timesteps}) must match the input stream's "
+                    f"({x.timesteps}); a SpikeStream carries its own time axis"
+                )
+        else:
+            x = np.asarray(x)
         workers = min(int(workers), max(int(x.shape[0]), 1))
         if workers == 1:
             # No sharding happens: don't demand a working fork (a
@@ -361,13 +386,20 @@ class SimulationEngine(abc.ABC):
         Subclasses may restructure the whole schedule (e.g. the
         time-batched engine runs the model once over a ``(T*N, ...)``
         stack).
+
+        Dense inputs present the *same* direct-coded frame Tensor every
+        timestep (its stable array identity is what enables the event
+        engine's frame-psum reuse); a :class:`SpikeStream` presents one
+        materialised plane per timestep via :meth:`_stream_step_input`.
         """
         total: Optional[np.ndarray] = None
         outputs: Optional[List[np.ndarray]] = [] if per_step else None
-        inp = Tensor(x)
+        stream = isinstance(x, SpikeStream)
+        inp = None if stream else Tensor(x)
         with no_grad():
-            for _ in range(timesteps):
-                logits = self.model(inp).data
+            for t in range(timesteps):
+                step_in = self._stream_step_input(x, t) if stream else inp
+                logits = self.model(step_in).data
                 if total is None:
                     total = logits.copy()
                 else:
@@ -375,6 +407,15 @@ class SimulationEngine(abc.ABC):
                 if outputs is not None:
                     outputs.append(total.copy())
         return total, outputs
+
+    def _stream_step_input(self, stream: SpikeStream, t: int) -> Tensor:
+        """Materialise one timestep of a COO input stream.
+
+        The default densifies the step's coordinates; the event engine
+        overrides this to also register the coordinates so downstream
+        layers consume them without re-deriving sparsity from the plane.
+        """
+        return Tensor(stream.step(t).to_dense())
 
     def _all_layers_in_order(self) -> List[Tuple[str, Module]]:
         """Synapse and neuron layers interleaved in graph (registration) order."""
@@ -402,6 +443,16 @@ class SimulationEngine(abc.ABC):
         run the module's own forward (the time-outer engines)."""
         return None
 
+    def _input_nonzero_of(self, data: np.ndarray) -> Optional[int]:
+        """Known nonzero count of an input plane, or None to scan it.
+
+        The profiler asks here before paying a ``count_nonzero`` pass;
+        the event engine answers from carried stream metadata (COO
+        coordinates), so stream-fed layers record density without ever
+        re-deriving it from the dense plane.
+        """
+        return None
+
     def _set_forward(self, module: Module, forward: Callable) -> None:
         object.__setattr__(module, "forward", forward)
         self._installed.append(module)
@@ -416,7 +467,12 @@ class SimulationEngine(abc.ABC):
             stat = synapse_stats[name]
             interceptor = self._make_interceptor(module, stat, module.forward)
             if self.profile_layers:
-                interceptor = profiled_call(interceptor, stat, record_density=True)
+                interceptor = profiled_call(
+                    interceptor,
+                    stat,
+                    record_density=True,
+                    nonzero_of=self._input_nonzero_of,
+                )
             self._set_forward(module, interceptor)
         for name, module in self._neuron_modules:
             stat = neuron_stats[name]

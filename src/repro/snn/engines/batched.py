@@ -18,6 +18,7 @@ from repro.snn.engines.base import (
 )
 from repro.snn.engines.dense import dense_conv2d
 from repro.snn.neurons import IFNeuron
+from repro.snn.spikes import SpikeStream
 from repro.snn.stats import LayerStats
 from repro.tensor import Tensor, no_grad
 
@@ -77,12 +78,22 @@ class TimeBatchedEngine(SimulationEngine):
 
     # ------------------------------------------------------------------
     def _execute(
-        self, x: np.ndarray, timesteps: int, per_step: bool
+        self, x, timesteps: int, per_step: bool
     ) -> Tuple[np.ndarray, Optional[List[np.ndarray]]]:
         n = int(x.shape[0])
         self._run_timesteps = timesteps
         self._run_batch = n
-        tiled = self._tile_constant(x)
+        if isinstance(x, SpikeStream):
+            # A COO stream is genuinely time-varying: densify it once
+            # into the (T*N, ...) stack (t-major, the engine's stacking
+            # convention) with no constant-tiling tag, so every layer
+            # runs over the full stack.
+            dense = x.to_dense(np.float32)
+            tiled = np.ascontiguousarray(
+                dense.reshape((timesteps * n,) + dense.shape[2:])
+            )
+        else:
+            tiled = self._tile_constant(x)
         with no_grad():
             out = self.model(Tensor(tiled)).data
         stepped = out.reshape((timesteps, n) + out.shape[1:])

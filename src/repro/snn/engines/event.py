@@ -7,6 +7,15 @@ the batch) and multiplying only that submatrix — per-timestep matmul
 cost scales with spike rate, mirroring the paper's aggregation core.
 Dense inputs (the analog input frame, like the PS-side frame conv in
 §IV) fall back to the dense kernel.
+
+The engine speaks :class:`repro.snn.spikes.SpikeStream` natively: a
+COO input stream is stepped through the network while the engine
+carries each plane's coordinates alongside it — neuron layers register
+their output spikes' coordinates, pooling layers map coordinates
+through the window geometry — so active-row selection, gather sizing,
+density recording and ``performed_ops`` all come straight from event
+coordinates (:func:`conv_active_windows`) instead of being re-derived
+by scanning densified planes at every layer.
 """
 
 from __future__ import annotations
@@ -15,18 +24,97 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.nn.layers import Conv2d
+from repro.nn.layers import AvgPool2d, Conv2d, MaxPool2d
 from repro.nn.module import Module
 from repro.snn.engines.base import (
     LRUCache,
     SimulationEngine,
     WEIGHT_CACHE_CAPACITY,
+    _conv_out_size,
     _dense_op_count,
     _effective_weight,
 )
 from repro.snn.engines.dense import dense_conv2d
+from repro.snn.spikes import SpikeStream, StepSpikes
 from repro.tensor import Tensor
 from repro.tensor.functional import im2col
+
+
+def conv_active_windows(
+    coords: np.ndarray,
+    x_shape: Tuple[int, ...],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> Tuple[np.ndarray, int]:
+    """Active im2col rows and nonzero-entry count, from coordinates only.
+
+    For spike coordinates ``(n, c, y, x)`` over an ``x_shape`` plane,
+    returns the sorted flattened row indices (``n * OH * OW + oy * OW +
+    ox``) of every output window that covers at least one spike, plus
+    the total number of nonzero im2col entries (each event contributes
+    one entry per covering window).  Both quantities equal what a scan
+    of the densified im2col matrix (``cols.any(axis=1)`` /
+    ``count_nonzero(cols)``) would report — computed in
+    ``O(events · (K/stride)²)`` instead of ``O(windows · C·K²)``.
+    """
+    n, c, h, w = x_shape
+    oh = _conv_out_size(h, kernel, stride, padding)
+    ow = _conv_out_size(w, kernel, stride, padding)
+    if coords.shape[0] == 0:
+        return np.zeros(0, dtype=np.int64), 0
+    ys = coords[:, 2] + padding
+    xs = coords[:, 3] + padding
+    # Window origins covering a padded pixel p: ceil((p-K+1)/S) .. p//S,
+    # clipped to the output grid (floor-division ceil trick for the
+    # possibly-negative numerator).
+    lo_y = np.maximum(0, -((kernel - 1 - ys) // stride))
+    hi_y = np.minimum(oh - 1, ys // stride)
+    lo_x = np.maximum(0, -((kernel - 1 - xs) // stride))
+    hi_x = np.minimum(ow - 1, xs // stride)
+    ny = np.maximum(hi_y - lo_y + 1, 0)
+    nx = np.maximum(hi_x - lo_x + 1, 0)
+    entries = int((ny * nx).sum())
+    if entries == 0:
+        return np.zeros(0, dtype=np.int64), 0
+    base = coords[:, 0] * (oh * ow)
+    parts = []
+    for dy in range(int(ny.max())):
+        oy = lo_y + dy
+        ok_y = oy <= hi_y
+        for dx in range(int(nx.max())):
+            ox = lo_x + dx
+            ok = ok_y & (ox <= hi_x)
+            if ok.any():
+                parts.append(base[ok] + oy[ok] * ow + ox[ok])
+    return np.unique(np.concatenate(parts)), entries
+
+
+def pooled_coords(
+    step: StepSpikes, kernel: int, stride: int, out_shape: Tuple[int, ...]
+) -> Optional[np.ndarray]:
+    """Output coordinates of a pooled positive spike plane, or None.
+
+    For non-overlapping pooling (``kernel == stride``) of a plane whose
+    events all carry positive amplitude, an output cell is nonzero
+    exactly when its window contains an event, so the output coordinate
+    set is the (deduplicated, in-range) window index of every input
+    event — no scan of the pooled plane needed.  Overlapping windows or
+    signed amplitudes return None (the caller falls back to a scan or
+    drops the carried stream).
+    """
+    if kernel != stride or step.values is not None:
+        return None
+    if step.num_events == 0:
+        return np.zeros((0, len(out_shape)), dtype=np.int64)
+    scaled = step.coords.copy()
+    scaled[:, 2] //= stride
+    scaled[:, 3] //= stride
+    in_range = (scaled[:, 2] < out_shape[2]) & (scaled[:, 3] < out_shape[3])
+    scaled = scaled[in_range]
+    flat = np.ravel_multi_index(tuple(scaled.T), out_shape)
+    uniq = np.unique(flat)
+    return np.stack(np.unravel_index(uniq, out_shape), axis=1).astype(np.int64)
 
 
 def sparse_conv2d(
@@ -35,6 +123,8 @@ def sparse_conv2d(
     bias: Optional[np.ndarray],
     stride: int,
     padding: int,
+    active_rows: Optional[np.ndarray] = None,
+    performed: Optional[int] = None,
 ) -> Tuple[np.ndarray, int]:
     """Event-driven convolution of a sparse activation plane.
 
@@ -50,6 +140,11 @@ def sparse_conv2d(
     wall-clock parity with dense outside the very sparse regime where
     it wins outright.
 
+    ``active_rows`` / ``performed`` accept the coordinate-derived
+    selection from :func:`conv_active_windows` (a carried
+    :class:`repro.snn.spikes.SpikeStream`); when omitted they are
+    re-derived by scanning the densified column matrix.
+
     Returns ``(output, performed_ops)`` where ``performed_ops`` counts
     one op per nonzero im2col entry per output channel — the
     event-driven synaptic-operation count the hardware's aggregation
@@ -59,9 +154,10 @@ def sparse_conv2d(
     c_out, _, k, _ = weight.shape
     cols, oh, ow = im2col(x, k, stride, padding)
     w_mat = weight.reshape(c_out, -1)
-    performed = int(np.count_nonzero(cols)) * c_out
-    row_active = cols.any(axis=1)
-    active_rows = np.flatnonzero(row_active)
+    if performed is None:
+        performed = int(np.count_nonzero(cols)) * c_out
+    if active_rows is None:
+        active_rows = np.flatnonzero(cols.any(axis=1))
     if active_rows.size == cols.shape[0]:
         out = cols @ w_mat.T
     else:
@@ -82,11 +178,22 @@ def sparse_conv2d(
 
 
 def sparse_linear(
-    x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray]
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    active: Optional[np.ndarray] = None,
+    performed: Optional[int] = None,
 ) -> Tuple[np.ndarray, int]:
-    """Event-driven affine map over a sparse feature batch."""
-    active = np.flatnonzero(x.any(axis=0))
-    performed = int(np.count_nonzero(x)) * weight.shape[0]
+    """Event-driven affine map over a sparse feature batch.
+
+    ``active`` / ``performed`` accept the coordinate-derived feature
+    selection of a carried spike stream (``unique(coords[:, 1])`` and
+    ``events * out_features``); omitted, they are scanned from ``x``.
+    """
+    if performed is None:
+        performed = int(np.count_nonzero(x)) * weight.shape[0]
+    if active is None:
+        active = np.flatnonzero(x.any(axis=0))
     if active.size == x.shape[1]:
         # Every feature fires somewhere in the batch: gathering would
         # copy both operands for nothing.
@@ -108,6 +215,15 @@ class SparseEventEngine(SimulationEngine):
     frame) are billed at the full dense MAC count, mirroring the
     PS-side frame convolution in the paper, instead of the
     per-spike-contribution count.
+
+    Fed a :class:`repro.snn.spikes.SpikeStream`, the engine runs in
+    *stream mode*: each timestep's coordinates are carried across the
+    layer graph (neuron outputs re-enter the stream as fresh
+    coordinates, non-overlapping pools map coordinates through their
+    window geometry) and every conv/linear consumes the carried
+    coordinates for density, active-row selection and op accounting —
+    the numbers are identical to the dense-input path, derived without
+    scanning the planes.
     """
 
     name = "event"
@@ -127,6 +243,13 @@ class SparseEventEngine(SimulationEngine):
         # identity check makes this safe for every other layer too:
         # downstream activations are fresh arrays each timestep.
         self._io_cache: Dict[int, Tuple[np.ndarray, np.ndarray, int]] = {}
+        # Stream mode: the carried coordinates of live planes, keyed by
+        # the plane's array id.  Entries hold the array itself so ids
+        # cannot be recycled while registered; the registry is cleared
+        # at every timestep boundary (planes of a step die with it).
+        self._step_spikes: Dict[int, Tuple[np.ndarray, StepSpikes]] = {}
+        self._stream_run = False
+        self._pool_modules: list = []
 
     def _config(self) -> dict:
         config = super()._config()
@@ -139,15 +262,95 @@ class SparseEventEngine(SimulationEngine):
     def _effective_weight(self, module: Module) -> np.ndarray:
         return _effective_weight(module, self._weight_cache)
 
+    def bind(self, model: Module) -> "SparseEventEngine":
+        super().bind(model)
+        self._pool_modules = [
+            module
+            for _, module in model.named_modules()
+            if isinstance(module, (AvgPool2d, MaxPool2d))
+        ]
+        return self
+
+    # ------------------------------------------------------------------
+    # Stream carrying
+    # ------------------------------------------------------------------
+    def _register_spikes(self, plane: np.ndarray, step: StepSpikes) -> None:
+        self._step_spikes[id(plane)] = (plane, step)
+
+    def _carried_spikes(self, data: np.ndarray) -> Optional[StepSpikes]:
+        entry = self._step_spikes.get(id(data))
+        return None if entry is None else entry[1]
+
+    def _input_nonzero_of(self, data: np.ndarray) -> Optional[int]:
+        step = self._carried_spikes(data)
+        return None if step is None else step.num_events
+
+    def _run_single(self, x, timesteps, per_step):
+        self._stream_run = isinstance(x, SpikeStream)
+        try:
+            return super()._run_single(x, timesteps, per_step)
+        finally:
+            self._stream_run = False
+            self._step_spikes = {}
+
+    def _stream_step_input(self, stream: SpikeStream, t: int) -> Tensor:
+        # Planes of the previous step are dead; their carried
+        # coordinates go with them (and freed ids may be recycled).
+        self._step_spikes = {}
+        step = stream.step(t)
+        plane = step.to_dense()
+        self._register_spikes(plane, step)
+        return Tensor(plane)
+
+    # ------------------------------------------------------------------
     def _install(self, synapse_stats, neuron_stats) -> None:
         # The weight cache survives runs (entries self-invalidate on
         # parameter rebinds); the io cache holds run-scoped activations.
         self._io_cache = {}
         super()._install(synapse_stats, neuron_stats)
+        for module in self._pool_modules:
+            self._set_forward(module, self._make_pool_interceptor(module))
 
     def _uninstall(self) -> None:
         super()._uninstall()
         self._io_cache = {}
+        self._step_spikes = {}
+
+    def _make_neuron_interceptor(self, module, stat):
+        orig = module.forward
+
+        def forward(x: Tensor) -> Tensor:
+            out = orig(x)
+            if self._stream_run:
+                # The spike plane re-enters the carried stream: its
+                # coordinates come from the step's own spike mask, and
+                # every downstream consumer reads them instead of
+                # scanning the plane.
+                coords = np.stack(np.nonzero(out.data), axis=1)
+                self._register_spikes(
+                    out.data, StepSpikes(coords=coords, shape=out.data.shape)
+                )
+            return out
+
+        return forward
+
+    def _make_pool_interceptor(self, module):
+        orig = module.forward
+        kernel, stride = module.kernel_size, module.stride
+
+        def forward(x: Tensor) -> Tensor:
+            out = orig(x)
+            if self._stream_run:
+                step = self._carried_spikes(x.data)
+                if step is not None:
+                    coords = pooled_coords(step, kernel, stride, out.data.shape)
+                    if coords is not None:
+                        self._register_spikes(
+                            out.data, StepSpikes(coords=coords, shape=out.data.shape)
+                        )
+            return out
+
+        return forward
 
     def _make_interceptor(self, module, stat, orig):
         is_conv = isinstance(module, Conv2d)
@@ -162,7 +365,11 @@ class SparseEventEngine(SimulationEngine):
                 # analog frame): reuse the output, bill the same ops.
                 stat.synaptic_ops += cached[2]
                 return Tensor(cached[1])
-            density = np.count_nonzero(data) / max(data.size, 1)
+            step = self._carried_spikes(data)
+            if step is not None:
+                density = step.density
+            else:
+                density = np.count_nonzero(data) / max(data.size, 1)
             weight = self._effective_weight(module)
             bias = module.bias.data if module.bias is not None else None
             if density >= self.density_threshold:
@@ -176,13 +383,34 @@ class SparseEventEngine(SimulationEngine):
                 else:
                     out = data @ weight.T if bias is None else data @ weight.T + bias
                 billed = dense_ops
-            else:
-                if is_conv:
-                    out, billed = sparse_conv2d(
-                        data, weight, bias, module.stride, module.padding
+            elif is_conv:
+                active_rows = performed = None
+                if step is not None:
+                    active_rows, entries = conv_active_windows(
+                        step.coords,
+                        data.shape,
+                        module.kernel_size,
+                        module.stride,
+                        module.padding,
                     )
-                else:
-                    out, billed = sparse_linear(data, weight, bias)
+                    performed = entries * module.out_channels
+                out, billed = sparse_conv2d(
+                    data,
+                    weight,
+                    bias,
+                    module.stride,
+                    module.padding,
+                    active_rows=active_rows,
+                    performed=performed,
+                )
+            else:
+                active = performed = None
+                if step is not None:
+                    active = np.unique(step.coords[:, 1])
+                    performed = step.num_events * module.out_features
+                out, billed = sparse_linear(
+                    data, weight, bias, active=active, performed=performed
+                )
             stat.synaptic_ops += billed
             self._io_cache[id(module)] = (data, out, billed)
             return Tensor(out)

@@ -21,7 +21,7 @@ stays under 5%.
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -33,12 +33,15 @@ def profiled_call(
     fn: Callable[[Tensor], Tensor],
     stat: LayerStats,
     record_density: bool = False,
+    nonzero_of: Optional[Callable[[np.ndarray], Optional[int]]] = None,
 ) -> Callable[[Tensor], Tensor]:
     """Wrap a forward interceptor with wall-clock (and density) recording.
 
     The timer brackets only ``fn`` itself; the density count runs
     outside the timed region so profiling overhead is never billed to
-    the layer.
+    the layer.  ``nonzero_of`` lets the engine answer the nonzero count
+    from metadata it already carries (COO stream coordinates) — a
+    ``None`` return falls back to scanning the plane.
     """
 
     def profiled(x: Tensor) -> Tensor:
@@ -47,7 +50,10 @@ def profiled_call(
         out = fn(x)
         stat.wall_clock_seconds += time.perf_counter() - started
         if record_density:
-            stat.input_nonzero += int(np.count_nonzero(data))
+            nonzero = nonzero_of(data) if nonzero_of is not None else None
+            if nonzero is None:
+                nonzero = int(np.count_nonzero(data))
+            stat.input_nonzero += nonzero
             stat.input_size += int(data.size)
         return out
 

@@ -64,7 +64,8 @@ def collect_spike_stats(
     Statistics come from the engine's unified run records, merged over
     the evaluation batches.
     """
-    steps = network._resolve_timesteps(timesteps)
+    # A SpikeStream input (event-driven mode) carries its own T.
+    steps = network._resolve_timesteps(timesteps, x)
     merged: Optional[RunStats] = None
     for start in range(0, len(x), batch_size):
         network.forward(x[start : start + batch_size], steps)

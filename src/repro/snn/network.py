@@ -30,6 +30,7 @@ from repro.nn.module import Module
 from repro.snn.convert import spiking_layers
 from repro.snn.engines import EngineSpec, SimulationEngine, make_engine
 from repro.snn.engines.sharding import SHARD_MODES
+from repro.snn.spikes import SpikeStream
 from repro.snn.stats import RunStats
 
 
@@ -93,8 +94,16 @@ class SpikingNetwork:
         self.engine.bind(model)
         self.last_run_stats: Optional[RunStats] = None
 
-    def _resolve_timesteps(self, timesteps: Optional[int]) -> int:
-        """Explicit validation: 0 is an error, not 'use the default'."""
+    def _resolve_timesteps(self, timesteps: Optional[int], x=None) -> int:
+        """Explicit validation: 0 is an error, not 'use the default'.
+
+        A :class:`repro.snn.spikes.SpikeStream` input carries its own
+        time axis, so with no explicit override its T wins over the
+        network default (an explicit mismatch still fails loudly in the
+        engine).
+        """
+        if timesteps is None and isinstance(x, SpikeStream):
+            return x.timesteps
         steps = self.timesteps if timesteps is None else timesteps
         if steps < 1:
             raise ValueError("timesteps must be >= 1")
@@ -116,10 +125,14 @@ class SpikingNetwork:
         workers: Optional[int] = None,
         shard_mode: Optional[str] = None,
     ) -> np.ndarray:
-        """Accumulated logits after T timesteps for a batch ``x`` (N,C,H,W)."""
+        """Accumulated logits after T timesteps for a batch ``x``.
+
+        ``x`` is a dense direct-coded batch (N, C, H, W) or a COO
+        :class:`repro.snn.spikes.SpikeStream` (event-driven input).
+        """
         run = self.engine.run(
             x,
-            self._resolve_timesteps(timesteps),
+            self._resolve_timesteps(timesteps, x),
             workers=self._resolve_workers(workers),
             shard_mode=self._resolve_shard_mode(shard_mode),
         )
@@ -146,7 +159,7 @@ class SpikingNetwork:
         """
         run = self.engine.run(
             x,
-            self._resolve_timesteps(timesteps),
+            self._resolve_timesteps(timesteps, x),
             per_step=True,
             workers=self._resolve_workers(workers),
             shard_mode=self._resolve_shard_mode(shard_mode),
@@ -181,7 +194,7 @@ class SpikingNetwork:
         batch_size: int = 256,
     ) -> List[float]:
         """Accuracy after each timestep 1..T (paper Figs. 7 and 9)."""
-        steps = self._resolve_timesteps(timesteps)
+        steps = self._resolve_timesteps(timesteps, x)
         correct = np.zeros(steps, dtype=np.int64)
         for start in range(0, len(x), batch_size):
             xb = x[start : start + batch_size]

@@ -29,7 +29,9 @@ Conventions:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.snn.spikes import SpikeTrace
 
 
 @dataclass
@@ -97,6 +99,51 @@ class LayerStats:
         return self
 
 
+def resolve_layer_rates(
+    source: Union["RunStats", SpikeTrace, Sequence[float]], n_layers: int
+) -> List[float]:
+    """Resolve a measured-activity source into one rate per mapped layer.
+
+    The single resolver behind every hardware consumer of measured
+    activity (``table1_experiment(measured=...)``,
+    ``TrafficModel.network_traffic(measured=...)``): a
+    :class:`RunStats` resolves through
+    :meth:`RunStats.input_spike_rates`, a
+    :class:`repro.snn.spikes.SpikeTrace` through its recorded
+    densities, and anything else as an explicit rate sequence.  The two
+    measured kinds are related but *not* interchangeable numbers: a
+    RunStats bills each layer at the spike rate of the neuron layer
+    feeding it, while a trace records the observed nonzero fraction of
+    the layer's actual input plane — downstream of pooling these
+    differ (pooling concentrates spikes, raising observed density
+    above the feeding neuron's rate).  The trace is the more faithful
+    measure of what the layer's input transfer/gather actually
+    carries; the RunStats form survives for callers without profiling.
+    Both fall back to dropping ResNet projection shortcuts — which the
+    hardware mapper folds into the main layer as an auxiliary pass —
+    when the raw count does not match; a mismatch after that means the
+    stats came from a different architecture, a caller error worth
+    failing loudly on.
+    """
+    skip = lambda name: "shortcut" in name  # noqa: E731
+    if isinstance(source, RunStats):
+        rates = source.input_spike_rates()
+        if len(rates) != n_layers:
+            rates = source.input_spike_rates(skip=skip)
+    elif isinstance(source, SpikeTrace):
+        rates = list(source.densities)
+        if len(rates) != n_layers:
+            rates = list(source.rates(skip=skip))
+    else:
+        rates = [float(r) for r in source]
+    if len(rates) != n_layers:
+        raise ValueError(
+            f"measured rates cover {len(rates)} synapse layers but the mapped "
+            f"network has {n_layers}; stats must come from the same architecture"
+        )
+    return [float(r) for r in rates]
+
+
 @dataclass
 class RunStats:
     """Whole-network statistics for one batch of inferences."""
@@ -108,6 +155,12 @@ class RunStats:
     wall_clock_seconds: float = 0.0
     workers: int = 1  # batch shards merged into this record
     shard_mode: str = ""  # "fork" | "thread" when workers > 1
+    # Adaptive-engine drift guard: the worst relative deviation of an
+    # observed layer density from the executed plan's calibration
+    # density, and whether it crossed the re-plan threshold (the next
+    # run for this key recalibrates).
+    plan_drift: float = 0.0
+    replan_triggered: bool = False
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -180,6 +233,38 @@ class RunStats:
             return 0.0
         return sum(l.spike_count for l in self.layers) / steps
 
+    def spike_trace(self) -> SpikeTrace:
+        """The run's measured per-synapse-layer input densities as a
+        portable :class:`repro.snn.spikes.SpikeTrace`.
+
+        Densities are the *observed* nonzero fractions the profiler
+        recorded (sourced from SpikeStream/StepSpikes metadata when the
+        run consumed a COO stream), so the hardware latency, traffic
+        and throughput models bill layers at actual event activity.
+        Note this is a sharper measure than
+        :meth:`input_spike_rates`' feeding-neuron rates: downstream of
+        pooling the observed input density exceeds the upstream spike
+        rate (pooling concentrates spikes), which is exactly what the
+        layer's input transfer and gather pay for.  Requires a run
+        with ``profile_layers`` on (the default).
+        """
+        synapse = [
+            l for l in self.layers if l.kind in ("conv", "linear", "fc")
+        ]
+        if synapse and all(l.input_size == 0 for l in synapse):
+            raise ValueError(
+                "run recorded no input densities; re-run with "
+                "profile_layers=True to derive a spike trace"
+            )
+        return SpikeTrace(
+            layers=tuple(l.name for l in synapse),
+            densities=tuple(l.input_density for l in synapse),
+            engine=self.engine,
+            synaptic_ops=self.total_synaptic_ops,
+            dense_synaptic_ops=self.total_dense_synaptic_ops,
+            spike_rate=self.overall_spike_rate,
+        )
+
     # ------------------------------------------------------------------
     def merge(self, other: "RunStats") -> "RunStats":
         """Accumulate another run over the same network (batched eval)."""
@@ -191,6 +276,8 @@ class RunStats:
             mine.merge(theirs)
         self.batch_size += other.batch_size
         self.wall_clock_seconds += other.wall_clock_seconds
+        self.plan_drift = max(self.plan_drift, other.plan_drift)
+        self.replan_triggered = self.replan_triggered or other.replan_triggered
         return self
 
     def layer_table(self) -> str:

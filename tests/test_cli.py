@@ -54,6 +54,49 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig7", "--shard-mode", "quantum"])
 
+    def test_unknown_engine_error_lists_valid_choices(self, capsys):
+        """A bad --engine dies at the parser with every valid backend
+        spelled out — not as a traceback from the engine factory."""
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["fig7", "--engine", "warp"])
+        assert excinfo.value.code == 2  # argparse usage error, no traceback
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        for name in ("dense", "event", "batched", "auto"):
+            assert name in err
+
+    def test_unknown_shard_mode_error_lists_valid_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["fig7", "--shard-mode", "quantum"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        for mode in ("auto", "fork", "thread"):
+            assert mode in err
+
+    def test_engine_choices_track_registry(self):
+        """The CLI accepts exactly the engine registry, aliases included,
+        so a new backend never needs a second hand-maintained list."""
+        from repro.cli import ENGINE_CHOICES
+        from repro.snn.engines import ENGINES
+
+        assert set(ENGINE_CHOICES) == set(ENGINES)
+        args = build_parser().parse_args(["fig7", "--engine", "adaptive"])
+        assert args.engine == "adaptive"
+
+    def test_shard_mode_choices_track_registry(self):
+        from repro.snn.engines.sharding import SHARD_MODES
+
+        parser = build_parser()
+        for mode in SHARD_MODES:
+            assert parser.parse_args(["fig7", "--shard-mode", mode]).shard_mode == mode
+
+    def test_input_format_flag(self):
+        args = build_parser().parse_args(["fig8", "--input-format", "events"])
+        assert args.input_format == "events"
+        assert build_parser().parse_args(["fig8"]).input_format == "frames"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig8", "--input-format", "holograms"])
+
 
 class TestHardwareArtefacts:
     def test_tab1(self, capsys):

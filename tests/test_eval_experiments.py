@@ -191,3 +191,20 @@ class TestAccuracyExperimentSmall:
     def test_within_of_ann_helper(self, curve):
         t = curve.within_of_ann(margin=1.0)  # trivially satisfied
         assert t == 1
+
+    def test_spike_rates_on_event_stream_input(self, curve):
+        """input_format="events" runs the same network on a rate-encoded
+        COO spike stream (the event-driven input mode)."""
+        ds = SyntheticCIFAR(num_train=200, num_test=80, noise=0.5, seed=21)
+        stats = spike_rate_experiment(
+            curve, ds, timesteps=4, max_samples=24, input_format="events"
+        )
+        assert len(stats.per_layer) == 8
+        assert all(0.0 <= r <= 1.0 for r in stats.per_layer)
+        assert stats.overall > 0.0
+
+
+class TestSpikeRateInputFormats:
+    def test_unknown_input_format_rejected_before_any_work(self):
+        with pytest.raises(ValueError, match="frames"):
+            spike_rate_experiment(None, None, input_format="holograms")

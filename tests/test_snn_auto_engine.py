@@ -220,3 +220,158 @@ class TestSharding:
         x = np.random.default_rng(82).normal(size=(6, 2, 4, 4)).astype(np.float32)
         net.forward(x, workers=2)  # two (3, 2, 4, 4) shards
         assert engine.plan_for((3, 2, 4, 4), 4) is not None
+
+
+class TestDriftGuard:
+    """The plan's calibration densities are compared against every
+    planned run's observed densities; drifting past the threshold drops
+    the plan (one log line + RunStats flag) so the next run
+    recalibrates — the ROADMAP's distribution-shift follow-up."""
+
+    def _net(self, **kwargs):
+        engine = AutoEngine(**kwargs)
+        return engine, SpikingNetwork(converted_toy(), timesteps=4, engine=engine)
+
+    def test_stable_input_keeps_plan(self):
+        engine, net = self._net(drift_threshold=0.5)
+        x = np.random.default_rng(90).normal(size=(4, 2, 4, 4)).astype(np.float32)
+        net.forward(x)
+        net.forward(x)
+        stats = net.last_run_stats
+        assert stats.replan_triggered is False
+        assert stats.plan_drift < 0.5
+        assert engine.replans_triggered == 0
+        assert engine.plan_for(x.shape, 4) is not None
+
+    def test_distribution_shift_triggers_replan(self, caplog):
+        import logging
+
+        engine, net = self._net(drift_threshold=0.3)
+        rng = np.random.default_rng(91)
+        x = rng.normal(size=(4, 2, 4, 4)).astype(np.float32)
+        net.forward(x)  # calibrate
+        shifted = np.abs(rng.normal(size=(4, 2, 4, 4))).astype(np.float32) * 10
+        with caplog.at_level(logging.INFO, logger="repro.snn.engines.auto"):
+            net.forward(shifted)  # planned run on drifted densities
+        stats = net.last_run_stats
+        assert stats.replan_triggered is True
+        assert stats.plan_drift > 0.3
+        assert engine.replans_triggered == 1
+        assert engine.plan_for(x.shape, 4) is None  # plan dropped
+        assert any("recalibrates" in r.message for r in caplog.records)
+        net.forward(shifted)  # next run recalibrates on the new regime
+        assert engine.calibration_runs == 2
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            AutoEngine(drift_threshold=0.0)
+
+    def test_tiny_absolute_deviation_never_triggers(self):
+        """Near-silent layers vary hugely in *relative* terms between
+        batches; the guard must ignore them or it oscillates
+        calibrate/drop on every run."""
+        from repro.snn.engines import LayerDecision
+        from repro.snn.stats import LayerStats, RunStats
+
+        engine = AutoEngine(drift_threshold=0.5)
+        plan = ExecutionPlan(key=("dense", (1, 2, 4, 4), 4))
+        plan.decisions["l"] = LayerDecision(
+            name="l", backend="gemm", density=1e-6, gemm_seconds=1.0
+        )
+        stats = RunStats(
+            batch_size=1,
+            timesteps=4,
+            layers=[
+                LayerStats(name="l", kind="conv", input_nonzero=1, input_size=10_000)
+            ],
+        )
+        # Observed 1e-4 vs calibrated 1e-6: relative drift ~99x but the
+        # absolute deviation is far below any kernel crossover.
+        assert engine._check_drift(plan.key, plan, stats) is False
+        assert stats.replan_triggered is False
+
+    def test_sharded_drift_evicts_parent_plan_and_plan_file(self, tmp_path):
+        """Fork children drop plans only in their throwaway cache and
+        thread siblings carry no plan_path, so the eviction must ride
+        back on the EngineRun for the parent to re-drop and re-persist
+        — otherwise 'next run recalibrates' silently never happens."""
+        path = str(tmp_path / "plans.json")
+        engine = AutoEngine(drift_threshold=0.3, plan_path=path)
+        net = SpikingNetwork(converted_toy(), timesteps=4, engine=engine)
+        rng = np.random.default_rng(96)
+        x = rng.normal(size=(6, 2, 4, 4)).astype(np.float32)
+        net.forward(x, workers=2)  # calibrates per-shard (3, 2, 4, 4) plans
+        assert engine.plan_for((3, 2, 4, 4), 4) is not None
+        shifted = np.abs(rng.normal(size=(6, 2, 4, 4))).astype(np.float32) * 10
+        net.forward(shifted, workers=2)  # drifted planned shards
+        assert net.last_run_stats.replan_triggered  # merged from shards
+        assert engine.plan_for((3, 2, 4, 4), 4) is None  # parent cache too
+        # The persisted file lost the plan as well: a fresh process
+        # must recalibrate rather than reload the drifted plan.
+        reloaded = AutoEngine(plan_path=path)
+        assert reloaded.plan_for((3, 2, 4, 4), 4) is None
+
+
+class TestPlanPersistence:
+    """ExecutionPlan JSON round-trips and AutoEngine(plan_path=...)
+    persists compiled plans beside model checkpoints."""
+
+    def test_plan_json_round_trip(self):
+        engine = AutoEngine()
+        net = SpikingNetwork(converted_toy(), timesteps=4, engine=engine)
+        x = np.random.default_rng(92).normal(size=(4, 2, 4, 4)).astype(np.float32)
+        net.forward(x)
+        plan = engine.plan_for(x.shape, 4)
+        back = ExecutionPlan.from_json(plan.to_json())
+        assert back.key == plan.key
+        assert set(back.decisions) == set(plan.decisions)
+        for name, decision in plan.decisions.items():
+            restored = back.decisions[name]
+            assert restored.backend == decision.backend
+            assert restored.density == pytest.approx(decision.density)
+            assert restored.gemm_seconds == pytest.approx(decision.gemm_seconds)
+
+    def test_from_json_rejects_foreign_documents(self):
+        with pytest.raises(ValueError):
+            ExecutionPlan.from_json('{"format": "something-else"}')
+
+    def test_plan_path_round_trip_across_engines(self, tmp_path):
+        path = str(tmp_path / "plans.json")
+        first = AutoEngine(plan_path=path)
+        net = SpikingNetwork(converted_toy(), timesteps=4, engine=first)
+        x = np.random.default_rng(93).normal(size=(4, 2, 4, 4)).astype(np.float32)
+        net.forward(x)
+        assert first.calibration_runs == 1
+
+        # A fresh process (modelled by a fresh engine) loads the plan
+        # and skips calibration entirely.
+        second = AutoEngine(plan_path=path)
+        assert second.plan_for(x.shape, 4) is not None
+        net2 = SpikingNetwork(converted_toy(), timesteps=4, engine=second)
+        net2.forward(x)
+        assert second.calibration_runs == 0
+
+    def test_missing_plan_file_is_fine(self, tmp_path):
+        engine = AutoEngine(plan_path=str(tmp_path / "absent.json"))
+        assert len(engine._plans) == 0
+
+    def test_save_requires_a_path(self):
+        with pytest.raises(ValueError):
+            AutoEngine().save_plans()
+
+
+class TestStreamPlanKeys:
+    def test_stream_and_dense_inputs_calibrate_separate_plans(self):
+        from repro.data import rate_encode_stream
+
+        engine = AutoEngine()
+        net = SpikingNetwork(converted_toy(), timesteps=4, engine=engine)
+        x = np.random.default_rng(94).normal(size=(4, 2, 4, 4)).astype(np.float32)
+        net.forward(x)
+        stream = rate_encode_stream(x, 4, rng=np.random.default_rng(95))
+        net.forward(stream)
+        # Same plane shape and T, but frame and event inputs present
+        # very different densities: two separate plans.
+        assert engine.calibration_runs == 2
+        assert engine.plan_for(x.shape, 4, kind="dense") is not None
+        assert engine.plan_for(x.shape, 4, kind="stream") is not None

@@ -435,6 +435,108 @@ class TestBoundedCaches:
         assert len(_PLAN_CACHE) <= _PLAN_CACHE_CAPACITY
 
 
+class TestLRUEvictionOrder:
+    """Eviction order of the shared engine caches: strict LRU — a hit
+    (get) and an overwrite (put) both refresh recency, evictions walk
+    the stale end in order."""
+
+    def _cache(self, capacity=3):
+        from repro.snn.engines import LRUCache
+
+        cache = LRUCache(capacity)
+        for key in "abc":
+            cache.put(key, key.upper())
+        return cache
+
+    def test_insertion_order_evicts_oldest_first(self):
+        cache = self._cache()
+        cache.put("d", "D")  # evicts a
+        cache.put("e", "E")  # evicts b
+        assert "a" not in cache and "b" not in cache
+        assert [k for k, _ in cache.items()] == ["c", "d", "e"]
+
+    def test_get_refreshes_recency(self):
+        cache = self._cache()
+        cache.get("a")       # a becomes most recent -> b is now LRU
+        cache.put("d", "D")  # evicts b
+        assert "b" not in cache
+        assert [k for k, _ in cache.items()] == ["c", "a", "d"]
+
+    def test_put_overwrite_refreshes_recency(self):
+        cache = self._cache()
+        cache.put("a", "A2")  # overwrite refreshes, value replaced
+        cache.put("d", "D")   # evicts b, not a
+        assert "b" not in cache
+        assert cache.get("a") == "A2"
+
+    def test_miss_does_not_disturb_order(self):
+        cache = self._cache()
+        assert cache.get("zzz", "fallback") == "fallback"
+        cache.put("d", "D")  # still evicts a, the true LRU
+        assert "a" not in cache
+
+    def test_pop_removes_without_eviction(self):
+        cache = self._cache()
+        assert cache.pop("b") == "B"
+        assert cache.pop("b", "gone") == "gone"
+        cache.put("d", "D")  # capacity free again: nothing evicted
+        assert [k for k, _ in cache.items()] == ["a", "c", "d"]
+
+
+class TestProfileFormatting:
+    """RunStats.profile_table()/profile_records() rendering contract —
+    the shapes downstream consumers (CLI --profile, BENCH_engines.json)
+    parse."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        net = SpikingNetwork(converted_toy(), timesteps=3, engine="event")
+        x = np.random.default_rng(40).normal(size=(2, 2, 4, 4)).astype(np.float32)
+        net.forward(x)
+        return net.last_run_stats
+
+    def test_records_columns_and_rounding(self, stats):
+        records = stats.profile_records()
+        assert [r["name"] for r in records] == [l.name for l in stats.layers]
+        for row, layer in zip(records, stats.layers):
+            assert set(row) == {
+                "name", "kind", "backend", "wall_clock_ms", "density", "synaptic_ops",
+            }
+            assert row["backend"] == "event"  # fixed engine: no per-layer choice
+            assert row["wall_clock_ms"] == round(layer.wall_clock_seconds * 1e3, 3)
+            assert row["density"] == round(layer.density, 6)
+            assert isinstance(row["synaptic_ops"], int)
+
+    def test_table_header_and_row_count(self, stats):
+        table = stats.profile_table()
+        lines = table.splitlines()
+        header = lines[0]
+        for column in ("layer", "kind", "backend", "wall_ms", "density", "synaptic_ops"):
+            assert column in header
+        # One line per layer between header and the footer summary.
+        assert len(lines) == 1 + len(stats.layers) + 1
+
+    def test_table_footer_summarises_run(self, stats):
+        footer = stats.profile_table().splitlines()[-1]
+        assert "run wall clock" in footer
+        assert "attributed to layers" in footer
+        assert f"engine {stats.engine}" in footer
+        assert f"workers {stats.workers}" in footer
+
+    def test_density_column_bounds(self, stats):
+        for row in stats.profile_records():
+            assert 0.0 <= row["density"] <= 1.0
+
+    def test_empty_run_stats_render(self):
+        from repro.snn.stats import RunStats
+
+        empty = RunStats(batch_size=0, timesteps=0)
+        assert empty.profile_records() == []
+        lines = empty.profile_table().splitlines()
+        assert len(lines) == 2  # header + footer survive zero layers
+        assert "engine ?" in lines[-1]
+
+
 class TestEquivalenceResidual:
     """The event engine must handle non-sequential graphs (ResNet)."""
 

@@ -1,0 +1,248 @@
+"""SpikeStream dataflow acceptance: engines, accelerator, hw traffic.
+
+The tentpole contract: running `SparseEventEngine` on a COO
+`SpikeStream` must produce *bit-identical* predictions and
+`performed_ops` to the dense-input path on the VGG and ResNet test
+models — the stream carries coordinates across layers, it never changes
+arithmetic — and the hardware Table-1/Table-4/traffic experiments must
+accept a measured spike trace sourced from stream metadata.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticCIFAR, direct_encode_stream, rate_encode_stream
+from repro.pipeline import build_quantized_twin
+from repro.snn import SpikingNetwork, convert_to_snn
+from repro.snn.spikes import SpikeStream
+from repro.tensor import Tensor, no_grad
+
+from test_snn_engine import converted_pooled_toy, converted_resnet
+
+TIMESTEPS = 4
+
+
+@pytest.fixture(scope="module")
+def converted_vgg():
+    """A BN-warmed converted VGG at the repo's benchmark geometry."""
+    model = build_quantized_twin(
+        "vgg11", width=0.125, num_classes=10, levels=2, seed=0
+    )
+    rng = np.random.default_rng(1)
+    model.train()
+    with no_grad():
+        for _ in range(2):
+            model(Tensor(rng.normal(size=(4, 3, 32, 32)).astype(np.float32)))
+    model.eval()
+    return convert_to_snn(model)
+
+
+@pytest.fixture(scope="module")
+def frames():
+    return SyntheticCIFAR(num_train=8, num_test=6, noise=0.8, seed=3).test_x[:4]
+
+
+def _run_both(model, x, engine):
+    """(logits, stats) for the dense-input and stream-input paths."""
+    net = SpikingNetwork(model, timesteps=TIMESTEPS, engine=engine)
+    dense_logits = net.forward(x)
+    dense_stats = net.last_run_stats
+    stream_logits = net.forward(direct_encode_stream(x, TIMESTEPS))
+    stream_stats = net.last_run_stats
+    return dense_logits, dense_stats, stream_logits, stream_stats
+
+
+class TestStreamEquivalence:
+    """Acceptance: bit-identical predictions and performed_ops between
+    the dense-input and stream-input event-engine paths."""
+
+    def test_vgg_bit_identical(self, converted_vgg, frames):
+        ld, sd, ls, ss = _run_both(converted_vgg, frames, "event")
+        assert np.array_equal(ld, ls)  # logits, not just predictions
+        assert np.array_equal(ld.argmax(1), ls.argmax(1))
+        assert sd.total_synaptic_ops == ss.total_synaptic_ops
+        assert sd.total_dense_synaptic_ops == ss.total_dense_synaptic_ops
+        for a, b in zip(sd.layers, ss.layers):
+            assert a.synaptic_ops == b.synaptic_ops, a.name
+
+    def test_resnet_bit_identical(self, frames):
+        model = converted_resnet()
+        ld, sd, ls, ss = _run_both(model, frames, "event")
+        assert np.array_equal(ld, ls)
+        assert sd.total_synaptic_ops == ss.total_synaptic_ops
+
+    def test_stream_densities_come_from_metadata(self, converted_vgg, frames):
+        """The profiler's density record on the stream path (sourced
+        from carried coordinates) equals the dense path's scans."""
+        _, sd, _, ss = _run_both(converted_vgg, frames, "event")
+        for a, b in zip(sd.layers, ss.layers):
+            if a.kind != "neuron":
+                assert a.input_nonzero == b.input_nonzero, a.name
+                assert a.input_size == b.input_size, a.name
+
+    def test_pooled_chain_bit_identical(self, ):
+        model = converted_pooled_toy()
+        x = np.random.default_rng(11).normal(size=(4, 2, 8, 8)).astype(np.float32)
+        ld, sd, ls, ss = _run_both(model, x, "event")
+        assert np.array_equal(ld, ls)
+        assert sd.total_synaptic_ops == ss.total_synaptic_ops
+
+
+class TestAllEnginesAcceptStreams:
+    def test_binary_stream_agrees_across_backends(self, converted_vgg, frames):
+        stream = rate_encode_stream(frames, 6, rng=np.random.default_rng(5))
+        logits = {}
+        ops = {}
+        for engine in ("dense", "event", "batched", "auto"):
+            net = SpikingNetwork(converted_vgg, timesteps=6, engine=engine)
+            logits[engine] = net.forward(stream)
+            ops[engine] = net.last_run_stats.total_synaptic_ops
+        for engine in ("event", "batched", "auto"):
+            assert np.allclose(logits["dense"], logits[engine], atol=1e-4), engine
+            assert np.array_equal(
+                logits["dense"].argmax(1), logits[engine].argmax(1)
+            ), engine
+        # The event backend's op reduction survives the stream path.
+        assert ops["event"] < ops["dense"]
+        assert ops["batched"] == ops["dense"]  # GEMM backends bill dense MACs
+
+    def test_per_step_stream_matches_dense_input(self, converted_vgg, frames):
+        net = SpikingNetwork(converted_vgg, timesteps=TIMESTEPS, engine="event")
+        steps_dense = net.forward_per_step(frames)
+        steps_stream = net.forward_per_step(direct_encode_stream(frames, TIMESTEPS))
+        assert len(steps_stream) == TIMESTEPS
+        for a, b in zip(steps_dense, steps_stream):
+            assert np.array_equal(a, b)
+
+    def test_stream_supplies_default_timesteps(self, converted_vgg, frames):
+        net = SpikingNetwork(converted_vgg, timesteps=8, engine="event")
+        stream = rate_encode_stream(frames, 3, rng=np.random.default_rng(6))
+        net.forward(stream)  # no explicit T: the stream's 3 wins
+        assert net.last_run_stats.timesteps == 3
+
+    def test_explicit_timestep_mismatch_fails(self, converted_vgg, frames):
+        net = SpikingNetwork(converted_vgg, timesteps=8, engine="event")
+        stream = rate_encode_stream(frames, 3, rng=np.random.default_rng(6))
+        with pytest.raises(ValueError, match="SpikeStream"):
+            net.forward(stream, timesteps=8)
+
+    def test_accuracy_helpers_accept_streams(self, converted_vgg, frames):
+        """accuracy()/accuracy_per_step() resolve T from the stream like
+        forward() does (streams slice per evaluation batch)."""
+        net = SpikingNetwork(converted_vgg, timesteps=8, engine="event")
+        stream = rate_encode_stream(frames, 3, rng=np.random.default_rng(6))
+        y = np.zeros(stream.batch_size, dtype=np.int64)
+        acc = net.accuracy(stream, y, batch_size=2)
+        per_step = net.accuracy_per_step(stream, y, batch_size=2)
+        assert 0.0 <= acc <= 1.0
+        assert len(per_step) == 3  # the stream's T, not the default 8
+        assert per_step[-1] == pytest.approx(acc)
+
+
+class TestStreamSharding:
+    def test_thread_shards_match_single(self, converted_vgg, frames):
+        net = SpikingNetwork(converted_vgg, timesteps=TIMESTEPS, engine="event")
+        stream = rate_encode_stream(frames, TIMESTEPS, rng=np.random.default_rng(7))
+        single = net.forward(stream)
+        ops = net.last_run_stats.total_synaptic_ops
+        sharded = net.forward(stream, workers=2, shard_mode="thread")
+        assert np.allclose(single, sharded, atol=1e-5)
+        assert net.last_run_stats.total_synaptic_ops == ops
+        assert net.last_run_stats.workers == 2
+
+    def test_fork_shards_match_single(self, converted_vgg, frames):
+        from repro.snn.engines import fork_available
+
+        if not fork_available():
+            pytest.skip("fork unavailable")
+        net = SpikingNetwork(converted_vgg, timesteps=TIMESTEPS, engine="event")
+        stream = rate_encode_stream(frames, TIMESTEPS, rng=np.random.default_rng(8))
+        single = net.forward(stream)
+        sharded = net.forward(stream, workers=2, shard_mode="fork")
+        assert np.allclose(single, sharded, atol=1e-5)
+
+
+class TestHardwareAcceptsStreams:
+    """Acceptance: hw Table-1/Table-4/traffic take a measured spike
+    trace sourced from SpikeStream metadata, and the integer SIA runs
+    an event stream directly."""
+
+    @pytest.fixture(scope="class")
+    def mapped_and_trace(self, converted_vgg, frames):
+        from repro.hw import map_network
+
+        mapped = map_network(converted_vgg, calibration_input=frames)
+        stream = rate_encode_stream(frames, TIMESTEPS, rng=np.random.default_rng(9))
+        net = SpikingNetwork(converted_vgg, timesteps=TIMESTEPS, engine="event")
+        net.forward(stream)
+        return mapped, net.last_run_stats.spike_trace(), stream
+
+    def test_accelerator_runs_event_stream(self, mapped_and_trace):
+        from repro.hw import SpikingInferenceAccelerator
+
+        mapped, _, stream = mapped_and_trace
+        sia = SpikingInferenceAccelerator(mapped)
+        logits, report = sia.run(stream)
+        assert logits.shape == (stream.batch_size, 10)
+        assert report.engine == "sia-event-stream"
+        assert report.timesteps == stream.timesteps
+        assert report.total_synaptic_ops > 0
+
+    def test_accelerator_rejects_explicit_timestep_mismatch(self, mapped_and_trace):
+        from repro.hw import SpikingInferenceAccelerator
+
+        mapped, _, stream = mapped_and_trace
+        sia = SpikingInferenceAccelerator(mapped)
+        with pytest.raises(ValueError, match="SpikeStream"):
+            sia.run(stream, timesteps=stream.timesteps + 1)
+
+    def test_accelerator_rejects_valued_streams(self, mapped_and_trace, frames):
+        from repro.hw import SpikingInferenceAccelerator
+
+        mapped, _, _ = mapped_and_trace
+        sia = SpikingInferenceAccelerator(mapped)
+        with pytest.raises(ValueError, match="binary"):
+            sia.run(direct_encode_stream(frames, TIMESTEPS))
+
+    def test_traffic_model_accepts_trace_and_stream(self, mapped_and_trace):
+        from repro.hw import PYNQ_Z2, TrafficModel
+
+        mapped, trace, stream = mapped_and_trace
+        model = TrafficModel(PYNQ_Z2)
+        dense = model.network_traffic(mapped, timesteps=TIMESTEPS)
+        measured = model.network_traffic(
+            mapped, timesteps=TIMESTEPS, measured=trace, input_stream=stream
+        )
+        assert measured.measured and not dense.measured
+        # Event-coded transfers never cost more than the dense bitmap
+        # (each plane ships the cheaper of bitmap and AER coding).
+        assert measured.total_bytes <= dense.total_bytes
+        spikes_dense = sum(l.spike_in_bytes + l.spike_out_bytes for l in dense.layers)
+        spikes_measured = sum(
+            l.spike_in_bytes + l.spike_out_bytes for l in measured.layers
+        )
+        assert spikes_measured < spikes_dense
+
+    def test_table1_and_table4_accept_trace(self, mapped_and_trace):
+        from repro.eval.experiments import table1_experiment, table4_experiment
+
+        _, trace, _ = mapped_and_trace
+        rows = table1_experiment(measured={"vgg11": trace})
+        assert rows["vgg11"]  # resolved against the mapped geometry
+        result = table4_experiment(run_stats=trace)
+        assert result["measured_op_saving"] == pytest.approx(
+            trace.synaptic_op_saving
+        )
+        assert result["dense_equivalent_gops"] > 0
+
+    def test_spike_trace_requires_profiling(self, converted_vgg, frames):
+        from repro.snn import SparseEventEngine
+
+        net = SpikingNetwork(
+            converted_vgg,
+            timesteps=TIMESTEPS,
+            engine=SparseEventEngine(profile_layers=False),
+        )
+        net.forward(frames)
+        with pytest.raises(ValueError, match="profile_layers"):
+            net.last_run_stats.spike_trace()
