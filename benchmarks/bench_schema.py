@@ -5,7 +5,8 @@ tracking the wall-clock trajectory) parse it, so the shape is asserted
 in two places from this single definition: inside the benchmark that
 writes the record, and by ``check_bench_schema.py`` as a standalone CI
 step over the emitted file — schema drift fails the job instead of
-being discovered broken later.
+being discovered broken later.  ``compare_bench.py`` reads the same
+record shape when gating the current run against ``history/``.
 """
 
 TOP_LEVEL_KEYS = (
@@ -15,13 +16,26 @@ TOP_LEVEL_KEYS = (
     "batched_speedup_vs_dense",
     "auto_vs_best_fixed",
     "batch16_wall_clock_ms",
+    "dvs",
     "python",
     "machine",
 )
 
 SCENARIO_KEYS = ("model", "width", "timesteps", "batch", "input")
 
-ENGINE_NAMES = {"dense", "event", "batched", "auto"}
+ENGINE_NAMES = {"dense", "event", "batched", "event-batched", "auto"}
+
+DVS_SCENARIO_KEYS = ("model", "timesteps", "batch", "input", "input_density")
+
+DVS_ENGINE_NAMES = {"batched", "event-batched", "auto"}
+
+DVS_KEYS = (
+    "scenario",
+    "engines",
+    "event_batched_speedup_vs_batched",
+    "auto_vs_best_fixed",
+    "logits_bitwise_vs_batched",
+)
 
 PROFILE_ROW_KEYS = (
     "name",
@@ -32,7 +46,7 @@ PROFILE_ROW_KEYS = (
     "synaptic_ops",
 )
 
-PROFILE_BACKENDS = ("gemm", "event", "stepped")
+PROFILE_BACKENDS = ("gemm", "event", "event-batched", "stepped")
 
 
 def assert_engines_schema(record: dict) -> None:
@@ -60,3 +74,18 @@ def assert_engines_schema(record: dict) -> None:
         assert row["backend"] in PROFILE_BACKENDS, row["backend"]
         assert 0.0 <= row["density"] <= 1.0
     assert isinstance(record["auto_vs_best_fixed"], (int, float))
+    dvs = record["dvs"]
+    for key in DVS_KEYS:
+        assert key in dvs, f"missing dvs key {key!r}"
+    for key in DVS_SCENARIO_KEYS:
+        assert key in dvs["scenario"], f"missing dvs scenario key {key!r}"
+    assert 0.0 < dvs["scenario"]["input_density"] < 0.05, (
+        "the DVS scenario must sit in the <5% density regime"
+    )
+    assert set(dvs["engines"]) >= DVS_ENGINE_NAMES
+    for name, entry in dvs["engines"].items():
+        for key in ("wall_clock_ms", "synaptic_ops"):
+            assert isinstance(entry[key], (int, float)), f"dvs {name}.{key}"
+    assert isinstance(dvs["event_batched_speedup_vs_batched"], (int, float))
+    assert isinstance(dvs["auto_vs_best_fixed"], (int, float))
+    assert dvs["logits_bitwise_vs_batched"] is True

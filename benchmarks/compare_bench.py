@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Gate the current ``BENCH_engines.json`` against committed history.
+
+Usage::
+
+    python benchmarks/compare_bench.py BENCH_engines.json [history_dir]
+
+Each PR that moves engine performance commits a dated record under
+``benchmarks/history/``; this script compares the freshly emitted
+artifact against the newest such record and exits nonzero when a
+tracked metric regresses beyond the noise band, so a perf regression
+fails CI instead of silently eroding the wall-clock story.
+
+Only *ratio* metrics are compared — speedups and auto-vs-best-fixed —
+never absolute milliseconds: the interleaved best-of-k measurement
+makes ratios stable across machines whose absolute speeds differ.
+Pure stdlib on purpose: it runs before/without the test environment.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+# Shared-CI-box timing jitter: a tracked ratio may wobble by this
+# factor run to run without any code change; beyond it is a regression.
+NOISE_BAND = 1.30
+
+# Hard floors/ceilings that hold regardless of what history says —
+# the acceptance criteria the benchmark itself asserts.
+MIN_BATCHED_SPEEDUP = 3.0
+MIN_DVS_EVENT_SPEEDUP = 1.0
+MAX_AUTO_RATIO = 1.1
+
+
+def _metrics(record):
+    """The tracked (name, value, higher_is_better) triples."""
+    return [
+        ("batched_speedup_vs_dense", record["batched_speedup_vs_dense"], True),
+        ("auto_vs_best_fixed", record["auto_vs_best_fixed"], False),
+        (
+            "dvs.event_batched_speedup_vs_batched",
+            record["dvs"]["event_batched_speedup_vs_batched"],
+            True,
+        ),
+        ("dvs.auto_vs_best_fixed", record["dvs"]["auto_vs_best_fixed"], False),
+    ]
+
+
+def _floors(record):
+    """(name, value, bound, ok) rows for the history-free hard bounds."""
+    rows = []
+    for name, value, higher in _metrics(record):
+        if name == "batched_speedup_vs_dense":
+            rows.append((name, value, MIN_BATCHED_SPEEDUP, value >= MIN_BATCHED_SPEEDUP))
+        elif name == "dvs.event_batched_speedup_vs_batched":
+            rows.append((name, value, MIN_DVS_EVENT_SPEEDUP, value > MIN_DVS_EVENT_SPEEDUP))
+        else:
+            rows.append((name, value, MAX_AUTO_RATIO, value <= MAX_AUTO_RATIO))
+    return rows
+
+
+def latest_history(history_dir):
+    records = sorted(history_dir.glob("*.json"))
+    return records[-1] if records else None
+
+
+def compare(current, baseline):
+    """Return a list of failure strings comparing current vs baseline."""
+    failures = []
+    base = {name: value for name, value, _ in _metrics(baseline)}
+    for name, value, higher in _metrics(current):
+        reference = base.get(name)
+        if reference is None:
+            continue
+        if higher:
+            bound = reference / NOISE_BAND
+            ok = value >= bound
+            direction = ">="
+        else:
+            bound = reference * NOISE_BAND
+            ok = value <= bound
+            direction = "<="
+        status = "ok" if ok else "REGRESSION"
+        print(
+            f"  {name}: {value:.3f} (history {reference:.3f}, "
+            f"need {direction} {bound:.3f}) {status}"
+        )
+        if not ok:
+            failures.append(
+                f"{name} regressed: {value:.3f} vs history {reference:.3f} "
+                f"(noise band {NOISE_BAND}x)"
+            )
+    return failures
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(
+            "usage: compare_bench.py <BENCH_engines.json> [history_dir]",
+            file=sys.stderr,
+        )
+        return 2
+    current_path = Path(argv[1])
+    history_dir = (
+        Path(argv[2])
+        if len(argv) == 3
+        else Path(__file__).resolve().parent / "history"
+    )
+    if not current_path.exists():
+        print(f"compare failed: {current_path} does not exist", file=sys.stderr)
+        return 1
+    current = json.loads(current_path.read_text())
+
+    failures = []
+    print(f"hard bounds on {current_path}:")
+    for name, value, bound, ok in _floors(current):
+        print(f"  {name}: {value:.3f} (bound {bound}) {'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(f"{name}={value:.3f} violates hard bound {bound}")
+
+    baseline_path = latest_history(history_dir)
+    if baseline_path is None:
+        print(f"no history in {history_dir}; hard bounds only")
+    else:
+        baseline = json.loads(baseline_path.read_text())
+        print(f"vs {baseline_path.name}:")
+        failures.extend(compare(current, baseline))
+
+    if failures:
+        for failure in failures:
+            print(f"perf gate: {failure}", file=sys.stderr)
+        return 1
+    print("perf gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

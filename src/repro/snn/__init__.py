@@ -10,8 +10,12 @@ run for T timesteps by :class:`SpikingNetwork` on a pluggable
 recompute), ``"event"`` (sparse event propagation whose cost scales
 with spike rate, like the paper's hardware), ``"batched"``
 (layer-sequential time batching: one big GEMM per stateless layer over
-all T timesteps) or ``"auto"`` (profiles a calibration run and compiles
-a cached per-layer GEMM/event plan, the fastest software path) —
+all T timesteps), ``"event-batched"`` (the time-batched schedule with
+COO-native gathers: one row-subset GEMM per layer covering all T
+timesteps, bitwise identical to ``"batched"`` and faster at low input
+density) or ``"auto"`` (profiles a calibration run and compiles a
+cached per-layer GEMM/event/event-batched plan, the fastest software
+path) —
 optionally sharded over ``workers`` forked processes or threads
 (``shard_mode``) along the batch dimension.
 """
@@ -30,6 +34,7 @@ from repro.snn.stats import LayerStats, RunStats
 from repro.snn.engines import (
     AutoEngine,
     DenseEngine,
+    EventBatchedEngine,
     SimulationEngine,
     SparseEventEngine,
     TimeBatchedEngine,
@@ -72,6 +77,7 @@ __all__ = [
     "SimulationEngine",
     "AutoEngine",
     "DenseEngine",
+    "EventBatchedEngine",
     "SparseEventEngine",
     "TimeBatchedEngine",
     "make_engine",

@@ -48,9 +48,11 @@ from typing import Union
 
 from repro.snn.engines.auto import (
     AutoEngine,
+    DENSITY_BUCKET_EDGES,
     ExecutionPlan,
     LayerDecision,
     PLAN_CACHE_CAPACITY,
+    density_bucket,
 )
 from repro.snn.engines.base import (
     EngineRun,
@@ -69,6 +71,7 @@ from repro.snn.engines.event import (
     sparse_conv2d,
     sparse_linear,
 )
+from repro.snn.engines.event_batched import EventBatchedEngine
 from repro.snn.engines.profiling import profiled_call
 from repro.snn.engines.sharding import (
     SHARD_MODES,
@@ -86,6 +89,8 @@ ENGINES = {
     "sparse": SparseEventEngine,  # alias
     "batched": TimeBatchedEngine,
     "time-batched": TimeBatchedEngine,  # alias
+    "event-batched": EventBatchedEngine,
+    "coo": EventBatchedEngine,  # alias
     "auto": AutoEngine,
     "adaptive": AutoEngine,  # alias
 }
@@ -109,10 +114,12 @@ def make_engine(spec: EngineSpec = "dense") -> SimulationEngine:
 
 __all__ = [
     "AutoEngine",
+    "DENSITY_BUCKET_EDGES",
     "DenseEngine",
     "ENGINES",
     "EngineRun",
     "EngineSpec",
+    "EventBatchedEngine",
     "ExecutionPlan",
     "LRUCache",
     "LayerDecision",
@@ -125,6 +132,7 @@ __all__ = [
     "clone_for_inference",
     "conv_active_windows",
     "dense_conv2d",
+    "density_bucket",
     "fork_available",
     "make_engine",
     "pooled_coords",

@@ -13,17 +13,23 @@ measure-then-specialise loop in software:
    the time-batched GEMM schedule while the per-layer profiler records
    each synapse layer's wall clock and observed input density (and
    whether its input is the constant analog frame).
-2. **Compile a plan.** For every genuinely sparse layer the event
-   gather kernel is timed on the very activations the calibration run
-   produced; a layer switches to the event backend only when the
-   measured gather beats its measured GEMM by a safety margin.  Dense,
-   high-density and constant-frame layers stay on the batched GEMM.
-3. **Cache.** The plan is cached by (bound model, input shape, T) in a
-   bounded LRU, so repeat inferences skip calibration entirely and run
-   straight on the specialised per-layer schedule.  The key is the
-   *full* input shape, batch included: the GEMM/gather crossover moves
-   with the ``(T*N, ...)`` stack size, so a plan calibrated at batch 1
-   must not be extrapolated to batch 64.
+2. **Compile a plan.** For every genuinely sparse layer both sparse
+   kernels — the per-plane event gather and the bit-exact batched COO
+   row-subset path (:mod:`repro.snn.engines.event_batched`) — are timed
+   on the very activations the calibration run produced; a layer
+   switches off the GEMM only when a measured sparse kernel beats its
+   measured GEMM by a safety margin, and then to whichever sparse
+   kernel measured faster.  Dense, high-density and constant-frame
+   layers stay on the batched GEMM.
+3. **Cache.** The plan is cached by (bound model, input shape, T,
+   input-density bucket) in a bounded LRU, so repeat inferences skip
+   calibration entirely and run straight on the specialised per-layer
+   schedule.  The key is the *full* input shape, batch included, plus
+   the coarse :func:`density_bucket` of the input itself: the
+   GEMM/gather crossover moves with the ``(T*N, ...)`` stack size *and*
+   with how many events flow through it, so a plan calibrated at batch
+   1 must not be extrapolated to batch 64, nor a 1%-density DVS plan to
+   a 40%-density stream of the same shape.
 
 Because the event gather equals the dense kernel up to float summation
 order and everything else *is* the batched schedule, auto logits match
@@ -52,7 +58,8 @@ from repro.nn.layers import Conv2d
 from repro.snn.engines.base import LRUCache, _dense_op_count, _effective_weight
 from repro.snn.engines.batched import TimeBatchedEngine
 from repro.snn.engines.event import sparse_conv2d, sparse_linear
-from repro.snn.spikes import SpikeStream
+from repro.snn.engines.event_batched import EventBatchedEngine
+from repro.snn.spikes import SpikeStream, StepSpikes
 from repro.tensor import Tensor
 
 logger = logging.getLogger(__name__)
@@ -63,26 +70,50 @@ PLAN_CACHE_CAPACITY = 8
 #: On-disk format tag for persisted execution plans.
 PLAN_FILE_FORMAT = "repro-execution-plans/v1"
 
+#: Upper edges of the coarse input-density buckets baked into plan keys.
+#: The GEMM/gather crossover moves with input density just like it moves
+#: with the stack size, so a plan calibrated on a 1%-dense stream must
+#: not be replayed on a 40%-dense one of the same shape.  Buckets are
+#: deliberately coarse (log-spaced around the observed crossovers) so
+#: ordinary batch-to-batch density jitter still hits the cached plan.
+DENSITY_BUCKET_EDGES = (0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5)
+
+
+def density_bucket(density: float) -> int:
+    """The coarse plan-key bucket an input density falls into.
+
+    Bucket ``i`` covers densities in ``(EDGES[i-1], EDGES[i]]``; the
+    last bucket (``len(DENSITY_BUCKET_EDGES)``) is everything denser
+    than the last edge, which is where direct-coded analog frames land.
+    """
+    return int(
+        np.searchsorted(DENSITY_BUCKET_EDGES, float(density), side="left")
+    )
+
 
 @dataclass
 class LayerDecision:
     """One synapse layer's calibrated backend choice."""
 
     name: str
-    backend: str                 # "gemm" | "event"
+    backend: str                 # "gemm" | "event" | "event-batched"
     density: float               # observed input density during calibration
     gemm_seconds: float          # measured batched-GEMM wall clock
     event_seconds: Optional[float] = None  # measured gather wall clock (if tried)
+    coo_seconds: Optional[float] = None    # measured COO row-subset wall clock
 
 
 @dataclass
 class ExecutionPlan:
     """A compiled per-layer backend assignment for one (kind, shape, T) key.
 
-    ``key`` is ``(input_kind, input_shape, timesteps)`` where
-    ``input_kind`` is ``"dense"`` for direct-coded frames and
+    ``key`` is ``(input_kind, input_shape, timesteps, density_bucket)``
+    where ``input_kind`` is ``"dense"`` for direct-coded frames and
     ``"stream"`` for COO spike-stream input — the two present very
-    different densities to the layers, so they never share a plan.
+    different densities to the layers, so they never share a plan — and
+    ``density_bucket`` is the coarse :func:`density_bucket` of the
+    input's own nonzero fraction, so same-shaped workloads at genuinely
+    different activity levels calibrate separately.
     Plans serialise to JSON (:meth:`to_json` / :meth:`from_json`) so a
     compiled plan can persist beside a model checkpoint and be reloaded
     by another process (``AutoEngine(plan_path=...)``).
@@ -102,13 +133,14 @@ class ExecutionPlan:
     # ------------------------------------------------------------------
     def to_payload(self) -> dict:
         """This plan as a JSON-serialisable dict."""
-        kind, shape, timesteps = self.key
+        kind, shape, timesteps, bucket = self.key
         return {
             "format": PLAN_FILE_FORMAT,
             "key": {
                 "input_kind": kind,
                 "input_shape": list(shape),
                 "timesteps": timesteps,
+                "density_bucket": bucket,
             },
             "decisions": [
                 {
@@ -117,6 +149,7 @@ class ExecutionPlan:
                     "density": d.density,
                     "gemm_seconds": d.gemm_seconds,
                     "event_seconds": d.event_seconds,
+                    "coo_seconds": d.coo_seconds,
                 }
                 for d in self.decisions.values()
             ],
@@ -136,6 +169,9 @@ class ExecutionPlan:
                 str(key_info["input_kind"]),
                 tuple(int(s) for s in key_info["input_shape"]),
                 int(key_info["timesteps"]),
+                # Plans persisted before density bucketing default to the
+                # densest bucket — where a frame-calibrated plan belongs.
+                int(key_info.get("density_bucket", len(DENSITY_BUCKET_EDGES))),
             )
         )
         for entry in payload["decisions"]:
@@ -148,6 +184,11 @@ class ExecutionPlan:
                     None
                     if entry["event_seconds"] is None
                     else float(entry["event_seconds"])
+                ),
+                coo_seconds=(
+                    None
+                    if entry.get("coo_seconds") is None
+                    else float(entry["coo_seconds"])
                 ),
             )
         return plan
@@ -175,9 +216,10 @@ class _Capture:
     density: float
     gemm_seconds: float
     event_seconds: Optional[float]  # None: constant/dense input, not raced
+    coo_seconds: Optional[float] = None  # COO row-subset kernel, if raced
 
 
-class AutoEngine(TimeBatchedEngine):
+class AutoEngine(EventBatchedEngine):
     """Adaptive backend: calibrated per-layer GEMM/event execution plan.
 
     Parameters
@@ -215,14 +257,13 @@ class AutoEngine(TimeBatchedEngine):
     ) -> None:
         # Calibration *is* the per-layer profile, so profiling stays on
         # regardless of the flag an explicit False would suggest.
-        super().__init__(profile_layers=True)
-        if not 0.0 < density_threshold <= 1.0:
-            raise ValueError("density_threshold must be in (0, 1]")
+        super().__init__(
+            density_threshold=density_threshold, profile_layers=True
+        )
         if not 0.0 < margin <= 1.0:
             raise ValueError("margin must be in (0, 1]")
         if drift_threshold <= 0.0:
             raise ValueError("drift_threshold must be > 0")
-        self.density_threshold = density_threshold
         self.margin = margin
         self.drift_threshold = drift_threshold
         self.plan_path = plan_path
@@ -244,7 +285,6 @@ class AutoEngine(TimeBatchedEngine):
         # siblings: they share this engine's plan cache already, and
         # the parent is the single writer of the persistence file.
         config = super()._config()
-        config["density_threshold"] = self.density_threshold
         config["margin"] = self.margin
         config["drift_threshold"] = self.drift_threshold
         return config
@@ -310,14 +350,36 @@ class AutoEngine(TimeBatchedEngine):
     # ------------------------------------------------------------------
     @staticmethod
     def _plan_key(x, timesteps: int) -> Tuple:
-        kind = "stream" if isinstance(x, SpikeStream) else "dense"
-        return (kind, tuple(x.shape), int(timesteps))
+        if isinstance(x, SpikeStream):
+            # O(1) from the stream's own metadata — no plane scan.
+            kind, density = "stream", x.density
+        else:
+            data = np.asarray(x)
+            kind = "dense"
+            density = np.count_nonzero(data) / max(data.size, 1)
+        return (kind, tuple(x.shape), int(timesteps), density_bucket(density))
 
     def plan_for(
-        self, input_shape, timesteps: int, kind: str = "dense"
+        self,
+        input_shape,
+        timesteps: int,
+        kind: str = "dense",
+        density_bucket: Optional[int] = None,
     ) -> Optional[ExecutionPlan]:
-        """The cached plan for a full input shape (batch included) and T."""
-        return self._plans.get((kind, tuple(input_shape), int(timesteps)))
+        """The cached plan for a full input shape (batch included) and T.
+
+        With ``density_bucket=None`` the most recently cached plan for
+        the (kind, shape, T) prefix is returned regardless of its
+        bucket; pass a :func:`density_bucket` value to pin one.
+        """
+        prefix = (str(kind), tuple(int(s) for s in input_shape), int(timesteps))
+        if density_bucket is not None:
+            return self._plans.get(prefix + (int(density_bucket),))
+        match = None
+        for key, plan in self._plans.items():
+            if key[:3] == prefix:
+                match = plan
+        return match
 
     def _run_single(self, x, timesteps, per_step):
         key = self._plan_key(x, timesteps)
@@ -422,41 +484,60 @@ class AutoEngine(TimeBatchedEngine):
         plan = ExecutionPlan(key=key)
         for name, capture in captures.items():
             backend = "gemm"
-            if (
-                capture.event_seconds is not None
-                and capture.event_seconds < capture.gemm_seconds * self.margin
+            best = capture.gemm_seconds * self.margin
+            for candidate, seconds in (
+                ("event", capture.event_seconds),
+                ("event-batched", capture.coo_seconds),
             ):
-                backend = "event"
+                if seconds is not None and seconds < best:
+                    backend, best = candidate, seconds
             plan.decisions[name] = LayerDecision(
                 name=name,
                 backend=backend,
                 density=capture.density,
                 gemm_seconds=capture.gemm_seconds,
                 event_seconds=capture.event_seconds,
+                coo_seconds=capture.coo_seconds,
             )
         return plan
 
     # ------------------------------------------------------------------
     def _make_interceptor(self, module, stat, orig):
-        gemm = super()._make_interceptor(module, stat, orig)
+        # The pure GEMM closure, bypassing EventBatchedEngine's COO
+        # dispatch: the plan, not a per-layer density check, decides
+        # which kernel runs here.
+        gemm = TimeBatchedEngine._make_interceptor(self, module, stat, orig)
         is_conv = isinstance(module, Conv2d)
         name = stat.name
+
+        def coords_of(data) -> StepSpikes:
+            carried = self._carried_coords(data)
+            if carried is not None:
+                return carried
+            return StepSpikes(
+                coords=np.stack(np.nonzero(data), axis=1), shape=data.shape
+            )
 
         def forward(x: Tensor) -> Tensor:
             data = x.data
             plan = self._active_plan
             if plan is None:
                 # Calibration: time the GEMM path, then race the event
-                # gather right here while the input is naturally live —
-                # recording numbers, never activations, keeps the
-                # calibration run's memory profile identical to a plain
-                # batched run.
+                # gather and the COO row-subset kernel right here while
+                # the input is naturally live — recording numbers, never
+                # activations, keeps the calibration run's memory
+                # profile identical to a plain batched run.
                 constant = id(data) in self._constant_arrays
-                density = np.count_nonzero(data) / max(data.size, 1)
+                counted = self._carried_count(data)
+                if counted is not None and counted[1]:
+                    density = counted[0] / max(data.size, 1)
+                else:
+                    density = np.count_nonzero(data) / max(data.size, 1)
                 started = time.perf_counter()
                 out = gemm(x)
                 gemm_seconds = time.perf_counter() - started
                 event_seconds: Optional[float] = None
+                coo_seconds: Optional[float] = None
                 if not constant and density < self.density_threshold:
                     weight = _effective_weight(module, self._weight_cache)
                     bias = module.bias.data if module.bias is not None else None
@@ -472,24 +553,40 @@ class AutoEngine(TimeBatchedEngine):
                         event_seconds = min(
                             event_seconds, time.perf_counter() - trial
                         )
+                    coo_seconds = float("inf")
+                    for _ in range(2):
+                        # The coordinate scan stays inside the timed
+                        # region when no coordinates are carried — the
+                        # planned path pays it too.
+                        trial = time.perf_counter()
+                        self._coo_synapse(
+                            module, data, coords_of(data), weight, bias,
+                            register=False,
+                        )
+                        coo_seconds = min(
+                            coo_seconds, time.perf_counter() - trial
+                        )
                 self._calibration[name] = _Capture(
                     density=density,
                     gemm_seconds=gemm_seconds,
                     event_seconds=event_seconds,
+                    coo_seconds=coo_seconds,
                 )
                 return out
-            if (
-                plan.backend_of(name) != "event"
-                or id(data) in self._constant_arrays
-            ):
+            backend = plan.backend_of(name)
+            if backend == "gemm" or id(data) in self._constant_arrays:
                 return gemm(x)
-            # Planned event layer: one gather over the whole (T*N, ...)
+            # Planned sparse layer: one gather over the whole (T*N, ...)
             # stack; bills performed (per-spike) ops like the event
             # engine, with the dense MAC count as the baseline.
             stat.dense_synaptic_ops += _dense_op_count(module, data.shape)
             weight = _effective_weight(module, self._weight_cache)
             bias = module.bias.data if module.bias is not None else None
-            if is_conv:
+            if backend == "event-batched":
+                out, billed, _ = self._coo_synapse(
+                    module, data, coords_of(data), weight, bias
+                )
+            elif is_conv:
                 out, billed = sparse_conv2d(
                     data, weight, bias, module.stride, module.padding
                 )

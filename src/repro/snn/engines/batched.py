@@ -84,14 +84,7 @@ class TimeBatchedEngine(SimulationEngine):
         self._run_timesteps = timesteps
         self._run_batch = n
         if isinstance(x, SpikeStream):
-            # A COO stream is genuinely time-varying: densify it once
-            # into the (T*N, ...) stack (t-major, the engine's stacking
-            # convention) with no constant-tiling tag, so every layer
-            # runs over the full stack.
-            dense = x.to_dense(np.float32)
-            tiled = np.ascontiguousarray(
-                dense.reshape((timesteps * n,) + dense.shape[2:])
-            )
+            tiled = self._stack_stream(x)
         else:
             tiled = self._tile_constant(x)
         with no_grad():
@@ -105,6 +98,20 @@ class TimeBatchedEngine(SimulationEngine):
         if per_step:
             outputs = [np.ascontiguousarray(cumulative[t]) for t in range(timesteps)]
         return total, outputs
+
+    def _stack_stream(self, stream: SpikeStream) -> np.ndarray:
+        """Materialise a COO stream as the engine's (T*N, ...) stack.
+
+        A stream is genuinely time-varying: it densifies into the
+        t-major stack with no constant-tiling tag, so every layer runs
+        over the full stack.  The event-batched subclass overrides this
+        to also register the stream's stacked coordinates, keeping the
+        COO structure alive across the layer graph.
+        """
+        dense = stream.to_dense(np.float32)
+        return np.ascontiguousarray(
+            dense.reshape((self._run_timesteps * stream.batch_size,) + dense.shape[2:])
+        )
 
     def _tile_constant(self, out: np.ndarray) -> np.ndarray:
         """Tile an (N, ...) array into the (T*N, ...) stack and mark it

@@ -37,7 +37,7 @@ from repro.snn.engines.base import (
 from repro.snn.engines.dense import dense_conv2d
 from repro.snn.spikes import SpikeStream, StepSpikes
 from repro.tensor import Tensor
-from repro.tensor.functional import im2col
+from repro.tensor.functional import im2col, im2col_rows
 
 
 def conv_active_windows(
@@ -57,6 +57,13 @@ def conv_active_windows(
     of the densified im2col matrix (``cols.any(axis=1)`` /
     ``count_nonzero(cols)``) would report — computed in
     ``O(events · (K/stride)²)`` instead of ``O(windows · C·K²)``.
+
+    The coordinates may equally be a *multi-step batch*: a whole
+    stream's events stacked t-major over a ``(T*N, C, H, W)`` plane
+    (:meth:`repro.snn.spikes.SpikeStream.stacked`).  Windows never
+    cross the stacked batch axis, so one call selects the active rows
+    of all T timesteps' convolutions at once — the index arithmetic is
+    amortised over the batch instead of paid per step.
     """
     n, c, h, w = x_shape
     oh = _conv_out_size(h, kernel, stride, padding)
@@ -78,16 +85,24 @@ def conv_active_windows(
     if entries == 0:
         return np.zeros(0, dtype=np.int64), 0
     base = coords[:, 0] * (oh * ow)
-    parts = []
-    for dy in range(int(ny.max())):
-        oy = lo_y + dy
-        ok_y = oy <= hi_y
-        for dx in range(int(nx.max())):
-            ox = lo_x + dx
-            ok = ok_y & (ox <= hi_x)
-            if ok.any():
-                parts.append(base[ok] + oy[ok] * ow + ox[ok])
-    return np.unique(np.concatenate(parts)), entries
+    # Enumerate every event's covering windows in one broadcast: the
+    # (events, max-dy, max-dx) candidate grid is tiny (events x
+    # (K/stride)^2) and avoids a Python loop over window offsets.
+    oy = lo_y[:, np.newaxis] + np.arange(int(ny.max()), dtype=lo_y.dtype)
+    ox = lo_x[:, np.newaxis] + np.arange(int(nx.max()), dtype=lo_x.dtype)
+    ok = (oy <= hi_y[:, np.newaxis])[:, :, np.newaxis] & (
+        ox <= hi_x[:, np.newaxis]
+    )[:, np.newaxis, :]
+    rows = (
+        (base[:, np.newaxis] + oy * ow)[:, :, np.newaxis]
+        + ox[:, np.newaxis, :]
+    )[ok]
+    # Sorted dedup via a bounded scatter mask — the row domain is known
+    # (N*OH*OW), and this is an order of magnitude faster than a
+    # sort-based ``np.unique`` at these sizes.
+    mask = np.zeros(n * oh * ow, dtype=bool)
+    mask[rows] = True
+    return np.flatnonzero(mask), entries
 
 
 def pooled_coords(
@@ -125,6 +140,7 @@ def sparse_conv2d(
     padding: int,
     active_rows: Optional[np.ndarray] = None,
     performed: Optional[int] = None,
+    rows_only: bool = False,
 ) -> Tuple[np.ndarray, int]:
     """Event-driven convolution of a sparse activation plane.
 
@@ -142,8 +158,21 @@ def sparse_conv2d(
 
     ``active_rows`` / ``performed`` accept the coordinate-derived
     selection from :func:`conv_active_windows` (a carried
-    :class:`repro.snn.spikes.SpikeStream`); when omitted they are
+    :class:`repro.snn.spikes.SpikeStream` — per step, or a whole
+    stream's t-major stacked coordinate batch); when omitted they are
     re-derived by scanning the densified column matrix.
+
+    ``rows_only=True`` (requires ``active_rows``) is the *bit-exact*
+    batched event path: only the active windows are unfolded at all
+    (:func:`repro.tensor.functional.im2col_rows` — the dense column
+    matrix is never built) and every gathered row keeps its full
+    ``C*K*K`` tap vector.  A row-subset GEMM computes each output row
+    with the same reduction the full GEMM would use, so the result is
+    bitwise identical to the dense convolution — unlike the
+    column-subset shrink, which regroups partial sums.  Cost scales
+    with active windows, and at low density the gather itself is the
+    dominant saving: the full unfold is ``O(N·OH·OW·C·K²)`` regardless
+    of sparsity.
 
     Returns ``(output, performed_ops)`` where ``performed_ops`` counts
     one op per nonzero im2col entry per output channel — the
@@ -152,8 +181,29 @@ def sparse_conv2d(
     """
     n = x.shape[0]
     c_out, _, k, _ = weight.shape
-    cols, oh, ow = im2col(x, k, stride, padding)
     w_mat = weight.reshape(c_out, -1)
+    if rows_only:
+        if active_rows is None:
+            raise ValueError("rows_only requires coordinate-derived active_rows")
+        sub, oh, ow = im2col_rows(x, k, stride, padding, active_rows)
+        if performed is None:
+            performed = int(np.count_nonzero(sub)) * c_out
+        # Scatter straight into channel-first layout: the (rows, C_out)
+        # GEMM result lands at its (sample, :, site) slots, so the
+        # output is born contiguous NCHW and the full-plane NHWC
+        # transpose copy of the dense path never happens.  Same values
+        # per element (the GEMM rows are unchanged), so still bitwise.
+        out = np.zeros(
+            (n, c_out, oh * ow), dtype=np.result_type(x.dtype, weight.dtype)
+        )
+        if active_rows.size:
+            out[active_rows // (oh * ow), :, active_rows % (oh * ow)] = (
+                sub @ w_mat.T
+            )
+        if bias is not None:
+            out += bias.reshape(1, c_out, 1)
+        return out.reshape(n, c_out, oh, ow), performed
+    cols, oh, ow = im2col(x, k, stride, padding)
     if performed is None:
         performed = int(np.count_nonzero(cols)) * c_out
     if active_rows is None:
@@ -183,15 +233,37 @@ def sparse_linear(
     bias: Optional[np.ndarray],
     active: Optional[np.ndarray] = None,
     performed: Optional[int] = None,
+    rows: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, int]:
     """Event-driven affine map over a sparse feature batch.
 
     ``active`` / ``performed`` accept the coordinate-derived feature
     selection of a carried spike stream (``unique(coords[:, 1])`` and
     ``events * out_features``); omitted, they are scanned from ``x``.
+
+    ``rows`` switches to the *bit-exact* batched event path: only the
+    given samples (rows with at least one event — for a t-major
+    stacked batch, ``unique(coords[:, 0])``) go through the GEMM, each
+    with its full feature vector, and silent samples come out exactly
+    zero (plus bias).  A row-subset GEMM reduces each output element
+    the same way the full GEMM would, so the result is bitwise
+    identical to the dense affine map — the feature-gather path above
+    regroups partial sums and is only summation-order equivalent.
     """
     if performed is None:
         performed = int(np.count_nonzero(x)) * weight.shape[0]
+    if rows is not None:
+        out = np.zeros(
+            (x.shape[0], weight.shape[0]),
+            dtype=np.result_type(x.dtype, weight.dtype),
+        )
+        if rows.size == x.shape[0]:
+            np.matmul(x, weight.T, out=out)
+        elif rows.size:
+            out[rows] = x[rows] @ weight.T
+        if bias is not None:
+            out += bias
+        return out, performed
     if active is None:
         active = np.flatnonzero(x.any(axis=0))
     if active.size == x.shape[1]:

@@ -283,6 +283,57 @@ class SpikeStream:
             out[idx] = 1 if self.values is None else self.values.astype(dtype, copy=False)
         return out
 
+    def stacked(self) -> StepSpikes:
+        """The whole stream as one :class:`StepSpikes` over the t-major
+        ``(T*N, ...)`` stack — the multi-step coordinate batch the
+        time-batched engines execute on.
+
+        The batch coordinate of an event at step ``t`` on sample ``n``
+        becomes the stacked row ``t * N + n``, matching exactly how the
+        batched schedule reshapes ``(T, N, ...)`` into ``(T*N, ...)``.
+        One such coordinate batch drives one gather+scatter per layer
+        for all T timesteps, amortising index plans and coordinate
+        bookkeeping across the whole stack instead of per-step loops.
+        """
+        n = self.batch_size
+        coords = self.coords.copy()
+        coords[:, 0] += self.timestep * n
+        return StepSpikes(
+            coords=coords,
+            shape=(self.timesteps * n,) + self.shape[1:],
+            values=self.values,
+        )
+
+    @classmethod
+    def from_stacked(cls, step: StepSpikes, timesteps: int) -> "SpikeStream":
+        """Rebuild a stream from a t-major stacked coordinate batch.
+
+        The exact inverse of :meth:`stacked`: the stacked batch row
+        ``b = t * N + n`` splits back into ``(t, n)``.  ``step.shape[0]``
+        must be ``timesteps * N``.  Amplitudes round-trip: a uniform
+        ``scale`` becomes per-event values only when it is not 1.0.
+        """
+        timesteps = int(timesteps)
+        if timesteps < 1 or step.shape[0] % timesteps:
+            raise ValueError(
+                f"stacked batch of {step.shape[0]} rows does not divide "
+                f"into {timesteps} timesteps"
+            )
+        n = step.shape[0] // timesteps
+        timestep = step.coords[:, 0] // n
+        coords = step.coords.copy()
+        coords[:, 0] %= n
+        values = step.values
+        if values is None and step.scale != 1.0 and step.num_events:
+            values = np.full(step.num_events, step.scale, dtype=np.float32)
+        return cls(
+            coords=coords,
+            timestep=timestep,
+            shape=(n,) + step.shape[1:],
+            timesteps=timesteps,
+            values=values,
+        )
+
     def batch_slice(self, start: int, stop: int) -> "SpikeStream":
         """The sub-stream of samples ``start <= n < stop`` (shards)."""
         start, stop = max(int(start), 0), min(int(stop), self.batch_size)

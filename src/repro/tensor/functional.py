@@ -133,6 +133,44 @@ def im2col(
     return cols, oh, ow
 
 
+def im2col_rows(
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int,
+    rows: np.ndarray,
+) -> Tuple[np.ndarray, int, int]:
+    """Gather only the requested im2col rows — the event-driven unfold.
+
+    ``rows`` indexes the ``(N*OH*OW)`` window axis of the full column
+    matrix (e.g. the active windows from
+    :func:`repro.snn.engines.event.conv_active_windows`); the result's
+    row *i* is bitwise-identical to row ``rows[i]`` of
+    :func:`im2col` — same cached index plan, same padded workspace,
+    one fancy-indexed gather — but the cost is
+    ``O(len(rows) * C*K*K)`` instead of ``O(N*OH*OW * C*K*K)``.  This
+    is what lets a sparse convolution pay only for windows that carry
+    at least one spike while every computed row (and hence the GEMM it
+    feeds) stays bitwise equal to the dense reference.
+    """
+    n, c, h, w = x.shape
+    indices, oh, ow = _im2col_plan(c, h, w, kernel, stride, padding)
+    if padding > 0:
+        x = _padded_workspace(x, padding)
+    flat = x.reshape(n, -1)
+    windows = indices.reshape(oh * ow, c * kernel * kernel)
+    rows = np.asarray(rows, dtype=np.int64)
+    # One flat gather instead of a two-axis fancy index: fold the sample
+    # offset into the window indices and take from the raveled
+    # workspace.  Same elements, same order — bitwise identical — but
+    # measurably faster at the low row fractions this path is gated to.
+    itype = np.int32 if flat.size < 2**31 else np.int64
+    gidx = windows.astype(itype)[rows % (oh * ow)]
+    gidx += (rows // (oh * ow)).astype(itype)[:, np.newaxis] * itype(flat.shape[1])
+    sub = np.take(flat.reshape(-1), gidx)
+    return sub, oh, ow
+
+
 def col2im(
     cols: np.ndarray,
     x_shape: Tuple[int, int, int, int],

@@ -360,6 +360,88 @@ class TestPlanPersistence:
             AutoEngine().save_plans()
 
 
+class TestDensityBucketPlanKeys:
+    """Plan keys carry a coarse input-density bucket: a plan calibrated
+    on mid-density frames must not be silently reused for a very sparse
+    stream of the same shape — the kernel crossover moves with density,
+    and before bucketing the reuse both mis-picked backends and fought
+    the drift guard (every alternation looked like distribution shift)."""
+
+    @staticmethod
+    def _stream(shape, timesteps, p, seed):
+        from repro.snn.spikes import SpikeStream
+
+        rng = np.random.default_rng(seed)
+        dense = (rng.random((timesteps,) + shape) < p).astype(np.float32)
+        return SpikeStream.from_dense(dense, binary=True)
+
+    def test_bucket_function_edges(self):
+        from repro.snn.engines import DENSITY_BUCKET_EDGES, density_bucket
+
+        assert density_bucket(0.0) == 0
+        assert density_bucket(1.0) == len(DENSITY_BUCKET_EDGES)
+        previous = -1
+        for edge in DENSITY_BUCKET_EDGES:
+            below, at = density_bucket(edge * 0.99), density_bucket(edge)
+            assert below == at  # the edge closes its bucket...
+            assert density_bucket(edge * 1.01) == at + 1  # ...not the next
+            assert at > previous
+            previous = at
+
+    def test_same_shape_different_density_get_separate_plans(self):
+        from repro.snn.engines import density_bucket
+
+        engine = AutoEngine()
+        net = SpikingNetwork(converted_toy(), timesteps=4, engine=engine)
+        shape = (4, 2, 4, 4)
+        sparse = self._stream(shape, 4, p=0.02, seed=70)
+        dense_stream = self._stream(shape, 4, p=0.9, seed=71)
+        assert density_bucket(sparse.density) != density_bucket(
+            dense_stream.density
+        )
+        net.forward(sparse)
+        net.forward(dense_stream)
+        # Same (kind, shape, T) prefix, different buckets: two plans.
+        assert engine.calibration_runs == 2
+        for stream in (sparse, dense_stream):
+            plan = engine.plan_for(
+                shape, 4, kind="stream",
+                density_bucket=density_bucket(stream.density),
+            )
+            assert plan is not None
+
+    def test_bucketed_plans_do_not_fight_drift_guard(self):
+        """Alternating sparse/dense inputs of one shape settle into two
+        stable plans — no drift replans, no recalibration churn.  (The
+        pre-bucket failure mode: run 2 reuses run 1's plan, the drift
+        guard sees ~100% density deviation, drops the plan, and every
+        alternation recalibrates forever.)"""
+        engine = AutoEngine(drift_threshold=0.3)
+        net = SpikingNetwork(converted_toy(), timesteps=4, engine=engine)
+        shape = (4, 2, 4, 4)
+        sparse = self._stream(shape, 4, p=0.02, seed=72)
+        dense_stream = self._stream(shape, 4, p=0.9, seed=73)
+        for _ in range(2):
+            net.forward(sparse)
+            net.forward(dense_stream)
+        assert engine.calibration_runs == 2
+        assert engine.replans_triggered == 0
+        assert net.last_run_stats.replan_triggered is False
+
+    def test_calibration_races_coo_backend(self):
+        """Calibration on a sparse stream times the COO row-subset path
+        alongside gemm/event, recording coo_seconds in the decision."""
+        engine = AutoEngine()
+        net = SpikingNetwork(converted_toy(), timesteps=4, engine=engine)
+        stream = self._stream((4, 2, 4, 4), 4, p=0.02, seed=74)
+        net.forward(stream)
+        plan = engine.plan_for((4, 2, 4, 4), 4, kind="stream")
+        raced = [
+            d for d in plan.decisions.values() if d.coo_seconds is not None
+        ]
+        assert raced, "no synapse decision raced the COO backend"
+
+
 class TestStreamPlanKeys:
     def test_stream_and_dense_inputs_calibrate_separate_plans(self):
         from repro.data import rate_encode_stream

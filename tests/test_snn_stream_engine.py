@@ -88,22 +88,212 @@ class TestStreamEquivalence:
         assert sd.total_synaptic_ops == ss.total_synaptic_ops
 
 
+def _sparse_stream(shape, timesteps, p, seed, values=None):
+    """A random binary (or valued) COO stream at the given density."""
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((timesteps,) + shape) < p).astype(np.float32)
+    if values is not None:
+        dense *= values
+    return SpikeStream.from_dense(dense)
+
+
+class TestEventBatchedBitExact:
+    """Acceptance: the COO-native event-batched fast paths (conv/linear
+    gather, pooling, BN-at-sites, sparse neuron update) are bitwise
+    equivalent to the dense time-batched reference — same logits, same
+    per-step outputs, same billed dense ops, same SpikeTrace densities."""
+
+    def _both(self, model, x, timesteps=TIMESTEPS):
+        out = {}
+        for engine in ("batched", "event-batched"):
+            net = SpikingNetwork(model, timesteps=timesteps, engine=engine)
+            out[engine] = (net.forward(x), net.last_run_stats)
+        return out["batched"], out["event-batched"]
+
+    def test_vgg_stream_bitwise(self, converted_vgg, frames):
+        stream = _sparse_stream(frames.shape, TIMESTEPS, 0.01, seed=21)
+        (ld, sd), (le, se) = self._both(converted_vgg, stream)
+        assert np.array_equal(ld, le)
+        # The dense billing side must agree layer by layer; the event
+        # side performs (and bills) at most that many MACs.
+        for a, b in zip(sd.layers, se.layers):
+            assert a.dense_synaptic_ops == b.dense_synaptic_ops, a.name
+            assert b.synaptic_ops <= a.synaptic_ops, a.name
+        assert se.total_synaptic_ops <= sd.total_synaptic_ops
+
+    def test_resnet_stream_bitwise(self, frames):
+        model = converted_resnet()
+        stream = _sparse_stream(frames.shape, TIMESTEPS, 0.02, seed=22)
+        (ld, sd), (le, se) = self._both(model, stream)
+        assert np.array_equal(ld, le)
+        assert se.total_dense_synaptic_ops == sd.total_dense_synaptic_ops
+
+    def test_vgg_dense_frames_parity(self, converted_vgg, frames):
+        """Dense (frame) inputs take the same interceptors — parity must
+        hold when most layers fall back to the GEMM path.  Tolerance is
+        one ulp, not zero: a row-subset GEMM can hit a different BLAS
+        micro-kernel than the full-batch GEMM (kernel choice depends on
+        M), legitimately moving the last bit of a gathered row."""
+        (ld, _), (le, _) = self._both(converted_vgg, frames)
+        assert np.array_equal(ld.argmax(1), le.argmax(1))
+        assert np.allclose(ld, le, atol=1e-6)
+
+    def test_pooled_chain_bitwise(self):
+        model = converted_pooled_toy()
+        stream = _sparse_stream((4, 2, 8, 8), TIMESTEPS, 0.05, seed=23)
+        (ld, _), (le, _) = self._both(model, stream)
+        assert np.array_equal(ld, le)
+
+    def test_per_step_outputs_bitwise(self, converted_vgg, frames):
+        stream = _sparse_stream(frames.shape, TIMESTEPS, 0.01, seed=24)
+        nets = {
+            e: SpikingNetwork(converted_vgg, timesteps=TIMESTEPS, engine=e)
+            for e in ("batched", "event-batched")
+        }
+        steps_b = nets["batched"].forward_per_step(stream)
+        steps_e = nets["event-batched"].forward_per_step(stream)
+        assert len(steps_e) == TIMESTEPS
+        for a, b in zip(steps_b, steps_e):
+            assert np.array_equal(a, b)
+
+    def test_spike_trace_densities_match(self, converted_vgg, frames):
+        stream = _sparse_stream(frames.shape, TIMESTEPS, 0.01, seed=25)
+        (_, sd), (_, se) = self._both(converted_vgg, stream)
+        trace_b = sd.spike_trace()
+        trace_e = se.spike_trace()
+        assert trace_b.rates() == trace_e.rates()
+        for a, b in zip(sd.layers, se.layers):
+            if a.kind == "neuron":
+                assert a.spike_rate == b.spike_rate, a.name
+
+    def test_sparse_neuron_background_paths(self, monkeypatch):
+        """The background-trajectory neuron update engages on sparse
+        site sets and stays bitwise for both a silent background
+        (bias-free conv: untouched sites never fire) and a firing one
+        (large conv bias: every untouched site follows the shared
+        background trajectory)."""
+        from repro import nn
+        from repro.snn.engines import event_batched as eb_mod
+        from repro.snn.neurons import IFNeuron
+
+        engaged = []
+        orig = eb_mod.EventBatchedEngine._sparse_neuron
+
+        def spy(self, module, data, sites):
+            out = orig(self, module, data, sites)
+            engaged.append(out is not None)
+            return out
+
+        monkeypatch.setattr(eb_mod.EventBatchedEngine, "_sparse_neuron", spy)
+
+        rng = np.random.default_rng(4)
+        for bias in (None, 1.5):
+            conv = nn.Conv2d(2, 6, 3, padding=1, bias=bias is not None, rng=rng)
+            if bias is not None:
+                conv.bias.data[:] = bias  # background fires every step
+            model = nn.Sequential(conv, IFNeuron(threshold=1.0))
+            model.eval()
+            stream = _sparse_stream((4, 2, 24, 24), TIMESTEPS, 0.005, seed=26)
+            engaged.clear()
+            (ld, sd), (le, se) = self._both(model, stream)
+            assert any(engaged), f"sparse neuron path not taken (bias={bias})"
+            assert np.array_equal(ld, le), f"bias={bias}"
+            for a, b in zip(sd.layers, se.layers):
+                if a.kind == "neuron":
+                    assert a.spike_rate == b.spike_rate
+
+    def test_sparse_neuron_after_bn_background(self, monkeypatch):
+        """BN-at-sites hands the neuron a nonzero per-channel background
+        (the folded zero-input response h0); the shared-trajectory
+        update must stay bitwise through that path too."""
+        from repro import nn
+        from repro.snn.engines import event_batched as eb_mod
+        from repro.snn.neurons import IFNeuron
+
+        engaged = []
+        orig = eb_mod.EventBatchedEngine._sparse_neuron
+
+        def spy(self, module, data, sites):
+            out = orig(self, module, data, sites)
+            engaged.append(out is not None)
+            return out
+
+        monkeypatch.setattr(eb_mod.EventBatchedEngine, "_sparse_neuron", spy)
+
+        rng = np.random.default_rng(5)
+        bn = nn.BatchNorm2d(6)
+        bn.running_mean[:] = rng.normal(0, 0.05, 6).astype(np.float32)
+        bn.running_var[:] = 1 + rng.normal(0, 0.1, 6).astype(np.float32) ** 2
+        model = nn.Sequential(
+            nn.Conv2d(2, 6, 3, padding=1, bias=False, rng=rng),
+            bn,
+            IFNeuron(threshold=1.0),
+        )
+        model.eval()
+        stream = _sparse_stream((4, 2, 24, 24), TIMESTEPS, 0.005, seed=27)
+        (ld, _), (le, _) = self._both(model, stream)
+        assert any(engaged), "sparse neuron path not taken after BN"
+        assert np.array_equal(ld, le)
+
+
+class TestStackedRoundTrip:
+    """Multi-step coordinate batches: ``stacked()`` folds a stream's T
+    per-step coordinate sets into one (T*N)-batch StepSpikes and
+    ``from_stacked`` recovers the stream exactly."""
+
+    def test_binary_round_trip(self, frames):
+        stream = _sparse_stream(frames.shape, 5, 0.03, seed=31)
+        stacked = stream.stacked()
+        assert stacked.shape[0] == 5 * stream.batch_size
+        back = SpikeStream.from_stacked(stacked, 5)
+        assert back.timesteps == stream.timesteps
+        assert back.shape == stream.shape
+        assert np.array_equal(back.to_dense(), stream.to_dense())
+        for t in range(stream.timesteps):
+            a, b = stream.step(t), back.step(t)
+            assert np.array_equal(
+                a.to_dense(), b.to_dense()
+            ), f"step {t} differs"
+
+    def test_valued_round_trip(self, frames):
+        rng = np.random.default_rng(32)
+        values = rng.normal(1.0, 0.2, (5,) + frames.shape).astype(np.float32)
+        stream = _sparse_stream(frames.shape, 5, 0.03, seed=33, values=values)
+        assert stream.values is not None
+        back = SpikeStream.from_stacked(stream.stacked(), 5)
+        assert np.array_equal(back.to_dense(), stream.to_dense())
+
+    def test_stacked_density_matches(self, frames):
+        stream = _sparse_stream(frames.shape, 5, 0.03, seed=34)
+        assert stream.stacked().density == pytest.approx(stream.density)
+
+    def test_empty_steps_survive(self):
+        dense = np.zeros((3, 2, 1, 4, 4), dtype=np.float32)
+        dense[1, 0, 0, 1, 2] = 1.0  # only the middle step has an event
+        stream = SpikeStream.from_dense(dense)
+        back = SpikeStream.from_stacked(stream.stacked(), 3)
+        assert np.array_equal(back.to_dense(), dense)
+
+
 class TestAllEnginesAcceptStreams:
     def test_binary_stream_agrees_across_backends(self, converted_vgg, frames):
         stream = rate_encode_stream(frames, 6, rng=np.random.default_rng(5))
         logits = {}
         ops = {}
-        for engine in ("dense", "event", "batched", "auto"):
+        for engine in ("dense", "event", "batched", "event-batched", "auto"):
             net = SpikingNetwork(converted_vgg, timesteps=6, engine=engine)
             logits[engine] = net.forward(stream)
             ops[engine] = net.last_run_stats.total_synaptic_ops
-        for engine in ("event", "batched", "auto"):
+        for engine in ("event", "batched", "event-batched", "auto"):
             assert np.allclose(logits["dense"], logits[engine], atol=1e-4), engine
             assert np.array_equal(
                 logits["dense"].argmax(1), logits[engine].argmax(1)
             ), engine
-        # The event backend's op reduction survives the stream path.
+        # The batched-COO path is bitwise against its dense reference.
+        assert np.array_equal(logits["batched"], logits["event-batched"])
+        # The event backends' op reduction survives the stream path.
         assert ops["event"] < ops["dense"]
+        assert ops["event-batched"] <= ops["dense"]
         assert ops["batched"] == ops["dense"]  # GEMM backends bill dense MACs
 
     def test_per_step_stream_matches_dense_input(self, converted_vgg, frames):
