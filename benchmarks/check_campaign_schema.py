@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Validate a campaign directory's manifest and per-point records.
+
+Usage::
+
+    python benchmarks/check_campaign_schema.py <campaign_dir>
+
+Checks the contract the resumable runner (``repro.eval.campaign``)
+promises: a ``manifest.json`` tagged ``repro-campaign/v1`` whose point
+list matches its grid, and one ``points/<id>.json`` record per point
+tagged ``repro-campaign-point/v1`` with matching campaign name, id and
+a ``result`` payload.  Exits nonzero (failing the CI job) when the
+directory is missing, a record is unparsable, or any point of the
+manifest has no valid record — i.e. the campaign did not complete.
+
+Pure stdlib on purpose: it runs before/without the test environment.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+CAMPAIGN_FORMAT = "repro-campaign/v1"
+POINT_FORMAT = "repro-campaign-point/v1"
+
+
+def check_campaign(campaign_dir):
+    """Return a list of failure strings for one campaign directory."""
+    failures = []
+    manifest_path = campaign_dir / "manifest.json"
+    if not manifest_path.exists():
+        return [f"{manifest_path} does not exist"]
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as error:
+        return [f"{manifest_path} is not JSON ({error})"]
+    if manifest.get("format") != CAMPAIGN_FORMAT:
+        failures.append(
+            f"manifest format {manifest.get('format')!r} != {CAMPAIGN_FORMAT!r}"
+        )
+    for key in ("name", "seed", "grid", "points"):
+        if key not in manifest:
+            failures.append(f"manifest is missing {key!r}")
+    if failures:
+        return failures
+
+    expected = 1
+    for axis, values in manifest["grid"].items():
+        if not isinstance(values, list) or not values:
+            failures.append(f"grid axis {axis!r} is not a non-empty list")
+            return failures
+        expected *= len(values)
+    points = manifest["points"]
+    if len(points) != expected:
+        failures.append(
+            f"manifest lists {len(points)} points but the grid expands to "
+            f"{expected}"
+        )
+    if len(set(points)) != len(points):
+        failures.append("manifest point ids are not unique")
+
+    for pid in points:
+        record_path = campaign_dir / "points" / f"{pid}.json"
+        if not record_path.exists():
+            failures.append(f"point {pid}: no record (campaign incomplete)")
+            continue
+        try:
+            record = json.loads(record_path.read_text())
+        except json.JSONDecodeError as error:
+            failures.append(f"point {pid}: record is not JSON ({error})")
+            continue
+        if record.get("format") != POINT_FORMAT:
+            failures.append(
+                f"point {pid}: format {record.get('format')!r} != {POINT_FORMAT!r}"
+            )
+        if record.get("campaign") != manifest["name"]:
+            failures.append(
+                f"point {pid}: campaign {record.get('campaign')!r} != "
+                f"{manifest['name']!r}"
+            )
+        if record.get("id") != pid:
+            failures.append(f"point {pid}: record id {record.get('id')!r} mismatch")
+        if not isinstance(record.get("seed"), int):
+            failures.append(f"point {pid}: seed missing or not an int")
+        if not isinstance(record.get("params"), dict):
+            failures.append(f"point {pid}: params missing or not an object")
+        if not isinstance(record.get("result"), dict):
+            failures.append(f"point {pid}: result missing or not an object")
+    return failures
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: check_campaign_schema.py <campaign_dir>", file=sys.stderr)
+        return 2
+    campaign_dir = Path(argv[1])
+    failures = check_campaign(campaign_dir)
+    if failures:
+        for failure in failures:
+            print(f"campaign schema check failed: {failure}", file=sys.stderr)
+        return 1
+    manifest = json.loads((campaign_dir / "manifest.json").read_text())
+    print(
+        f"{campaign_dir}: schema ok "
+        f"({manifest['name']}, {len(manifest['points'])} points complete)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

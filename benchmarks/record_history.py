@@ -1,0 +1,65 @@
+"""Snapshot the current ``BENCH_engines.json`` into ``benchmarks/history/``.
+
+Usage::
+
+    python benchmarks/record_history.py [label] [bench_path]
+
+History records are the *committed* baselines the perf trend gate
+(``compare_bench.py``) measures new runs against, so taking one is a
+deliberate step — typically once per PR after the benchmark has run —
+never a side effect of the benchmark itself (the gate picks the
+lexically newest record; auto-snapshotting every run would make it
+compare each record against itself).
+
+The snapshot is validated against the schema first and written
+atomically (temp file + rename), named ``<date>-<label>-engines.json``
+so records sort chronologically.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import sys
+from pathlib import Path
+
+from bench_schema import assert_engines_schema
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.utils.io import atomic_write_json  # noqa: E402
+
+
+def record(label: str = "manual", bench_path: Path | None = None) -> Path:
+    root = Path(__file__).resolve().parent.parent
+    bench_path = bench_path or root / "BENCH_engines.json"
+    payload = json.loads(bench_path.read_text())
+    assert_engines_schema(payload)
+    history = Path(__file__).resolve().parent / "history"
+    history.mkdir(parents=True, exist_ok=True)
+    stamp = datetime.date.today().isoformat()
+    out = history / f"{stamp}-{label}-engines.json"
+    atomic_write_json(out, payload)
+    return out
+
+
+def main(argv: list) -> int:
+    if len(argv) > 2:
+        print("usage: record_history.py [label] [bench_path]", file=sys.stderr)
+        return 2
+    label = argv[0] if argv else "manual"
+    bench = Path(argv[1]) if len(argv) > 1 else None
+    try:
+        out = record(label, bench)
+    except FileNotFoundError as error:
+        print(f"no benchmark record to snapshot: {error}", file=sys.stderr)
+        return 1
+    except (json.JSONDecodeError, AssertionError) as error:
+        print(f"refusing to snapshot an invalid record: {error}", file=sys.stderr)
+        return 1
+    print(f"recorded {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

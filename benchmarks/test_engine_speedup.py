@@ -35,6 +35,7 @@ import pytest
 
 from bench_schema import assert_engines_schema
 from repro.data import SyntheticCIFAR, direct_encode_stream
+from repro.utils.io import atomic_write_json
 from repro.data.events import SyntheticDVS
 from repro.pipeline import build_quantized_twin
 from repro.pipeline.trainer import TrainConfig, Trainer
@@ -386,7 +387,12 @@ def test_engines_wall_clock_and_auto_plan(converted_vgg_bench, converted_dvs):
         "machine": platform.machine(),
     }
     _assert_bench_schema(record)
-    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    # Atomic emission: a CI kill mid-write must never leave a torn
+    # BENCH_engines.json for the schema check / trend gate to choke on.
+    # Dated snapshots land in benchmarks/history/ via record_history.py,
+    # a deliberate step — not here, or the trend gate would compare each
+    # fresh record against itself.
+    atomic_write_json(BENCH_PATH, record)
     print(f"\nwall clock (ms): " + ", ".join(
         f"{k} {v['wall_clock_ms']}" for k, v in results.items()
     ))

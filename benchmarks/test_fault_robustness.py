@@ -4,16 +4,23 @@ Sweeps bit-error rates in the accelerator's weight memory image with
 the bit-true simulator.  Edge deployments care about this curve (SEUs,
 transfer corruption); the integer model captures high-order-bit damage
 a float simulation would smooth over.
+
+The sweep runs through the resumable campaign substrate
+(:mod:`repro.eval.campaign`): one atomic JSON record per
+(bit-error-rate, trial) point with order-independent seeding, so the
+same grid can be killed, resumed, or sharded and still reproduce these
+exact numbers.
 """
 
 from repro.data import SyntheticCIFAR
-from repro.eval import render_table
+from repro.eval import CampaignRunner, CampaignSpec, render_table
 from repro.hw import map_network
-from repro.hw.faults import weight_fault_sweep
+from repro.hw.accelerator import SpikingInferenceAccelerator
+from repro.hw.faults import fault_trial
 from repro.pipeline import TrainConfig, run_conversion_pipeline
 
 
-def test_weight_memory_fault_robustness(benchmark):
+def test_weight_memory_fault_robustness(benchmark, tmp_path):
     ds = SyntheticCIFAR(
         num_train=600, num_test=200, noise=1.0, class_overlap=0.55, seed=12
     )
@@ -28,30 +35,52 @@ def test_weight_memory_fault_robustness(benchmark):
         finetune_config=TrainConfig(epochs=3, lr=5e-4),
     )
     mapped = map_network(result.snn.model, calibration_input=ds.train_x)
+    baseline = SpikingInferenceAccelerator(mapped).accuracy(
+        ds.test_x, ds.test_y, timesteps=8
+    )
 
     rates = [0.0, 1e-4, 1e-3, 1e-2, 5e-2]
-    reports = benchmark.pedantic(
-        lambda: weight_fault_sweep(
-            mapped, ds.test_x, ds.test_y, bit_error_rates=rates, timesteps=8
-        ),
-        rounds=1,
-        iterations=1,
+    spec = CampaignSpec(
+        name="fault-robustness",
+        grid={"bit_error_rate": rates},
+        seed=12,
+        metadata={"model": "vgg11", "timesteps": 8},
     )
+
+    def point_fn(params, seed):
+        return fault_trial(
+            mapped,
+            ds.test_x,
+            ds.test_y,
+            bit_error_rate=params["bit_error_rate"],
+            seed=seed,
+            timesteps=8,
+            baseline_accuracy=baseline,
+        ).to_payload()
+
+    runner = CampaignRunner(spec, point_fn, out_dir=tmp_path / "campaign")
+    campaign = benchmark.pedantic(runner.run, rounds=1, iterations=1)
+
+    assert campaign.complete, f"missing points: {campaign.missing}"
+    reports = campaign.results()  # grid order == rates order
 
     print("\n--- Weight-memory fault robustness (VGG-11, T=8) ---")
     rows = [
         {
-            "bit_error_rate": r.bit_error_rate,
-            "flipped_bits": r.flipped_bits,
-            "accuracy": round(r.faulty_accuracy, 4),
-            "drop": round(r.accuracy_drop, 4),
+            "bit_error_rate": r["bit_error_rate"],
+            "flipped_bits": r["flipped_bits"],
+            "accuracy": round(r["faulty_accuracy"], 4),
+            "drop": round(r["accuracy_drop"], 4),
         }
         for r in reports
     ]
     print(render_table(rows, ["bit_error_rate", "flipped_bits", "accuracy", "drop"]))
 
-    baseline = reports[0].faulty_accuracy
+    # A zero-rate point flips nothing: the campaign record must agree
+    # with the directly measured baseline.
+    assert reports[0]["flipped_bits"] == 0
+    assert reports[0]["faulty_accuracy"] == baseline
     assert baseline > 0.6, "pipeline must produce a working network"
     # Graceful degradation at low BER, collapse at high BER.
-    assert reports[1].faulty_accuracy >= baseline - 0.10, "1e-4 BER ~ harmless"
-    assert reports[-1].faulty_accuracy <= baseline, "5e-2 BER must hurt"
+    assert reports[1]["faulty_accuracy"] >= baseline - 0.10, "1e-4 BER ~ harmless"
+    assert reports[-1]["faulty_accuracy"] <= baseline, "5e-2 BER must hurt"

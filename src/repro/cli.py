@@ -9,8 +9,15 @@ Usage::
     python -m repro.cli dse             # design-space exploration
     python -m repro.cli all --skip-training
 
+    # resumable campaigns (parameter grids with atomic per-point records)
+    python -m repro.cli campaign faults --out runs/faults
+    python -m repro.cli campaign dse --out runs/dse --workers 4 --mode auto
+
 Training-backed artefacts (fig6-fig9) take minutes on the numpy
-substrate; hardware tables are instant.
+substrate; hardware tables are instant.  A ``campaign`` writes one JSON
+record per grid point under ``--out`` and, re-invoked after a kill,
+completes only the missing points (exit status 3 marks a run stopped
+early by ``--max-points``).
 """
 
 from __future__ import annotations
@@ -201,6 +208,241 @@ def _print_curve(curve) -> None:
         print(f"matches the quantised ANN at T={curve.timesteps_to_match_quant}")
 
 
+# ----------------------------------------------------------------------
+# campaign subcommand: resumable parameter-grid runs
+# ----------------------------------------------------------------------
+
+CAMPAIGN_KINDS = ("faults", "dse")
+
+#: Exit status when --max-points stopped the run before the grid was
+#: complete — lets CI's kill-and-resume smoke distinguish "interrupted
+#: as requested" from success (0) and real errors (!= 0, != 3).
+EXIT_CAMPAIGN_INCOMPLETE = 3
+
+
+def _parse_float_list(text: str) -> List[float]:
+    values = [float(v) for v in text.split(",") if v.strip()]
+    if not values:
+        raise argparse.ArgumentTypeError("expected a comma-separated list of numbers")
+    return values
+
+
+def _parse_int_list(text: str) -> List[int]:
+    values = [int(v) for v in text.split(",") if v.strip()]
+    if not values:
+        raise argparse.ArgumentTypeError("expected a comma-separated list of integers")
+    return values
+
+
+def build_campaign_parser() -> argparse.ArgumentParser:
+    from repro.eval.campaign import CAMPAIGN_MODES
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli campaign",
+        description="Run a resumable parameter-grid campaign: one atomic "
+        "JSON record per point under --out; re-invoking after a kill "
+        "completes only the missing points.",
+    )
+    parser.add_argument("kind", choices=CAMPAIGN_KINDS,
+                        help="faults: weight-memory bit-error sweep on a "
+                        "trained VGG-11; dse: architecture design-space grid")
+    parser.add_argument("--out", required=True, help="campaign directory")
+    parser.add_argument("--name", default="",
+                        help="campaign name (defaults to the kind)")
+    parser.add_argument("--seed", type=int, default=0)
+    # faults grid + model pipeline
+    parser.add_argument("--rates", type=_parse_float_list,
+                        default=[0.0, 1e-4, 1e-3, 1e-2],
+                        help="comma-separated bit-error rates (faults)")
+    parser.add_argument("--trials", type=int, default=2,
+                        help="seeded trials per bit-error rate (faults)")
+    parser.add_argument("--train", type=int, default=600)
+    parser.add_argument("--test", type=int, default=200)
+    parser.add_argument("--epochs", type=int, default=4)
+    parser.add_argument("--timesteps", type=int, default=8)
+    parser.add_argument("--width", type=float, default=0.125)
+    # dse grid
+    parser.add_argument("--pe", type=_parse_int_list, default=[4, 8, 16],
+                        help="square PE-array sizes (dse)")
+    parser.add_argument("--bn-lanes", type=_parse_int_list, default=[8, 16, 32],
+                        dest="bn_lanes", help="BN-lane counts (dse)")
+    parser.add_argument("--clock", type=_parse_float_list,
+                        default=[50.0, 100.0, 150.0, 200.0],
+                        help="clock frequencies in MHz (dse)")
+    # execution / robustness knobs
+    parser.add_argument("--max-points", type=int, default=None, dest="max_points",
+                        help="stop after N missing points (kill simulation; "
+                        f"exits {EXIT_CAMPAIGN_INCOMPLETE} if the grid is "
+                        "left incomplete)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="extra attempts per point per substrate")
+    parser.add_argument("--point-timeout", type=float, default=None,
+                        dest="point_timeout",
+                        help="per-point wall-clock deadline in seconds")
+    parser.add_argument("--backoff", type=float, default=0.05,
+                        help="base retry backoff in seconds")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="points evaluated concurrently")
+    parser.add_argument("--mode", choices=CAMPAIGN_MODES, default="serial",
+                        help="execution substrate for --workers > 1")
+    return parser
+
+
+def _campaign_faults(args):
+    """Fault-sweep campaign: grid + point_fn over a trained, mapped net."""
+    from repro.data import SyntheticCIFAR
+    from repro.eval.campaign import CampaignSpec
+    from repro.hw import map_network
+    from repro.hw.accelerator import SpikingInferenceAccelerator
+    from repro.hw.faults import fault_trial
+    from repro.pipeline import TrainConfig, run_conversion_pipeline
+
+    ds = SyntheticCIFAR(
+        num_train=args.train, num_test=args.test, noise=1.0,
+        class_overlap=0.55, seed=args.seed,
+    )
+    print("training + converting VGG-11 (shared across all points)...")
+    result = run_conversion_pipeline(
+        "vgg11",
+        ds,
+        width=args.width,
+        levels=2,
+        timesteps=args.timesteps,
+        max_timesteps=args.timesteps,
+        ann_config=TrainConfig(epochs=args.epochs),
+        finetune_config=TrainConfig(epochs=max(1, args.epochs - 1), lr=5e-4),
+        seed=args.seed,
+    )
+    mapped = map_network(result.snn.model, calibration_input=ds.train_x)
+    baseline = SpikingInferenceAccelerator(mapped).accuracy(
+        ds.test_x, ds.test_y, timesteps=args.timesteps
+    )
+    spec = CampaignSpec(
+        name=args.name or "faults",
+        grid={
+            "bit_error_rate": list(args.rates),
+            "trial": list(range(args.trials)),
+        },
+        seed=args.seed,
+        metadata={
+            "model": "vgg11",
+            "timesteps": args.timesteps,
+            "train": args.train,
+            "test": args.test,
+            "epochs": args.epochs,
+            "width": args.width,
+        },
+    )
+
+    def point_fn(params, seed):
+        report = fault_trial(
+            mapped,
+            ds.test_x,
+            ds.test_y,
+            bit_error_rate=params["bit_error_rate"],
+            seed=seed,
+            timesteps=args.timesteps,
+            baseline_accuracy=baseline,
+        )
+        return report.to_payload()
+
+    columns = ["bit_error_rate", "trial", "flipped_bits", "faulty_accuracy",
+               "accuracy_drop"]
+    return spec, point_fn, columns
+
+
+def _campaign_dse(args):
+    """DSE campaign: one architecture candidate per grid point."""
+    import dataclasses
+
+    from repro.eval.campaign import CampaignSpec
+    from repro.hw.config import PYNQ_Z2
+    from repro.hw.dse import DesignSpaceExplorer
+
+    explorer = DesignSpaceExplorer()
+    spec = CampaignSpec(
+        name=args.name or "dse",
+        grid={
+            "pe": list(args.pe),
+            "bn_lanes": list(args.bn_lanes),
+            "clock_mhz": list(args.clock),
+        },
+        seed=args.seed,
+        metadata={"base": PYNQ_Z2.name, "square_arrays_only": True},
+    )
+
+    def point_fn(params, seed):
+        arch = dataclasses.replace(
+            PYNQ_Z2,
+            pe_rows=int(params["pe"]),
+            pe_cols=int(params["pe"]),
+            num_bn_multipliers=int(params["bn_lanes"]),
+            clock_hz=float(params["clock_mhz"]) * 1e6,
+            name=f"SIA-{params['pe']}x{params['pe']}",
+        )
+        point = explorer.evaluate(arch)
+        return {
+            "design": point.label,
+            "gops": point.gops,
+            "gops_per_watt": point.gops_per_watt,
+            "gops_per_dsp": point.gops_per_dsp,
+            "power_watts": point.power_watts,
+            "luts": point.luts,
+            "ffs": point.ffs,
+            "dsps": point.dsps,
+            "brams": point.brams,
+            "fits": point.fits,
+            "violations": list(point.violations),
+        }
+
+    columns = ["design", "gops", "gops_per_watt", "gops_per_dsp", "fits"]
+    return spec, point_fn, columns
+
+
+def campaign_main(argv: Optional[List[str]] = None) -> int:
+    from repro.eval.campaign import CampaignRunner
+    from repro.snn.engines.sharding import ShardPolicy
+
+    args = build_campaign_parser().parse_args(argv)
+    builders = {"faults": _campaign_faults, "dse": _campaign_dse}
+    spec, point_fn, columns = builders[args.kind](args)
+    runner = CampaignRunner(
+        spec,
+        point_fn,
+        out_dir=args.out,
+        policy=ShardPolicy(
+            timeout=args.point_timeout,
+            retries=args.retries,
+            backoff=args.backoff,
+        ),
+        workers=args.workers,
+        mode=args.mode,
+    )
+    result = runner.run(max_points=args.max_points)
+
+    _print_header(f"campaign {spec.name}: {len(result.records)}/"
+                  f"{len(spec.points())} points complete")
+    rows = []
+    for point in spec.points():
+        record = result.records.get(point.id)
+        if record is None:
+            continue
+        row = dict(point.params)
+        row.update(record["result"])
+        rows.append({c: row.get(c, "") for c in columns})
+    if rows:
+        print(render_table(rows, columns))
+    if result.failures:
+        print(f"\n{len(result.failures)} point failure(s) were retried/recovered; "
+              "see warnings above")
+    if not result.complete:
+        print(f"\nINCOMPLETE: {len(result.missing)} point(s) missing; re-run the "
+              "same command to resume")
+        return EXIT_CAMPAIGN_INCOMPLETE
+    print(f"\nrecords: {runner.points_dir}")
+    return 0
+
+
 _RUNNERS = {
     "tab1": _run_tab1,
     "tab2": _run_tab2,
@@ -287,6 +529,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # `campaign` has its own flag set (grids, resume knobs) that would
+    # collide with the artefact parser's; dispatch before parsing.
+    if argv and argv[0] == "campaign":
+        return campaign_main(argv[1:])
     args = build_parser().parse_args(argv)
     artefacts: List[str] = []
     for item in args.artefacts:

@@ -16,11 +16,25 @@ from repro.eval.experiments import (
     table3_experiment,
     table4_experiment,
 )
+from repro.eval.campaign import (
+    CampaignPoint,
+    CampaignResult,
+    CampaignRunner,
+    CampaignSpec,
+    point_id,
+    point_seed,
+)
 from repro.eval.prior_art import PRIOR_ART, PriorArtRow
 from repro.eval.tables import render_table
 from repro.eval.report import build_hardware_report, write_hardware_report
 
 __all__ = [
+    "CampaignPoint",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "point_id",
+    "point_seed",
     "AccuracyCurve",
     "accuracy_vs_timesteps_experiment",
     "spike_rate_experiment",

@@ -34,6 +34,16 @@ class FaultReport:
     def accuracy_drop(self) -> float:
         return self.baseline_accuracy - self.faulty_accuracy
 
+    def to_payload(self) -> dict:
+        """JSON-serialisable record (campaign per-point result shape)."""
+        return {
+            "flipped_bits": int(self.flipped_bits),
+            "bit_error_rate": float(self.bit_error_rate),
+            "baseline_accuracy": float(self.baseline_accuracy),
+            "faulty_accuracy": float(self.faulty_accuracy),
+            "accuracy_drop": float(self.accuracy_drop),
+        }
+
 
 def _clone_network(network: MappedNetwork) -> MappedNetwork:
     """Deep-copy a mapped network so injection never touches the original."""
@@ -89,6 +99,43 @@ def flip_threshold_bits(
         corrupted = 1  # hardware register cannot hold a non-positive threshold
     layer.config.threshold_int = corrupted
     return faulty
+
+
+def fault_trial(
+    network: MappedNetwork,
+    x: np.ndarray,
+    y: np.ndarray,
+    bit_error_rate: float,
+    seed: int,
+    timesteps: int = 8,
+    batch_size: int = 128,
+    baseline_accuracy: Optional[float] = None,
+) -> FaultReport:
+    """One self-contained weight-fault trial with its own seeded RNG.
+
+    Unlike :func:`weight_fault_sweep` — which threads a single RNG
+    through its rate list, coupling every trial to the ones before it —
+    a trial's randomness here depends only on ``seed``, so a campaign
+    can execute trials in any order (parallel shards, killed-and-resumed
+    runs) and still reproduce the exact per-point result.  Pass
+    ``baseline_accuracy`` to amortise the fault-free run across trials;
+    omitted, it is measured here.
+    """
+    if baseline_accuracy is None:
+        baseline_accuracy = SpikingInferenceAccelerator(network).accuracy(
+            x, y, timesteps=timesteps, batch_size=batch_size
+        )
+    rng = np.random.default_rng(seed)
+    faulty, flips = flip_weight_bits(network, bit_error_rate, rng)
+    accuracy = SpikingInferenceAccelerator(faulty).accuracy(
+        x, y, timesteps=timesteps, batch_size=batch_size
+    )
+    return FaultReport(
+        flipped_bits=flips,
+        bit_error_rate=bit_error_rate,
+        baseline_accuracy=baseline_accuracy,
+        faulty_accuracy=accuracy,
+    )
 
 
 def weight_fault_sweep(

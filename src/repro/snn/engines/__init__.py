@@ -74,10 +74,16 @@ from repro.snn.engines.event import (
 from repro.snn.engines.event_batched import EventBatchedEngine
 from repro.snn.engines.profiling import profiled_call
 from repro.snn.engines.sharding import (
+    DEFAULT_SHARD_POLICY,
     SHARD_MODES,
+    ShardExecutionError,
+    ShardFailure,
+    ShardPolicy,
+    SupervisedOutcome,
     clone_for_inference,
     fork_available,
     resolve_shard_mode,
+    run_supervised,
 )
 
 # ----------------------------------------------------------------------
@@ -124,12 +130,18 @@ __all__ = [
     "LRUCache",
     "LayerDecision",
     "PLAN_CACHE_CAPACITY",
+    "DEFAULT_SHARD_POLICY",
     "SHARD_MODES",
+    "ShardExecutionError",
+    "ShardFailure",
+    "ShardPolicy",
     "SimulationEngine",
     "SparseEventEngine",
+    "SupervisedOutcome",
     "TimeBatchedEngine",
     "WEIGHT_CACHE_CAPACITY",
     "clone_for_inference",
+    "run_supervised",
     "conv_active_windows",
     "dense_conv2d",
     "density_bucket",

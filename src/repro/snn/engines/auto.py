@@ -61,6 +61,7 @@ from repro.snn.engines.event import sparse_conv2d, sparse_linear
 from repro.snn.engines.event_batched import EventBatchedEngine
 from repro.snn.spikes import SpikeStream, StepSpikes
 from repro.tensor import Tensor
+from repro.utils.io import atomic_write_json
 
 logger = logging.getLogger(__name__)
 
@@ -310,14 +311,19 @@ class AutoEngine(EventBatchedEngine):
             "format": PLAN_FILE_FORMAT,
             "plans": [plan.to_payload() for _, plan in self._plans.items()],
         }
-        tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
-        os.replace(tmp, path)
+        atomic_write_json(path, payload)
 
     def load_plans(self, path: Optional[str] = None, missing_ok: bool = False) -> int:
-        """Load persisted plans into the cache; returns how many."""
+        """Load persisted plans into the cache; returns how many.
+
+        A plan file is a cache, never ground truth: if it is corrupt,
+        truncated (a crash on a filesystem without atomic rename) or
+        written by an incompatible format version, loading logs one
+        warning and returns 0 — the engine simply recalibrates, and the
+        next persist atomically replaces the bad file.  Only a missing
+        file with ``missing_ok=False`` (an explicit load of a path the
+        caller asserted exists) still raises.
+        """
         path = path if path is not None else self.plan_path
         if path is None:
             raise ValueError("no path given and no plan_path configured")
@@ -328,17 +334,34 @@ class AutoEngine(EventBatchedEngine):
             if missing_ok:
                 return 0
             raise
-        if payload.get("format") != PLAN_FILE_FORMAT:
-            raise ValueError(
-                f"{path} is not an execution-plan file "
-                f"(format {payload.get('format')!r})"
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as error:
+            logger.warning(
+                "ignoring unreadable plan file %s (%s); the engine will "
+                "recalibrate and rewrite it", path, error
             )
-        count = 0
-        for entry in payload.get("plans", []):
-            plan = ExecutionPlan.from_payload(dict(entry, format=PLAN_FILE_FORMAT))
+            return 0
+        if not isinstance(payload, dict) or payload.get("format") != PLAN_FILE_FORMAT:
+            found = payload.get("format") if isinstance(payload, dict) else type(payload).__name__
+            logger.warning(
+                "ignoring plan file %s: format %r does not match %r; the "
+                "engine will recalibrate and rewrite it",
+                path, found, PLAN_FILE_FORMAT,
+            )
+            return 0
+        try:
+            plans = [
+                ExecutionPlan.from_payload(dict(entry, format=PLAN_FILE_FORMAT))
+                for entry in payload.get("plans", [])
+            ]
+        except (KeyError, TypeError, ValueError) as error:
+            logger.warning(
+                "ignoring plan file %s with malformed plan entries (%s); "
+                "the engine will recalibrate and rewrite it", path, error
+            )
+            return 0
+        for plan in plans:
             self._plans.put(plan.key, plan)
-            count += 1
-        return count
+        return len(plans)
 
     def _persist_plans(self) -> None:
         # Fork children inherit plan_path but must not write: their

@@ -14,6 +14,7 @@ layers), or the whole schedule via :meth:`SimulationEngine._execute`.
 from __future__ import annotations
 
 import abc
+import logging
 import threading
 import time
 from collections import OrderedDict
@@ -29,9 +30,12 @@ from repro.snn.convert import reset_network_state
 from repro.snn.engines.profiling import profiled_call
 from repro.snn.engines.sharding import (
     SHARD_MODES,
+    ShardPolicy,
     resolve_shard_mode,
     run_batch_shards,
 )
+
+logger = logging.getLogger(__name__)
 from repro.snn.neurons import IFNeuron
 from repro.snn.spikes import SpikeStream
 from repro.snn.stats import LayerStats, RunStats
@@ -268,6 +272,7 @@ class SimulationEngine(abc.ABC):
         per_step: bool = False,
         workers: int = 1,
         shard_mode: str = "auto",
+        shard_policy: Optional[ShardPolicy] = None,
     ) -> EngineRun:
         """Run a batch for T timesteps; accumulate logits in place.
 
@@ -287,6 +292,14 @@ class SimulationEngine(abc.ABC):
         — per-timestep input planes instead of one direct-coded frame.
         The stream's ``timesteps`` must match ``timesteps``, and shards
         slice the stream's batch axis exactly like a dense batch.
+
+        Sharded runs execute under a supervisor (see
+        :mod:`repro.snn.engines.sharding`): a shard that crashes or
+        hangs past ``shard_policy.timeout`` is retried and, if
+        necessary, re-run down the ``fork -> thread -> serial``
+        degradation chain — logits stay bit-identical (same kernels,
+        same slices) and the failure trail lands on
+        ``RunStats.shard_failures`` / ``RunStats.degraded_shard_mode``.
         """
         if self.model is None:
             raise RuntimeError("engine is not bound to a model; call bind() first")
@@ -306,7 +319,18 @@ class SimulationEngine(abc.ABC):
                 )
         else:
             x = np.asarray(x)
-        workers = min(int(workers), max(int(x.shape[0]), 1))
+        requested = int(workers)
+        workers = min(requested, max(int(x.shape[0]), 1))
+        if workers < requested:
+            # Clamp instead of spawning empty shards; one warning so a
+            # mis-sized fleet is visible without spamming per shard.
+            logger.warning(
+                "workers=%d exceeds the batch size %d; clamping to %d "
+                "single-sample shard(s)",
+                requested,
+                int(x.shape[0]),
+                workers,
+            )
         if workers == 1:
             # No sharding happens: don't demand a working fork (a
             # shard_mode="fork" request must not crash single-worker
@@ -317,7 +341,10 @@ class SimulationEngine(abc.ABC):
         started = time.perf_counter()
         blocks = np.array_split(np.arange(x.shape[0]), workers)
         bounds = [(int(b[0]), int(b[-1]) + 1) for b in blocks if b.size]
-        runs = run_batch_shards(self, x, timesteps, per_step, bounds, mode)
+        outcome = run_batch_shards(
+            self, x, timesteps, per_step, bounds, mode, policy=shard_policy
+        )
+        runs = outcome.results
         self._absorb_shard_runs(runs)
         logits = np.concatenate([run.logits for run in runs], axis=0)
         stats = runs[0].stats
@@ -325,6 +352,8 @@ class SimulationEngine(abc.ABC):
             stats.merge(run.stats)
         stats.workers = len(bounds)
         stats.shard_mode = mode
+        stats.shard_failures = list(outcome.failures)
+        stats.degraded_shard_mode = outcome.degraded_mode
         # Shard wall clocks overlap; report the parent-observed elapsed.
         stats.wall_clock_seconds = time.perf_counter() - started
         outputs: Optional[List[np.ndarray]] = None

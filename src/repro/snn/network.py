@@ -29,7 +29,7 @@ import numpy as np
 from repro.nn.module import Module
 from repro.snn.convert import spiking_layers
 from repro.snn.engines import EngineSpec, SimulationEngine, make_engine
-from repro.snn.engines.sharding import SHARD_MODES
+from repro.snn.engines.sharding import SHARD_MODES, ShardPolicy
 from repro.snn.spikes import SpikeStream
 from repro.snn.stats import RunStats
 
@@ -58,6 +58,11 @@ class SpikingNetwork:
         thread pool over weight-sharing model clones; works where fork
         is unavailable) or ``"auto"`` (fork where available, threads
         otherwise).
+    shard_policy:
+        Failure-handling knobs for sharded runs
+        (:class:`repro.snn.engines.sharding.ShardPolicy`: per-attempt
+        timeout, bounded retries, backoff).  ``None`` uses the default
+        policy (capture + retry + degradation, no hang deadline).
     """
 
     def __init__(
@@ -67,6 +72,7 @@ class SpikingNetwork:
         engine: EngineSpec = "dense",
         workers: int = 1,
         shard_mode: str = "auto",
+        shard_policy: Optional[ShardPolicy] = None,
     ) -> None:
         if timesteps < 1:
             raise ValueError("timesteps must be >= 1")
@@ -83,6 +89,7 @@ class SpikingNetwork:
         self.timesteps = timesteps
         self.workers = int(workers)
         self.shard_mode = shard_mode
+        self.shard_policy = shard_policy
         self.engine: SimulationEngine = make_engine(engine)
         if self.engine.model is not None and self.engine.model is not model:
             # Rebinding would silently redirect the other network's
@@ -135,6 +142,7 @@ class SpikingNetwork:
             self._resolve_timesteps(timesteps, x),
             workers=self._resolve_workers(workers),
             shard_mode=self._resolve_shard_mode(shard_mode),
+            shard_policy=self.shard_policy,
         )
         self.last_run_stats = run.stats
         return run.logits
@@ -163,6 +171,7 @@ class SpikingNetwork:
             per_step=True,
             workers=self._resolve_workers(workers),
             shard_mode=self._resolve_shard_mode(shard_mode),
+            shard_policy=self.shard_policy,
         )
         self.last_run_stats = run.stats
         return run.per_step

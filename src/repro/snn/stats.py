@@ -155,6 +155,14 @@ class RunStats:
     wall_clock_seconds: float = 0.0
     workers: int = 1  # batch shards merged into this record
     shard_mode: str = ""  # "fork" | "thread" when workers > 1
+    # Supervised-sharding failure trail: every captured per-shard
+    # failure (crash or hang, see
+    # :class:`repro.snn.engines.sharding.ShardFailure`) of the run, and
+    # the substrate that ultimately completed the work when the
+    # fork->thread->serial degradation chain had to leave the requested
+    # one ("" for a clean, undegraded run).
+    shard_failures: List = field(default_factory=list)
+    degraded_shard_mode: str = ""
     # Adaptive-engine drift guard: the worst relative deviation of an
     # observed layer density from the executed plan's calibration
     # density, and whether it crossed the re-plan threshold (the next
@@ -278,6 +286,9 @@ class RunStats:
         self.wall_clock_seconds += other.wall_clock_seconds
         self.plan_drift = max(self.plan_drift, other.plan_drift)
         self.replan_triggered = self.replan_triggered or other.replan_triggered
+        self.shard_failures.extend(other.shard_failures)
+        if not self.degraded_shard_mode:
+            self.degraded_shard_mode = other.degraded_shard_mode
         return self
 
     def layer_table(self) -> str:

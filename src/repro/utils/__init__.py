@@ -1,7 +1,16 @@
-"""Shared utilities: seeding, model serialisation, simple run logging."""
+"""Shared utilities: seeding, serialisation, run logging, atomic IO."""
 
 from repro.utils.serialization import load_state, save_state
 from repro.utils.seeding import seed_everything, spawn_rngs
 from repro.utils.logging import RunLogger
+from repro.utils.io import atomic_write_json, atomic_write_text
 
-__all__ = ["save_state", "load_state", "seed_everything", "spawn_rngs", "RunLogger"]
+__all__ = [
+    "save_state",
+    "load_state",
+    "seed_everything",
+    "spawn_rngs",
+    "RunLogger",
+    "atomic_write_json",
+    "atomic_write_text",
+]

@@ -1,0 +1,49 @@
+"""Crash-safe file writes shared across the repo.
+
+Every JSON artefact a process may be killed while writing — persisted
+execution plans (``AutoEngine.save_plans``), benchmark records
+(``BENCH_engines.json`` and the dated files under
+``benchmarks/history/``), campaign manifests and per-point results
+(``repro.eval.campaign``) — goes through :func:`atomic_write_text`:
+the payload lands in a same-directory temp file first and is moved into
+place with ``os.replace``, which POSIX guarantees is atomic.  A reader
+therefore sees either the previous complete document or the new
+complete document, never a truncated one, and a process killed
+mid-write leaves at worst an orphaned ``*.tmp.<pid>`` file that the
+next successful write of the same path does not trip over.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file carries the writer's pid so two processes racing on
+    the same path never clobber each other's in-flight temp; whichever
+    ``os.replace`` lands last wins with a complete document.  On any
+    write error the temp file is removed, leaving ``path`` untouched.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(path: Union[str, Path], payload: Any, indent: int = 2) -> Path:
+    """Serialise ``payload`` and write it atomically as one document."""
+    return atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")

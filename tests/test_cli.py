@@ -98,6 +98,71 @@ class TestParser:
             build_parser().parse_args(["fig8", "--input-format", "holograms"])
 
 
+class TestCampaignParser:
+    def test_kind_and_out_required(self):
+        from repro.cli import build_campaign_parser
+
+        parser = build_campaign_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["faults"])  # missing --out
+        with pytest.raises(SystemExit):
+            parser.parse_args(["bogus", "--out", "x"])
+        args = parser.parse_args(["faults", "--out", "runs/f"])
+        assert args.kind == "faults"
+        assert args.out == "runs/f"
+
+    def test_defaults(self):
+        from repro.cli import build_campaign_parser
+
+        args = build_campaign_parser().parse_args(["dse", "--out", "x"])
+        assert args.workers == 1
+        assert args.mode == "serial"
+        assert args.max_points is None
+        assert args.retries == 1
+        assert args.trials == 2
+        assert 1e-3 in args.rates
+
+    def test_list_flags_parse(self):
+        from repro.cli import build_campaign_parser
+
+        args = build_campaign_parser().parse_args(
+            ["dse", "--out", "x", "--pe", "4,8", "--clock", "50,100",
+             "--rates", "0.001,0.01", "--max-points", "2"]
+        )
+        assert args.pe == [4, 8]
+        assert args.clock == [50.0, 100.0]
+        assert args.rates == [0.001, 0.01]
+        assert args.max_points == 2
+
+    def test_rejects_empty_list(self):
+        from repro.cli import build_campaign_parser
+
+        with pytest.raises(SystemExit):
+            build_campaign_parser().parse_args(["dse", "--out", "x", "--pe", ","])
+
+
+class TestCampaignCommand:
+    def test_dse_campaign_kill_and_resume(self, tmp_path, capsys):
+        from repro.cli import EXIT_CAMPAIGN_INCOMPLETE
+
+        out = str(tmp_path / "dse")
+        argv = ["campaign", "dse", "--out", out,
+                "--pe", "4,8", "--bn-lanes", "8", "--clock", "50,100"]
+        # Simulated kill: stop after 2 of 4 points.
+        assert main(argv + ["--max-points", "2"]) == EXIT_CAMPAIGN_INCOMPLETE
+        assert "INCOMPLETE" in capsys.readouterr().out
+        # Resume completes the remaining points and exits 0.
+        assert main(argv) == 0
+        text = capsys.readouterr().out
+        assert "4/4 points complete" in text
+        assert "8x8PE/8BN@100MHz" in text
+
+    def test_campaign_dispatch_does_not_shadow_artefacts(self, capsys):
+        # Regular artefact parsing still works after the dispatch hook.
+        assert main(["tab3"]) == 0
+        assert "Table III" in capsys.readouterr().out
+
+
 class TestHardwareArtefacts:
     def test_tab1(self, capsys):
         assert main(["tab1"]) == 0

@@ -359,6 +359,50 @@ class TestPlanPersistence:
         with pytest.raises(ValueError):
             AutoEngine().save_plans()
 
+    def test_corrupt_plan_file_falls_back_to_recalibration(self, tmp_path, caplog):
+        path = str(tmp_path / "plans.json")
+        with open(path, "w") as handle:
+            handle.write('{"format": "repro-execution-plans/v1", "plans": [{"tru')
+        with caplog.at_level("WARNING", logger="repro.snn.engines.auto"):
+            engine = AutoEngine(plan_path=path)
+        assert len(engine._plans) == 0
+        assert any("unreadable plan file" in r.getMessage() for r in caplog.records)
+        # The engine still works: it calibrates and atomically rewrites
+        # the bad file with a valid document.
+        net = SpikingNetwork(converted_toy(), timesteps=4, engine=engine)
+        x = np.random.default_rng(94).normal(size=(4, 2, 4, 4)).astype(np.float32)
+        net.forward(x)
+        assert engine.calibration_runs == 1
+        import json as _json
+        rewritten = _json.loads(open(path).read())
+        assert rewritten["format"] == "repro-execution-plans/v1"
+        assert rewritten["plans"]
+
+    def test_schema_mismatched_plan_file_is_ignored(self, tmp_path, caplog):
+        path = str(tmp_path / "plans.json")
+        with open(path, "w") as handle:
+            handle.write('{"format": "repro-execution-plans/v99", "plans": []}')
+        with caplog.at_level("WARNING", logger="repro.snn.engines.auto"):
+            engine = AutoEngine(plan_path=path)
+        assert len(engine._plans) == 0
+        assert any("does not match" in r.getMessage() for r in caplog.records)
+
+    def test_malformed_plan_entries_are_ignored(self, tmp_path, caplog):
+        path = str(tmp_path / "plans.json")
+        with open(path, "w") as handle:
+            handle.write(
+                '{"format": "repro-execution-plans/v1", "plans": [{"bogus": 1}]}'
+            )
+        with caplog.at_level("WARNING", logger="repro.snn.engines.auto"):
+            engine = AutoEngine(plan_path=path)
+        assert len(engine._plans) == 0
+        assert any("malformed plan entries" in r.getMessage() for r in caplog.records)
+
+    def test_explicit_load_of_missing_file_still_raises(self, tmp_path):
+        engine = AutoEngine()
+        with pytest.raises(FileNotFoundError):
+            engine.load_plans(str(tmp_path / "absent.json"))
+
 
 class TestDensityBucketPlanKeys:
     """Plan keys carry a coarse input-density bucket: a plan calibrated
