@@ -1,12 +1,18 @@
-"""The machine-readable contract of ``BENCH_engines.json``.
+"""The machine-readable contracts of the ``BENCH_*.json`` artifacts.
 
-CI uploads the artifact and downstream tooling (plus successive PRs
-tracking the wall-clock trajectory) parse it, so the shape is asserted
-in two places from this single definition: inside the benchmark that
+CI uploads the artifacts and downstream tooling (plus successive PRs
+tracking the perf trajectory) parse them, so each shape is asserted in
+two places from this single definition: inside the benchmark that
 writes the record, and by ``check_bench_schema.py`` as a standalone CI
 step over the emitted file — schema drift fails the job instead of
 being discovered broken later.  ``compare_bench.py`` reads the same
-record shape when gating the current run against ``history/``.
+record shapes when gating the current run against ``history/``.
+
+Two artifact kinds exist, distinguished by ``record["benchmark"]``:
+``engines_wall_clock`` (``BENCH_engines.json``, the engine-speedup
+story) and ``serving_load`` (``BENCH_serving.json``, the serving
+layer's throughput, tail latency and failure semantics).
+:func:`assert_bench_schema` dispatches on the kind.
 """
 
 TOP_LEVEL_KEYS = (
@@ -89,3 +95,104 @@ def assert_engines_schema(record: dict) -> None:
     assert isinstance(dvs["event_batched_speedup_vs_batched"], (int, float))
     assert isinstance(dvs["auto_vs_best_fixed"], (int, float))
     assert dvs["logits_bitwise_vs_batched"] is True
+
+
+# ----------------------------------------------------------------------
+# BENCH_serving.json: the serving-load contract
+# ----------------------------------------------------------------------
+SERVING_TOP_LEVEL_KEYS = (
+    "benchmark",
+    "scenario",
+    "throughput",
+    "latency_ms",
+    "robustness",
+    "counters",
+    "python",
+    "machine",
+)
+
+SERVING_SCENARIO_KEYS = (
+    "model",
+    "input_shape",
+    "timesteps",
+    "engine",
+    "max_batch",
+    "serial_requests",
+    "concurrency",
+    "concurrent_requests",
+)
+
+SERVING_THROUGHPUT_KEYS = (
+    "sequential_rps",
+    "concurrent_rps",
+    "batching_throughput_gain",
+)
+
+SERVING_OVERLOAD_KEYS = (
+    "attempted",
+    "ok",
+    "shed",
+    "deadline_rejected",
+    "unhandled",
+)
+
+SERVING_BREAKER_KEYS = ("trips", "recoveries", "worker_restarts", "recovered")
+
+
+def assert_serving_schema(record: dict) -> None:
+    """Raise AssertionError where ``record`` violates the contract."""
+    for key in SERVING_TOP_LEVEL_KEYS:
+        assert key in record, f"missing top-level key {key!r}"
+    assert record["benchmark"] == "serving_load"
+    scenario = record["scenario"]
+    for key in SERVING_SCENARIO_KEYS:
+        assert key in scenario, f"missing scenario key {key!r}"
+    throughput = record["throughput"]
+    for key in SERVING_THROUGHPUT_KEYS:
+        value = throughput.get(key)
+        assert isinstance(value, (int, float)) and value > 0, f"throughput.{key}"
+    latency = record["latency_ms"]
+    for key in ("p50", "p99"):
+        assert isinstance(latency.get(key), (int, float)), f"latency_ms.{key}"
+    assert latency["p99"] >= latency["p50"] >= 0.0
+    robustness = record["robustness"]
+    overload = robustness["overload"]
+    for key in SERVING_OVERLOAD_KEYS:
+        assert isinstance(overload.get(key), int), f"overload.{key}"
+    assert overload["unhandled"] == 0, (
+        "overload produced answers outside {200, 429, 504}"
+    )
+    assert overload["ok"] >= 1
+    assert overload["shed"] + overload["deadline_rejected"] >= 1, (
+        "a 2x overload run must shed or deadline-reject some load"
+    )
+    breaker = robustness["breaker"]
+    for key in SERVING_BREAKER_KEYS:
+        assert key in breaker, f"breaker.{key}"
+    assert breaker["trips"] >= 1, "the hung-worker phase must trip the breaker"
+    assert breaker["recoveries"] >= 1, "the breaker must recover via a probe"
+    assert breaker["worker_restarts"] >= 1, "the wedged slot must be rebuilt"
+    assert breaker["recovered"] is True
+    assert robustness["bit_identical_serial_responses"] is True
+    assert robustness["degraded_prefix_consistent"] is True
+    drain = robustness["drain"]
+    assert drain["flushed"] is True and drain["inflight_completed"] is True
+    assert isinstance(record["counters"], dict)
+
+
+# ----------------------------------------------------------------------
+# Kind dispatch
+# ----------------------------------------------------------------------
+BENCH_KINDS = {
+    "engines_wall_clock": assert_engines_schema,
+    "serving_load": assert_serving_schema,
+}
+
+
+def assert_bench_schema(record: dict) -> None:
+    """Validate any ``BENCH_*.json`` record by its ``benchmark`` kind."""
+    kind = record.get("benchmark")
+    assert kind in BENCH_KINDS, (
+        f"unknown benchmark kind {kind!r}; expected one of {sorted(BENCH_KINDS)}"
+    )
+    BENCH_KINDS[kind](record)

@@ -1,13 +1,16 @@
 #!/usr/bin/env python
-"""Validate an emitted ``BENCH_engines.json`` against the schema.
+"""Validate an emitted ``BENCH_*.json`` artifact against its schema.
 
 Usage::
 
     python benchmarks/check_bench_schema.py BENCH_engines.json
+    python benchmarks/check_bench_schema.py BENCH_serving.json
 
-Exits nonzero (failing the CI job) when the artifact is missing,
-unparsable, or drifts from the contract in ``bench_schema.py``.  Pure
-stdlib on purpose: it runs before/without the test environment.
+The artifact kind is dispatched from ``record["benchmark"]``
+(``engines_wall_clock`` or ``serving_load``).  Exits nonzero (failing
+the CI job) when the artifact is missing, unparsable, or drifts from
+the contract in ``bench_schema.py``.  Pure stdlib on purpose: it runs
+before/without the test environment.
 """
 
 import json
@@ -16,12 +19,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from bench_schema import assert_engines_schema  # noqa: E402
+from bench_schema import assert_bench_schema  # noqa: E402
 
 
 def main(argv):
     if len(argv) != 2:
-        print("usage: check_bench_schema.py <BENCH_engines.json>", file=sys.stderr)
+        print("usage: check_bench_schema.py <BENCH_*.json>", file=sys.stderr)
         return 2
     path = Path(argv[1])
     if not path.exists():
@@ -33,12 +36,19 @@ def main(argv):
         print(f"schema check failed: {path} is not JSON ({error})", file=sys.stderr)
         return 1
     try:
-        assert_engines_schema(record)
+        assert_bench_schema(record)
     except AssertionError as error:
         print(f"schema drift in {path}: {error}", file=sys.stderr)
         return 1
-    engines = ", ".join(sorted(record["engines"]))
-    print(f"{path}: schema ok ({engines})")
+    if record["benchmark"] == "engines_wall_clock":
+        detail = ", ".join(sorted(record["engines"]))
+    else:
+        throughput = record["throughput"]
+        detail = (
+            f"gain {throughput['batching_throughput_gain']}x, "
+            f"{throughput['concurrent_rps']} req/s"
+        )
+    print(f"{path}: schema ok ({record['benchmark']}: {detail})")
     return 0
 
 

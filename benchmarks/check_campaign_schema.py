@@ -86,6 +86,16 @@ def check_campaign(campaign_dir):
             failures.append(f"point {pid}: params missing or not an object")
         if not isinstance(record.get("result"), dict):
             failures.append(f"point {pid}: result missing or not an object")
+        # Supervision-trail fields (PR 8): optional for records written
+        # by older runners, type-checked when present.
+        if "shard_failures" in record and not isinstance(
+            record["shard_failures"], int
+        ):
+            failures.append(f"point {pid}: shard_failures is not an int")
+        if "degraded_shard_mode" in record and not isinstance(
+            record["degraded_shard_mode"], str
+        ):
+            failures.append(f"point {pid}: degraded_shard_mode is not a string")
     return failures
 
 

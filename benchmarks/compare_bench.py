@@ -1,20 +1,23 @@
 #!/usr/bin/env python
-"""Gate the current ``BENCH_engines.json`` against committed history.
+"""Gate a freshly emitted ``BENCH_*.json`` against committed history.
 
 Usage::
 
     python benchmarks/compare_bench.py BENCH_engines.json [history_dir]
+    python benchmarks/compare_bench.py BENCH_serving.json [history_dir]
 
-Each PR that moves engine performance commits a dated record under
-``benchmarks/history/``; this script compares the freshly emitted
-artifact against the newest such record and exits nonzero when a
+Each PR that moves performance commits a dated record under
+``benchmarks/history/``; this script compares the fresh artifact
+against the newest record *of the same kind* (``<date>-<label>-
+engines.json`` vs ``...-serving.json``) and exits nonzero when a
 tracked metric regresses beyond the noise band, so a perf regression
-fails CI instead of silently eroding the wall-clock story.
+fails CI instead of silently eroding the story.
 
-Only *ratio* metrics are compared — speedups and auto-vs-best-fixed —
-never absolute milliseconds: the interleaved best-of-k measurement
-makes ratios stable across machines whose absolute speeds differ.
-Pure stdlib on purpose: it runs before/without the test environment.
+Only *ratio* metrics are compared — speedups, auto-vs-best-fixed, the
+serving layer's batching throughput gain — never absolute milliseconds
+or req/s: ratios of measurements taken on the same box in the same run
+are stable across machines whose absolute speeds differ.  Pure stdlib
+on purpose: it runs before/without the test environment.
 """
 
 import json
@@ -26,13 +29,17 @@ from pathlib import Path
 NOISE_BAND = 1.30
 
 # Hard floors/ceilings that hold regardless of what history says —
-# the acceptance criteria the benchmark itself asserts.
+# the acceptance criteria the benchmarks themselves assert.
 MIN_BATCHED_SPEEDUP = 3.0
 MIN_DVS_EVENT_SPEEDUP = 1.0
 MAX_AUTO_RATIO = 1.1
+# Coalescing must clearly beat serial dispatch for the batching layer
+# to justify existing; measured ~5x on a single-core box, so 1.5 is a
+# conservative floor well outside timing noise.
+MIN_BATCHING_GAIN = 1.5
 
 
-def _metrics(record):
+def _engines_metrics(record):
     """The tracked (name, value, higher_is_better) triples."""
     return [
         ("batched_speedup_vs_dense", record["batched_speedup_vs_dense"], True),
@@ -46,10 +53,10 @@ def _metrics(record):
     ]
 
 
-def _floors(record):
+def _engines_floors(record):
     """(name, value, bound, ok) rows for the history-free hard bounds."""
     rows = []
-    for name, value, higher in _metrics(record):
+    for name, value, higher in _engines_metrics(record):
         if name == "batched_speedup_vs_dense":
             rows.append((name, value, MIN_BATCHED_SPEEDUP, value >= MIN_BATCHED_SPEEDUP))
         elif name == "dvs.event_batched_speedup_vs_batched":
@@ -59,16 +66,40 @@ def _floors(record):
     return rows
 
 
-def latest_history(history_dir):
-    records = sorted(history_dir.glob("*.json"))
+def _serving_metrics(record):
+    gain = record["throughput"]["batching_throughput_gain"]
+    return [("throughput.batching_throughput_gain", gain, True)]
+
+
+def _serving_floors(record):
+    gain = record["throughput"]["batching_throughput_gain"]
+    return [
+        (
+            "throughput.batching_throughput_gain",
+            gain,
+            MIN_BATCHING_GAIN,
+            gain >= MIN_BATCHING_GAIN,
+        )
+    ]
+
+
+#: record["benchmark"] -> (metrics fn, floors fn, history suffix)
+KINDS = {
+    "engines_wall_clock": (_engines_metrics, _engines_floors, "engines"),
+    "serving_load": (_serving_metrics, _serving_floors, "serving"),
+}
+
+
+def latest_history(history_dir, suffix):
+    records = sorted(history_dir.glob(f"*-{suffix}.json"))
     return records[-1] if records else None
 
 
-def compare(current, baseline):
+def compare(current, baseline, metrics_fn):
     """Return a list of failure strings comparing current vs baseline."""
     failures = []
-    base = {name: value for name, value, _ in _metrics(baseline)}
-    for name, value, higher in _metrics(current):
+    base = {name: value for name, value, _ in metrics_fn(baseline)}
+    for name, value, higher in metrics_fn(current):
         reference = base.get(name)
         if reference is None:
             continue
@@ -96,7 +127,7 @@ def compare(current, baseline):
 def main(argv):
     if len(argv) not in (2, 3):
         print(
-            "usage: compare_bench.py <BENCH_engines.json> [history_dir]",
+            "usage: compare_bench.py <BENCH_*.json> [history_dir]",
             file=sys.stderr,
         )
         return 2
@@ -110,21 +141,30 @@ def main(argv):
         print(f"compare failed: {current_path} does not exist", file=sys.stderr)
         return 1
     current = json.loads(current_path.read_text())
+    kind = current.get("benchmark")
+    if kind not in KINDS:
+        print(
+            f"compare failed: unknown benchmark kind {kind!r} in "
+            f"{current_path}",
+            file=sys.stderr,
+        )
+        return 1
+    metrics_fn, floors_fn, suffix = KINDS[kind]
 
     failures = []
     print(f"hard bounds on {current_path}:")
-    for name, value, bound, ok in _floors(current):
+    for name, value, bound, ok in floors_fn(current):
         print(f"  {name}: {value:.3f} (bound {bound}) {'ok' if ok else 'FAIL'}")
         if not ok:
             failures.append(f"{name}={value:.3f} violates hard bound {bound}")
 
-    baseline_path = latest_history(history_dir)
+    baseline_path = latest_history(history_dir, suffix)
     if baseline_path is None:
-        print(f"no history in {history_dir}; hard bounds only")
+        print(f"no {suffix} history in {history_dir}; hard bounds only")
     else:
         baseline = json.loads(baseline_path.read_text())
         print(f"vs {baseline_path.name}:")
-        failures.extend(compare(current, baseline))
+        failures.extend(compare(current, baseline, metrics_fn))
 
     if failures:
         for failure in failures:

@@ -1,4 +1,4 @@
-"""Snapshot the current ``BENCH_engines.json`` into ``benchmarks/history/``.
+"""Snapshot a ``BENCH_*.json`` artifact into ``benchmarks/history/``.
 
 Usage::
 
@@ -12,8 +12,10 @@ lexically newest record; auto-snapshotting every run would make it
 compare each record against itself).
 
 The snapshot is validated against the schema first and written
-atomically (temp file + rename), named ``<date>-<label>-engines.json``
-so records sort chronologically.
+atomically and durably (temp file + fsync + rename), named
+``<date>-<label>-<kind>.json`` — ``engines`` for the wall-clock
+artifact, ``serving`` for the serving-load one — so records of each
+kind sort chronologically and the gate can glob per kind.
 """
 
 from __future__ import annotations
@@ -23,23 +25,27 @@ import json
 import sys
 from pathlib import Path
 
-from bench_schema import assert_engines_schema
+from bench_schema import assert_bench_schema
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.utils.io import atomic_write_json  # noqa: E402
+
+#: record["benchmark"] -> history filename suffix
+KIND_SUFFIXES = {"engines_wall_clock": "engines", "serving_load": "serving"}
 
 
 def record(label: str = "manual", bench_path: Path | None = None) -> Path:
     root = Path(__file__).resolve().parent.parent
     bench_path = bench_path or root / "BENCH_engines.json"
     payload = json.loads(bench_path.read_text())
-    assert_engines_schema(payload)
+    assert_bench_schema(payload)
+    suffix = KIND_SUFFIXES[payload["benchmark"]]
     history = Path(__file__).resolve().parent / "history"
     history.mkdir(parents=True, exist_ok=True)
     stamp = datetime.date.today().isoformat()
-    out = history / f"{stamp}-{label}-engines.json"
-    atomic_write_json(out, payload)
+    out = history / f"{stamp}-{label}-{suffix}.json"
+    atomic_write_json(out, payload, fsync=True)
     return out
 
 

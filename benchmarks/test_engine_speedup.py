@@ -392,7 +392,7 @@ def test_engines_wall_clock_and_auto_plan(converted_vgg_bench, converted_dvs):
     # Dated snapshots land in benchmarks/history/ via record_history.py,
     # a deliberate step — not here, or the trend gate would compare each
     # fresh record against itself.
-    atomic_write_json(BENCH_PATH, record)
+    atomic_write_json(BENCH_PATH, record, fsync=True)
     print(f"\nwall clock (ms): " + ", ".join(
         f"{k} {v['wall_clock_ms']}" for k, v in results.items()
     ))

@@ -1,0 +1,320 @@
+"""Serving load benchmark: throughput, tail latency, failure semantics.
+
+Drives a real :class:`repro.serve.app.InferenceServer` (ephemeral port,
+tiny calibrated demo SNN, AutoEngine backend) through the full
+robustness gauntlet and emits ``BENCH_serving.json``:
+
+1. **Serial baseline** — requests one at a time; every response is
+   checked bit-identical against a direct run on the server's own
+   engine (same plan cache, same kernels), which pins down that the
+   serving path adds *no* numerical drift.
+2. **Concurrent micro-batched load** — the same requests fired from
+   many client threads; the deadline-aware coalescer amortises per-run
+   overhead across the batch, and the ratio of the two phases'
+   request rates is the tracked ``batching_throughput_gain``.
+3. **2x overload with mixed deadlines** — more concurrent work than
+   the bounded queue admits, some of it with unmeetable budgets:
+   every response must be a definite 200/429/504, never a hang and
+   never an unhandled 500.
+4. **Hung worker** — the engine is wedged mid-request; the worker
+   timeout abandons the slot, the circuit breaker trips (fast 503s),
+   the substrate heals, and the half-open probe recovers it.
+5. **Degraded timesteps** — with the ceiling forced down, the served
+   logits must equal the cumulative per-step logits of a full-T run
+   at the degraded step (prefix consistency).
+6. **Graceful drain** — stop() with a request in flight: the request
+   completes, the drain flushes.
+
+Ratio metrics only feed the trend gate (compare_bench.py); counts and
+booleans are asserted here and schema-checked in CI.
+"""
+
+import json
+import platform
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.serve import ServeConfig, ServerHandle, build_demo_network
+from repro.utils.io import atomic_write_json
+
+from bench_schema import assert_serving_schema
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+SHAPE = (2, 8, 8)
+TIMESTEPS = 8
+SERIAL_REQUESTS = 10
+CONCURRENCY = 6
+REQUESTS_PER_CLIENT = 5
+
+
+class BenchStall(nn.Module):
+    """Pass-through that wedges the engine while armed."""
+
+    stall_seconds = 0.0
+
+    def forward(self, x):
+        if type(self).stall_seconds:
+            time.sleep(type(self).stall_seconds)
+        return x
+
+
+def build_server():
+    core, shape = build_demo_network(input_shape=SHAPE, classes=10, seed=0)
+    model = nn.Sequential(BenchStall(), core)
+    config = ServeConfig(
+        port=0,
+        engine="auto",
+        timesteps=TIMESTEPS,
+        max_batch_size=8,
+        max_queue_depth=8,
+        gather_window_seconds=5e-3,
+        hang_timeout_seconds=0.5,
+        breaker_failure_threshold=2,
+        breaker_reset_seconds=0.3,
+        drain_timeout_seconds=15.0,
+        estimator_initial_unit=2e-4,
+        estimator_overhead=1e-3,
+    )
+    return ServerHandle(model, shape, config)
+
+
+def make_samples(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=SHAPE).astype(np.float32) for _ in range(n)]
+
+
+def run_serial_phase(handle):
+    """One-at-a-time requests; bit-check each against the engine."""
+    samples = make_samples(SERIAL_REQUESTS, seed=1)
+    started = time.perf_counter()
+    responses = []
+    for x in samples:
+        status, body = handle.infer(x, deadline_ms=60_000)
+        assert status == 200, (status, body)
+        assert body["degraded"] is False
+        responses.append(np.asarray(body["logits"], dtype=np.float32))
+    elapsed = time.perf_counter() - started
+    worker = handle.server.worker
+    identical = True
+    for x, served in zip(samples, responses):
+        direct = worker.submit(x[None, ...], TIMESTEPS).result(60.0)
+        if not np.array_equal(served, direct.logits[0]):
+            identical = False
+    return SERIAL_REQUESTS / elapsed, identical
+
+
+def run_concurrent_phase(handle):
+    """CONCURRENCY client threads, generous deadlines: micro-batching."""
+    per_client = make_samples(CONCURRENCY * REQUESTS_PER_CLIENT, seed=2)
+    statuses = []
+    lock = threading.Lock()
+
+    def client(worker_id):
+        for i in range(REQUESTS_PER_CLIENT):
+            x = per_client[worker_id * REQUESTS_PER_CLIENT + i]
+            status, _ = handle.infer(x, deadline_ms=60_000, timeout=60.0)
+            with lock:
+                statuses.append(status)
+
+    threads = [
+        threading.Thread(target=client, args=(c,)) for c in range(CONCURRENCY)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(120.0)
+    elapsed = time.perf_counter() - started
+    total = CONCURRENCY * REQUESTS_PER_CLIENT
+    assert len(statuses) == total
+    assert all(s == 200 for s in statuses), statuses
+    return total / elapsed
+
+
+def run_overload_phase(handle):
+    """2x the queue bound, mixed deadlines: definite answers only."""
+    attempted = 2 * (handle.server.config.max_queue_depth + 8)
+    samples = make_samples(attempted, seed=3)
+    outcomes = []
+    lock = threading.Lock()
+
+    def client(i):
+        # A third of the load carries a hopeless budget (504 material);
+        # the rest is generous and either serves (200) or sheds (429).
+        deadline = 2.0 if i % 3 == 0 else 60_000.0
+        try:
+            status, _ = handle.infer(samples[i], deadline_ms=deadline, timeout=60.0)
+        except Exception:  # noqa: BLE001 - a client-visible hang/crash
+            status = -1
+        with lock:
+            outcomes.append(status)
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(attempted)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(120.0)
+    counts = {
+        "attempted": attempted,
+        "ok": outcomes.count(200),
+        "shed": outcomes.count(429),
+        "deadline_rejected": outcomes.count(504),
+        "unhandled": sum(
+            1 for s in outcomes if s not in (200, 429, 504)
+        ),
+    }
+    assert counts["unhandled"] == 0, outcomes
+    assert counts["ok"] >= 1
+    assert counts["shed"] + counts["deadline_rejected"] >= 1, (
+        "2x overload must shed or reject something"
+    )
+    return counts
+
+
+def run_hung_worker_phase(handle):
+    """Wedge the engine; breaker trips; heal; half-open probe recovers."""
+    x = make_samples(1, seed=4)[0]
+    BenchStall.stall_seconds = 30.0
+    try:
+        failures = 0
+        for _ in range(3):
+            status, _ = handle.infer(x, deadline_ms=60_000, timeout=60.0)
+            if status == 503:
+                failures += 1
+        assert failures >= 2, "hung worker must surface as 503s"
+    finally:
+        BenchStall.stall_seconds = 0.0
+    recovered = False
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        time.sleep(0.2)
+        status, _ = handle.infer(x, deadline_ms=60_000, timeout=60.0)
+        if status == 200:
+            recovered = True
+            break
+    metrics = handle.request("GET", "/metrics")[1]
+    assert recovered, "breaker never recovered after the substrate healed"
+    assert metrics["breaker"]["trips"] >= 1
+    assert metrics["breaker"]["recoveries"] >= 1
+    assert metrics["worker"]["restarts"] >= 1
+    return {
+        "trips": metrics["breaker"]["trips"],
+        "recoveries": metrics["breaker"]["recoveries"],
+        "worker_restarts": metrics["worker"]["restarts"],
+        "recovered": recovered,
+    }
+
+
+def run_degraded_phase(handle):
+    """Force a lower T ceiling; served logits = full-T per-step prefix."""
+    x = make_samples(1, seed=5)[0]
+    degrade = handle.server.batcher.degrade
+    degrade.current = TIMESTEPS // 2
+    try:
+        status, body = handle.infer(x, deadline_ms=60_000, timeout=60.0)
+        assert status == 200 and body["degraded"] is True
+        assert body["timesteps_executed"] == TIMESTEPS // 2
+        served = np.asarray(body["logits"], dtype=np.float32)
+    finally:
+        degrade.current = TIMESTEPS
+    full = handle.server.worker.submit(
+        x[None, ...], TIMESTEPS, per_step=True
+    ).result(60.0)
+    consistent = np.array_equal(served, full.per_step[TIMESTEPS // 2 - 1][0])
+    assert consistent, "degraded answer is not a prefix of the full-T run"
+    return consistent
+
+
+def run_drain_phase(handle):
+    """stop() with a request in flight: it completes, drain flushes."""
+    x = make_samples(1, seed=6)[0]
+    BenchStall.stall_seconds = 0.2
+    outcome = {}
+
+    def slow_request():
+        outcome["status"], outcome["body"] = handle.infer(
+            x, deadline_ms=60_000, timeout=60.0
+        )
+
+    thread = threading.Thread(target=slow_request)
+    thread.start()
+    time.sleep(0.05)
+    handle.stop(timeout=60.0)
+    thread.join(60.0)
+    BenchStall.stall_seconds = 0.0
+    inflight_completed = outcome.get("status") == 200
+    assert inflight_completed, outcome
+    return {"flushed": True, "inflight_completed": inflight_completed}
+
+
+def test_serving_load_and_failure_semantics():
+    handle = build_server()
+    try:
+        sequential_rps, bit_identical = run_serial_phase(handle)
+        assert bit_identical, "serving path changed the logits bit pattern"
+        concurrent_rps = run_concurrent_phase(handle)
+        snapshot = handle.request("GET", "/metrics")[1]
+        overload = run_overload_phase(handle)
+        breaker = run_hung_worker_phase(handle)
+        degraded_ok = run_degraded_phase(handle)
+        final_metrics = handle.request("GET", "/metrics")[1]
+    except BaseException:
+        BenchStall.stall_seconds = 0.0
+        handle.stop()
+        raise
+    drain = run_drain_phase(handle)
+
+    gain = concurrent_rps / sequential_rps
+    record = {
+        "benchmark": "serving_load",
+        "scenario": {
+            "model": "demo",
+            "input_shape": list(SHAPE),
+            "timesteps": TIMESTEPS,
+            "engine": "auto",
+            "max_batch": 8,
+            "serial_requests": SERIAL_REQUESTS,
+            "concurrency": CONCURRENCY,
+            "concurrent_requests": CONCURRENCY * REQUESTS_PER_CLIENT,
+        },
+        "throughput": {
+            "sequential_rps": round(sequential_rps, 3),
+            "concurrent_rps": round(concurrent_rps, 3),
+            "batching_throughput_gain": round(gain, 3),
+        },
+        "latency_ms": {
+            "p50": snapshot["latency_ms"]["p50"],
+            "p99": snapshot["latency_ms"]["p99"],
+        },
+        "robustness": {
+            "overload": overload,
+            "breaker": breaker,
+            "bit_identical_serial_responses": bool(bit_identical),
+            "degraded_prefix_consistent": bool(degraded_ok),
+            "drain": drain,
+        },
+        "counters": final_metrics["counters"],
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    assert_serving_schema(record)
+    atomic_write_json(BENCH_PATH, record, fsync=True)
+    print(
+        f"\nserving: serial {sequential_rps:.1f} req/s, concurrent "
+        f"{concurrent_rps:.1f} req/s (gain {gain:.2f}x), p50 "
+        f"{record['latency_ms']['p50']:.1f}ms p99 "
+        f"{record['latency_ms']['p99']:.1f}ms, breaker trips "
+        f"{breaker['trips']} -> {BENCH_PATH}"
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-v", "-s"]))

@@ -13,6 +13,10 @@ Usage::
     python -m repro.cli campaign faults --out runs/faults
     python -m repro.cli campaign dse --out runs/dse --workers 4 --mode auto
 
+    # robust async inference serving (micro-batching, load shedding,
+    # circuit breaking, graceful SIGTERM drain)
+    python -m repro.cli serve --port 8080 --timesteps 8 --p99-budget-ms 200
+
 Training-backed artefacts (fig6-fig9) take minutes on the numpy
 substrate; hardware tables are instant.  A ``campaign`` writes one JSON
 record per grid point under ``--out`` and, re-invoked after a kill,
@@ -443,6 +447,113 @@ def campaign_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# serve subcommand: robust async inference serving
+# ----------------------------------------------------------------------
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli serve",
+        description="Serve SNN inference over HTTP/JSON with deadline-aware "
+        "micro-batching, load shedding, a circuit breaker over the engine "
+        "worker, and graceful drain on SIGTERM.  Routes: GET /healthz, "
+        "GET /readyz, GET /metrics, POST /v1/infer.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="0 picks an ephemeral port (printed at startup)")
+    parser.add_argument("--model", default="demo",
+                        help="'demo' (tiny calibrated conv net) for now; "
+                        "registry models need trained weights")
+    parser.add_argument("--input-shape", type=_parse_int_list,
+                        default=[2, 8, 8], dest="input_shape",
+                        help="single-sample input shape C,H,W for the demo model")
+    parser.add_argument("--classes", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--engine", choices=ENGINE_CHOICES, default="auto")
+    parser.add_argument("--timesteps", type=int, default=8,
+                        help="full T; also the degradation ceiling")
+    parser.add_argument("--min-timesteps", type=int, default=1,
+                        dest="min_timesteps",
+                        help="degradation floor for the timestep ceiling")
+    parser.add_argument("--default-deadline-ms", type=float, default=1000.0,
+                        dest="default_deadline_ms")
+    parser.add_argument("--p99-budget-ms", type=float, default=None,
+                        dest="p99_budget_ms",
+                        help="degrade T when observed p99 exceeds this "
+                        "(unset disables degradation)")
+    parser.add_argument("--max-batch", type=int, default=8, dest="max_batch",
+                        help="micro-batch coalescing ceiling")
+    parser.add_argument("--max-queue", type=int, default=64, dest="max_queue",
+                        help="queue depth beyond which requests shed (429)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="batch shards per engine run")
+    parser.add_argument("--shard-mode", choices=SHARD_MODES, default="auto",
+                        dest="shard_mode")
+    parser.add_argument("--hang-timeout", type=float, default=30.0,
+                        dest="hang_timeout",
+                        help="seconds before a wedged engine run is abandoned "
+                        "and the worker slot rebuilt")
+    parser.add_argument("--breaker-threshold", type=int, default=3,
+                        dest="breaker_threshold",
+                        help="consecutive dispatch failures that trip the "
+                        "circuit breaker")
+    parser.add_argument("--breaker-reset", type=float, default=2.0,
+                        dest="breaker_reset",
+                        help="seconds the breaker stays open before probing")
+    parser.add_argument("--drain-timeout", type=float, default=10.0,
+                        dest="drain_timeout",
+                        help="SIGTERM drain deadline in seconds")
+    parser.add_argument("--auth-token", default=None, dest="auth_token",
+                        help="require 'Authorization: Bearer <token>'")
+    return parser
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    import asyncio
+    import logging
+
+    from repro.serve import InferenceServer, ServeConfig, build_demo_network
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+    )
+    args = build_serve_parser().parse_args(argv)
+    if args.model != "demo":
+        print(
+            f"unsupported --model {args.model!r}: registry models are "
+            "untrained; only 'demo' is servable today",
+            file=sys.stderr,
+        )
+        return 2
+    model, input_shape = build_demo_network(
+        input_shape=args.input_shape, classes=args.classes, seed=args.seed
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        timesteps=args.timesteps,
+        min_timesteps=args.min_timesteps,
+        default_deadline_ms=args.default_deadline_ms,
+        p99_budget_ms=args.p99_budget_ms,
+        engine=args.engine,
+        workers=args.workers,
+        shard_mode=args.shard_mode,
+        max_batch_size=args.max_batch,
+        max_queue_depth=args.max_queue,
+        hang_timeout_seconds=args.hang_timeout,
+        breaker_failure_threshold=args.breaker_threshold,
+        breaker_reset_seconds=args.breaker_reset,
+        drain_timeout_seconds=args.drain_timeout,
+        auth_token=args.auth_token,
+    )
+    server = InferenceServer(model, input_shape, config)
+    asyncio.run(server.serve_forever())
+    return 0
+
+
 _RUNNERS = {
     "tab1": _run_tab1,
     "tab2": _run_tab2,
@@ -534,6 +645,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     # collide with the artefact parser's; dispatch before parsing.
     if argv and argv[0] == "campaign":
         return campaign_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     artefacts: List[str] = []
     for item in args.artefacts:

@@ -13,10 +13,16 @@ This module makes that shape a first-class, failure-tolerant workload:
   parallel shards and resumed campaigns reproduce bit-identical
   records.
 * **Atomic records.**  Each completed point is written to
-  ``<out_dir>/points/<id>.json`` via temp-file + ``os.replace``
-  (:func:`repro.utils.io.atomic_write_json`), under a ``manifest.json``
-  describing the full grid.  A process killed mid-write can truncate
-  nothing; at worst the point is simply missing and re-runs.
+  ``<out_dir>/points/<id>.json`` via temp-file + ``os.replace`` with
+  fsync (:func:`repro.utils.io.atomic_write_json`), under a
+  ``manifest.json`` describing the full grid.  A process killed
+  mid-write can truncate nothing — and a machine crash cannot leave a
+  zero-length record, because data and rename are flushed before the
+  write reports success.  At worst the point is simply missing and
+  re-runs.  Records carry the supervision trail too:
+  ``shard_failures`` counts the failed attempts behind the point's
+  eventual success and ``degraded_shard_mode`` names the substrate the
+  fork→thread→serial chain had to finish on (0/"" for clean points).
 * **Resume.**  Re-invoking a killed campaign loads the manifest,
   verifies it matches the spec, and completes only the missing points
   — records that are corrupt, truncated or schema-mismatched are
@@ -254,7 +260,9 @@ class CampaignRunner:
                 )
             return
         self.out_dir.mkdir(parents=True, exist_ok=True)
-        atomic_write_json(self.manifest_path, payload)
+        # fsync: the manifest is the resume contract — a machine crash
+        # must not leave a zero-length manifest over completed points.
+        atomic_write_json(self.manifest_path, payload, fsync=True)
 
     # ------------------------------------------------------------------
     def _load_record(self, point: CampaignPoint) -> Optional[dict]:
@@ -321,10 +329,47 @@ class CampaignRunner:
             "params": dict(point.params),
             "seed": point.seed,
             "result": result,
+            # Supervision trail, re-annotated by the parent after the
+            # wave when this point actually failed attempts (the child
+            # executing the point cannot see its own earlier failures).
+            # Written as 0/"" here so clean serial, parallel and resumed
+            # runs stay byte-identical record for record.
+            "shard_failures": 0,
+            "degraded_shard_mode": "",
         }
         self.points_dir.mkdir(parents=True, exist_ok=True)
-        atomic_write_json(self._record_path(point.id), payload)
+        atomic_write_json(self._record_path(point.id), payload, fsync=True)
         return payload
+
+    def _annotate_failures(
+        self,
+        records: Dict[str, dict],
+        pending: Sequence[CampaignPoint],
+        failures: Sequence[ShardFailure],
+        degraded_mode: str,
+    ) -> None:
+        """Fold the wave's supervision trail into the affected records.
+
+        A point that needed retries (or rode the degradation chain)
+        still writes its record from whichever attempt succeeded; only
+        the parent sees the full :class:`ShardFailure` list, so it
+        rewrites those records — atomically, like the original write —
+        with the failed-attempt count and the substrate the chain
+        degraded to.  Clean points keep their single first write.
+        """
+        counts: Dict[str, int] = {}
+        for failure in failures:
+            pid = pending[failure.index].id
+            counts[pid] = counts.get(pid, 0) + 1
+        for pid, count in counts.items():
+            payload = records.get(pid)
+            if payload is None:
+                continue  # point exhausted every substrate; no record
+            annotated = dict(payload)
+            annotated["shard_failures"] = count
+            annotated["degraded_shard_mode"] = degraded_mode
+            atomic_write_json(self._record_path(pid), annotated, fsync=True)
+            records[pid] = annotated
 
     def run(self, max_points: Optional[int] = None) -> CampaignResult:
         """Complete the campaign's missing points; return merged state.
@@ -355,6 +400,10 @@ class CampaignRunner:
             # independently of the pickled return values, and the files
             # are the ground truth a resume would see.
             done = self.completed_records()
+            if failures:
+                self._annotate_failures(
+                    done, pending, failures, outcome.degraded_mode
+                )
         return CampaignResult(
             spec=self.spec,
             out_dir=self.out_dir,

@@ -1,0 +1,168 @@
+"""Request-path policy: errors, auth, decoding, admission bookkeeping.
+
+The HTTP layer (:mod:`repro.serve.app`) stays a thin parser; everything
+that decides *whether and how* a request proceeds lives here as plain
+functions and exceptions so it is unit-testable without a socket:
+
+* the :class:`ServeError` family maps failure modes to status codes —
+  every robustness policy in this package ends in exactly one of these
+  (shed → 429, unmeetable deadline → 504, breaker open / draining →
+  503, bad payload → 400, bad token → 401);
+* :func:`authenticate` implements optional static bearer-token auth;
+* :func:`decode_infer_request` turns a raw JSON body into a validated
+  ``(input array, timesteps, deadline budget)`` triple, rejecting
+  malformed shapes before they ever reach the queue.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Deadline budgets are clamped into this range: a microscopic budget
+#: would reject everything at admission (client bug, not overload), an
+#: enormous one would let a request occupy queue bookkeeping forever.
+MIN_DEADLINE_MS = 1.0
+MAX_DEADLINE_MS = 600_000.0
+
+
+class ServeError(Exception):
+    """A request-path failure with a definite HTTP mapping."""
+
+    status = 500
+    reason = "internal error"
+
+    def __init__(self, detail: str = "", retry_after: Optional[float] = None):
+        super().__init__(detail or self.reason)
+        self.detail = detail or self.reason
+        self.retry_after = retry_after
+
+    def payload(self) -> dict:
+        body = {"error": self.reason, "detail": self.detail}
+        if self.retry_after is not None:
+            body["retry_after_seconds"] = round(self.retry_after, 3)
+        return body
+
+
+class BadRequestError(ServeError):
+    status = 400
+    reason = "bad request"
+
+
+class AuthError(ServeError):
+    status = 401
+    reason = "unauthorized"
+
+
+class ShedError(ServeError):
+    """Load shedding: the bounded queue (depth or bytes) is full."""
+
+    status = 429
+    reason = "overloaded"
+
+
+class BreakerOpenError(ServeError):
+    """The execution substrate is failing; fast-fail instead of queueing."""
+
+    status = 503
+    reason = "circuit breaker open"
+
+
+class DrainingError(ServeError):
+    """The server is draining (SIGTERM); no new work is admitted."""
+
+    status = 503
+    reason = "draining"
+
+
+class DeadlineError(ServeError):
+    """The request's deadline cannot (or could not) be met."""
+
+    status = 504
+    reason = "deadline unmeetable"
+
+
+class WorkerFailedError(ServeError):
+    """Dispatch failed beneath the breaker threshold (single batch lost)."""
+
+    status = 503
+    reason = "inference backend failed"
+
+
+# ----------------------------------------------------------------------
+def authenticate(headers: Mapping[str, str], token: Optional[str]) -> None:
+    """Static bearer-token check; no-op when no token is configured."""
+    if not token:
+        return
+    supplied = headers.get("authorization", "")
+    if supplied != f"Bearer {token}":
+        raise AuthError("missing or invalid bearer token")
+
+
+def clamp_deadline_ms(value: float) -> float:
+    return min(max(float(value), MIN_DEADLINE_MS), MAX_DEADLINE_MS)
+
+
+def decode_infer_request(
+    body: bytes,
+    input_shape: Sequence[int],
+    default_deadline_ms: float,
+    max_timesteps: int,
+) -> Tuple[np.ndarray, int, float]:
+    """Validate one ``POST /v1/infer`` body.
+
+    Expected JSON::
+
+        {"input": <nested list, shape (C, H, W)>,
+         "deadline_ms": 50.0,          # optional latency budget
+         "timesteps": 8}               # optional, <= the server's T
+
+    Returns ``(batch, timesteps, deadline_ms)`` where ``batch`` has the
+    single-sample shape ``(1, C, H, W)`` ready for coalescing.  Every
+    malformed case raises :class:`BadRequestError` here, before the
+    request costs anything downstream.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise BadRequestError(f"body is not JSON ({error})") from None
+    if not isinstance(payload, dict) or "input" not in payload:
+        raise BadRequestError('body must be a JSON object with an "input" field')
+    try:
+        batch = np.asarray(payload["input"], dtype=np.float32)
+    except (TypeError, ValueError) as error:
+        raise BadRequestError(f"input is not a numeric tensor ({error})") from None
+    expected = tuple(int(s) for s in input_shape)
+    if batch.shape == expected:
+        batch = batch[None, ...]
+    elif batch.shape != (1,) + expected:
+        raise BadRequestError(
+            f"input shape {batch.shape} does not match the served model's "
+            f"single-sample shape {expected}"
+        )
+    if not np.all(np.isfinite(batch)):
+        raise BadRequestError("input contains non-finite values")
+
+    timesteps = payload.get("timesteps", max_timesteps)
+    if not isinstance(timesteps, int) or isinstance(timesteps, bool):
+        raise BadRequestError("timesteps must be an integer")
+    if not 1 <= timesteps <= max_timesteps:
+        raise BadRequestError(
+            f"timesteps must be in [1, {max_timesteps}] (the served model's T)"
+        )
+
+    deadline_ms = payload.get("deadline_ms", default_deadline_ms)
+    if not isinstance(deadline_ms, (int, float)) or isinstance(deadline_ms, bool):
+        raise BadRequestError("deadline_ms must be a number")
+    if deadline_ms <= 0:
+        raise BadRequestError("deadline_ms must be positive")
+    return batch, timesteps, clamp_deadline_ms(deadline_ms)
+
+
+def retry_after_header(seconds: Optional[float]) -> dict:
+    """A ``Retry-After`` header from a seconds hint (ceil to >= 1)."""
+    if seconds is None:
+        return {}
+    return {"Retry-After": str(max(1, int(-(-seconds // 1))))}

@@ -73,6 +73,11 @@ from repro.snn.engines.event import (
 )
 from repro.snn.engines.event_batched import EventBatchedEngine
 from repro.snn.engines.profiling import profiled_call
+from repro.snn.engines.service import (
+    EngineWorker,
+    ProbeResult,
+    WorkerTimeout,
+)
 from repro.snn.engines.sharding import (
     DEFAULT_SHARD_POLICY,
     SHARD_MODES,
@@ -125,6 +130,9 @@ __all__ = [
     "ENGINES",
     "EngineRun",
     "EngineSpec",
+    "EngineWorker",
+    "ProbeResult",
+    "WorkerTimeout",
     "EventBatchedEngine",
     "ExecutionPlan",
     "LRUCache",

@@ -273,6 +273,20 @@ class RunStats:
             spike_rate=self.overall_spike_rate,
         )
 
+    def failure_summary(self) -> dict:
+        """The run's supervision trail as one JSON-ready summary.
+
+        The single shape every downstream consumer of shard failures
+        uses — the serving metrics endpoint accumulates these per
+        dispatched batch, and campaign records embed the same keys —
+        so "how broken was the substrate" reads identically whether it
+        came from a request path or a grid point.
+        """
+        return {
+            "shard_failures": len(self.shard_failures),
+            "degraded_shard_mode": self.degraded_shard_mode,
+        }
+
     # ------------------------------------------------------------------
     def merge(self, other: "RunStats") -> "RunStats":
         """Accumulate another run over the same network (batched eval)."""

@@ -166,6 +166,35 @@ class TestRunner:
         assert len(result.failures) == 2  # a=2 failed once per b value
         assert all(f.kind == "exception" for f in result.failures)
 
+    def test_records_carry_supervision_trail(self, tmp_path):
+        """Retried points surface their failed-attempt count in the
+        persisted record; clean points record 0/"" (so clean runs stay
+        byte-identical regardless of substrate)."""
+        attempts = {}
+
+        def flaky(params, seed):
+            key = (params["a"], params["b"])
+            attempts[key] = attempts.get(key, 0) + 1
+            if params["a"] == 2 and attempts[key] == 1:
+                raise RuntimeError("transient point failure")
+            return square_fn(params, seed)
+
+        out = tmp_path / "c"
+        result = CampaignRunner(
+            spec3x2(), flaky, out,
+            policy=ShardPolicy(retries=1, backoff=0.0),
+        ).run()
+        assert result.complete
+        for point in spec3x2().points():
+            payload = json.loads((out / "points" / f"{point.id}.json").read_text())
+            expected = 1 if point.params["a"] == 2 else 0
+            assert payload["shard_failures"] == expected
+            assert payload["degraded_shard_mode"] == ""
+        # The in-memory records match what resumers will read from disk.
+        for pid, payload in result.records.items():
+            on_disk = json.loads((out / "points" / f"{pid}.json").read_text())
+            assert payload == on_disk
+
     def test_unrecoverable_point_raises_with_failures(self, tmp_path):
         def doomed(params, seed):
             raise ValueError("never works")

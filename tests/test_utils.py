@@ -103,3 +103,68 @@ class TestRunLogger:
         a = logger.log("tick")
         b = logger.log("tick")
         assert b["elapsed_s"] >= a["elapsed_s"]
+
+
+class TestAtomicWrites:
+    def test_roundtrip_and_no_temp_left(self, tmp_path):
+        from repro.utils.io import atomic_write_json, atomic_write_text
+
+        path = tmp_path / "doc.json"
+        atomic_write_text(path, "hello")
+        assert path.read_text() == "hello"
+        atomic_write_json(path, {"a": 1})
+        import json
+
+        assert json.loads(path.read_text()) == {"a": 1}
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+    def test_fsync_writes_are_complete_and_durable_path_works(self, tmp_path):
+        """fsync=True must produce the same complete document (the
+        durability side cannot be unit-tested without killing the box,
+        but the code path — fsync temp file, rename, fsync directory —
+        must run without error and leave no temp files)."""
+        from repro.utils.io import atomic_write_json
+
+        path = tmp_path / "record.json"
+        atomic_write_json(path, {"points": list(range(10))}, fsync=True)
+        import json
+
+        assert json.loads(path.read_text())["points"] == list(range(10))
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+    def test_fsync_calls_fsync_on_file_and_directory(self, tmp_path, monkeypatch):
+        import os as _os
+
+        from repro.utils import io as io_mod
+
+        synced = []
+        real_fsync = _os.fsync
+        monkeypatch.setattr(
+            io_mod.os, "fsync", lambda fd: synced.append(fd) or real_fsync(fd)
+        )
+        io_mod.atomic_write_text(tmp_path / "f.txt", "x", fsync=True)
+        # One fsync for the temp file's data, one for the directory entry.
+        assert len(synced) == 2
+
+    def test_no_fsync_by_default(self, tmp_path, monkeypatch):
+        import os as _os
+
+        from repro.utils import io as io_mod
+
+        synced = []
+        real_fsync = _os.fsync
+        monkeypatch.setattr(
+            io_mod.os, "fsync", lambda fd: synced.append(fd) or real_fsync(fd)
+        )
+        io_mod.atomic_write_text(tmp_path / "f.txt", "x")
+        assert synced == []
+
+    def test_failed_write_leaves_target_untouched(self, tmp_path):
+        from repro.utils.io import atomic_write_json, atomic_write_text
+
+        path = tmp_path / "doc.json"
+        atomic_write_text(path, "original")
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()}, fsync=True)
+        assert path.read_text() == "original"
+        assert list(tmp_path.glob("*.tmp.*")) == []
