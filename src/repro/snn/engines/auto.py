@@ -57,6 +57,7 @@ import numpy as np
 from repro.nn.layers import Conv2d
 from repro.snn.engines.base import LRUCache, _dense_op_count, _effective_weight
 from repro.snn.engines.batched import TimeBatchedEngine
+from repro.snn.engines.dense import dense_conv2d
 from repro.snn.engines.event import sparse_conv2d, sparse_linear
 from repro.snn.engines.event_batched import EventBatchedEngine
 from repro.snn.spikes import SpikeStream, StepSpikes
@@ -78,6 +79,15 @@ PLAN_FILE_FORMAT = "repro-execution-plans/v1"
 #: deliberately coarse (log-spaced around the observed crossovers) so
 #: ordinary batch-to-batch density jitter still hits the cached plan.
 DENSITY_BUCKET_EDGES = (0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5)
+
+#: Timing samples per kernel in the calibration race (best-of-N).  All
+#: three kernels — GEMM, event gather, COO row-subset — get the same
+#: sample count: racing a min-of-N candidate against a single-shot
+#: incumbent systematically favours the candidate (one noisy-high GEMM
+#: sample near the crossover flips the layer to a slower sparse kernel),
+#: which is exactly the miscalibration that pushes ``auto_vs_best_fixed``
+#: past its 1.1 acceptance bound.
+CALIBRATION_REPEATS = 3
 
 
 def density_bucket(density: float) -> int:
@@ -564,8 +574,28 @@ class AutoEngine(EventBatchedEngine):
                 if not constant and density < self.density_threshold:
                     weight = _effective_weight(module, self._weight_cache)
                     bias = module.bias.data if module.bias is not None else None
+                    # Every raced kernel gets the same best-of-N
+                    # sampling, the GEMM included: its real forward
+                    # above is one sample, and the raw kernel is
+                    # re-timed to fill the rest.  An asymmetric race
+                    # (min-of-N candidates vs a one-shot incumbent)
+                    # flips crossover layers onto slower sparse kernels
+                    # whenever the single GEMM sample lands high.
+                    for _ in range(CALIBRATION_REPEATS - 1):
+                        trial = time.perf_counter()
+                        if is_conv:
+                            dense_conv2d(
+                                data, weight, bias, module.stride, module.padding
+                            )
+                        else:
+                            redo = data @ weight.T
+                            if bias is not None:
+                                redo += bias
+                        gemm_seconds = min(
+                            gemm_seconds, time.perf_counter() - trial
+                        )
                     event_seconds = float("inf")
-                    for _ in range(2):  # best-of-2 filters scheduler noise
+                    for _ in range(CALIBRATION_REPEATS):
                         trial = time.perf_counter()
                         if is_conv:
                             sparse_conv2d(
@@ -577,7 +607,7 @@ class AutoEngine(EventBatchedEngine):
                             event_seconds, time.perf_counter() - trial
                         )
                     coo_seconds = float("inf")
-                    for _ in range(2):
+                    for _ in range(CALIBRATION_REPEATS):
                         # The coordinate scan stays inside the timed
                         # region when no coordinates are carried — the
                         # planned path pays it too.
