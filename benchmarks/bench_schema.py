@@ -23,6 +23,7 @@ TOP_LEVEL_KEYS = (
     "auto_vs_best_fixed",
     "batch16_wall_clock_ms",
     "dvs",
+    "planner",
     "python",
     "machine",
 )
@@ -47,12 +48,29 @@ PROFILE_ROW_KEYS = (
     "name",
     "kind",
     "backend",
+    "source",
     "wall_clock_ms",
+    "predicted_ms",
     "density",
     "synaptic_ops",
 )
 
 PROFILE_BACKENDS = ("gemm", "event", "event-batched", "stepped")
+
+#: Planner provenance a profile row may carry ("" on neuron rows and
+#: fixed-backend engines).
+PROFILE_SOURCES = ("", "raced", "cost-model", "re-planned")
+
+#: The Planner-v2 section: cold-start calibration cost with full kernel
+#: racing vs a fitted cost model, and the quality of the predicted plan.
+PLANNER_KEYS = (
+    "calibration_ms_racing",
+    "calibration_ms_cost_model",
+    "calibration_speedup",
+    "model_plan_vs_best_fixed",
+    "plan_source",
+    "cost_model",
+)
 
 
 def assert_engines_schema(record: dict) -> None:
@@ -78,8 +96,25 @@ def assert_engines_schema(record: dict) -> None:
         for key in PROFILE_ROW_KEYS:
             assert key in row, f"profile row missing {key!r}"
         assert row["backend"] in PROFILE_BACKENDS, row["backend"]
+        assert row["source"] in PROFILE_SOURCES, row["source"]
         assert 0.0 <= row["density"] <= 1.0
     assert isinstance(record["auto_vs_best_fixed"], (int, float))
+    planner = record["planner"]
+    for key in PLANNER_KEYS:
+        assert key in planner, f"missing planner key {key!r}"
+    for key in (
+        "calibration_ms_racing",
+        "calibration_ms_cost_model",
+        "calibration_speedup",
+        "model_plan_vs_best_fixed",
+    ):
+        value = planner[key]
+        assert isinstance(value, (int, float)) and value > 0, f"planner.{key}"
+    assert planner["plan_source"] == "cost-model", (
+        "the predicted cold start must compile its plan from the model, "
+        f"not {planner['plan_source']!r}"
+    )
+    assert planner["cost_model"]["plan_ready"] is True
     dvs = record["dvs"]
     for key in DVS_KEYS:
         assert key in dvs, f"missing dvs key {key!r}"

@@ -13,10 +13,19 @@ engines.json`` vs ``...-serving.json``) and exits nonzero when a
 tracked metric regresses beyond the noise band, so a perf regression
 fails CI instead of silently eroding the story.
 
-Only *ratio* metrics are compared — speedups, auto-vs-best-fixed, the
-serving layer's batching throughput gain — never absolute milliseconds
-or req/s: ratios of measurements taken on the same box in the same run
-are stable across machines whose absolute speeds differ.  Pure stdlib
+For *wall clock* only ratio metrics are compared — speedups,
+auto-vs-best-fixed, the serving layer's batching throughput gain —
+never absolute milliseconds or req/s: ratios of measurements taken on
+the same box in the same run are stable across machines whose absolute
+speeds differ.  Absolute ``synaptic_ops`` counts ARE gated, though:
+op billing is deterministic (same model, same seeds), so a count that
+moves means either the billing accounting or the benchmark scenario
+changed — both of which must be deliberate and re-snapshotted, never
+silent.  The same applies to the record's shape: when a perf PR grows
+``BENCH_engines.json`` (new sections, new scenarios) without
+committing a fresh dated record under ``benchmarks/history/``, the
+gate fails with a reminder to run ``record_history.py`` — history that
+no longer matches what the benchmark emits gates nothing.  Pure stdlib
 on purpose: it runs before/without the test environment.
 """
 
@@ -37,11 +46,28 @@ MAX_AUTO_RATIO = 1.1
 # to justify existing; measured ~5x on a single-core box, so 1.5 is a
 # conservative floor well outside timing noise.
 MIN_BATCHING_GAIN = 1.5
+# Planner v2 gates: a cost-model-predicted cold start must at least
+# halve calibration wall clock, and the predicted plan must execute
+# within the same bound a raced plan is held to.
+MIN_CALIBRATION_SPEEDUP = 2.0
+MAX_MODEL_PLAN_RATIO = 1.1
+
+# Absolute synaptic_ops drift allowed vs history.  Billing is
+# deterministic, but summation-order differences between BLAS builds
+# can flip a membrane sitting within an ulp of threshold and ripple a
+# handful of spikes downstream.
+OPS_TOLERANCE = 0.02
+
+SNAPSHOT_REMINDER = (
+    "if this change is intentional, snapshot the fresh record with "
+    "`python benchmarks/record_history.py <label>` and commit the dated "
+    "file under benchmarks/history/ in the same PR"
+)
 
 
 def _engines_metrics(record):
     """The tracked (name, value, higher_is_better) triples."""
-    return [
+    metrics = [
         ("batched_speedup_vs_dense", record["batched_speedup_vs_dense"], True),
         ("auto_vs_best_fixed", record["auto_vs_best_fixed"], False),
         (
@@ -51,6 +77,23 @@ def _engines_metrics(record):
         ),
         ("dvs.auto_vs_best_fixed", record["dvs"]["auto_vs_best_fixed"], False),
     ]
+    planner = record.get("planner")
+    if planner is not None:  # records predating Planner v2 lack the section
+        metrics.extend(
+            [
+                (
+                    "planner.calibration_speedup",
+                    planner["calibration_speedup"],
+                    True,
+                ),
+                (
+                    "planner.model_plan_vs_best_fixed",
+                    planner["model_plan_vs_best_fixed"],
+                    False,
+                ),
+            ]
+        )
+    return metrics
 
 
 def _engines_floors(record):
@@ -61,9 +104,43 @@ def _engines_floors(record):
             rows.append((name, value, MIN_BATCHED_SPEEDUP, value >= MIN_BATCHED_SPEEDUP))
         elif name == "dvs.event_batched_speedup_vs_batched":
             rows.append((name, value, MIN_DVS_EVENT_SPEEDUP, value > MIN_DVS_EVENT_SPEEDUP))
+        elif name == "planner.calibration_speedup":
+            rows.append(
+                (name, value, MIN_CALIBRATION_SPEEDUP, value >= MIN_CALIBRATION_SPEEDUP)
+            )
+        elif name == "planner.model_plan_vs_best_fixed":
+            rows.append(
+                (name, value, MAX_MODEL_PLAN_RATIO, value <= MAX_MODEL_PLAN_RATIO)
+            )
         else:
             rows.append((name, value, MAX_AUTO_RATIO, value <= MAX_AUTO_RATIO))
     return rows
+
+
+def _engines_ops(record):
+    """Absolute synaptic-op counts for the *fixed* engines.
+
+    Fixed backends bill deterministically (same model, same seeds), so
+    these are gated near-exactly.  The auto engine is excluded: its ops
+    follow whichever plan the timing races picked on this box, which is
+    legitimately machine-dependent.
+    """
+    rows = []
+    for name, entry in sorted(record["engines"].items()):
+        if name == "auto":
+            continue
+        rows.append((f"engines.{name}.synaptic_ops", int(entry["synaptic_ops"])))
+    for name, entry in sorted(record["dvs"]["engines"].items()):
+        if name == "auto":
+            continue
+        rows.append(
+            (f"dvs.engines.{name}.synaptic_ops", int(entry["synaptic_ops"]))
+        )
+    return rows
+
+
+def _serving_ops(record):
+    return []  # the serving record carries no op counts
 
 
 def _serving_metrics(record):
@@ -83,10 +160,10 @@ def _serving_floors(record):
     ]
 
 
-#: record["benchmark"] -> (metrics fn, floors fn, history suffix)
+#: record["benchmark"] -> (metrics fn, floors fn, ops fn, history suffix)
 KINDS = {
-    "engines_wall_clock": (_engines_metrics, _engines_floors, "engines"),
-    "serving_load": (_serving_metrics, _serving_floors, "serving"),
+    "engines_wall_clock": (_engines_metrics, _engines_floors, _engines_ops, "engines"),
+    "serving_load": (_serving_metrics, _serving_floors, _serving_ops, "serving"),
 }
 
 
@@ -124,6 +201,55 @@ def compare(current, baseline, metrics_fn):
     return failures
 
 
+def compare_ops(current, baseline, ops_fn):
+    """Gate absolute op counts: deterministic, so near-exact equality."""
+    failures = []
+    base = dict(ops_fn(baseline))
+    for name, value in ops_fn(current):
+        reference = base.get(name)
+        if reference is None:
+            continue
+        if reference == 0:
+            ok = value == 0
+        else:
+            ok = abs(value - reference) <= OPS_TOLERANCE * reference
+        status = "ok" if ok else "DRIFT"
+        print(
+            f"  {name}: {value} (history {reference}, "
+            f"tolerance {OPS_TOLERANCE:.0%}) {status}"
+        )
+        if not ok:
+            failures.append(
+                f"{name} moved: {value} vs history {reference} (beyond "
+                f"{OPS_TOLERANCE:.0%}) — billing or scenario changed; "
+                f"{SNAPSHOT_REMINDER}"
+            )
+    return failures
+
+
+def stale_history(current, baseline, metrics_fn, ops_fn):
+    """A failure string when the fresh record tracks things history lacks.
+
+    A perf PR that grows the benchmark (new sections like ``planner``,
+    new scenarios, new engines) makes the committed history stale: the
+    new metrics would silently escape the regression gate on every
+    future run.  Detect it from the tracked names themselves — anything
+    the fresh record gates that the newest history record does not know
+    about means ``record_history.py`` was not re-run.
+    """
+    current_names = {name for name, *_ in metrics_fn(current)}
+    current_names.update(name for name, _ in ops_fn(current))
+    base_names = {name for name, *_ in metrics_fn(baseline)}
+    base_names.update(name for name, _ in ops_fn(baseline))
+    new = sorted(current_names - base_names)
+    if new:
+        return (
+            f"history record predates tracked metrics {new}; "
+            f"{SNAPSHOT_REMINDER}"
+        )
+    return None
+
+
 def main(argv):
     if len(argv) not in (2, 3):
         print(
@@ -149,7 +275,7 @@ def main(argv):
             file=sys.stderr,
         )
         return 1
-    metrics_fn, floors_fn, suffix = KINDS[kind]
+    metrics_fn, floors_fn, ops_fn, suffix = KINDS[kind]
 
     failures = []
     print(f"hard bounds on {current_path}:")
@@ -164,7 +290,12 @@ def main(argv):
     else:
         baseline = json.loads(baseline_path.read_text())
         print(f"vs {baseline_path.name}:")
+        stale = stale_history(current, baseline, metrics_fn, ops_fn)
+        if stale is not None:
+            print(f"  STALE HISTORY: {stale}")
+            failures.append(stale)
         failures.extend(compare(current, baseline, metrics_fn))
+        failures.extend(compare_ops(current, baseline, ops_fn))
 
     if failures:
         for failure in failures:

@@ -39,7 +39,7 @@ from repro.utils.io import atomic_write_json
 from repro.data.events import SyntheticDVS
 from repro.pipeline import build_quantized_twin
 from repro.pipeline.trainer import TrainConfig, Trainer
-from repro.snn import SpikingNetwork, convert_to_snn
+from repro.snn import AutoEngine, SpikingNetwork, convert_to_snn
 
 TIMESTEPS = 8
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engines.json"
@@ -332,6 +332,47 @@ def test_engines_wall_clock_and_auto_plan(converted_vgg_bench, converted_dvs):
         for engine, s in _timed_interleaved(batch_nets, x[:16], repeats=3).items()
     }
 
+    # Planner v2: cold-start calibration cost, racing vs cost model.
+    # A fresh engine races every kernel on the VGG frame (the pre-PR-9
+    # cold start); its measurements fit the analytic cost model, and a
+    # second fresh engine sharing that model compiles its plan from
+    # predictions — one plain batched pass, no races.  The gates: the
+    # predicted cold start must be >= 2x cheaper, and the predicted
+    # plan must stay within 1.1x of the best fixed backend.
+    racing_engine = AutoEngine()
+    racing_net = SpikingNetwork(model, timesteps=TIMESTEPS, engine=racing_engine)
+    started = time.perf_counter()
+    racing_logits = racing_net.forward(frame)
+    calibration_s_racing = time.perf_counter() - started
+    # A second key (batch 2) widens the ops spread the fit sees, the
+    # same way real traffic with varied shapes would.
+    racing_net.forward(np.concatenate([frame, frame], axis=0))
+    assert racing_engine.cost_model.plan_ready()
+    predicted_engine = AutoEngine(cost_model=racing_engine.cost_model)
+    predicted_net = SpikingNetwork(
+        model, timesteps=TIMESTEPS, engine=predicted_engine
+    )
+    started = time.perf_counter()
+    predicted_logits = predicted_net.forward(frame)
+    calibration_s_model = time.perf_counter() - started
+    predicted_stats = predicted_net.last_run_stats
+    assert predicted_stats.plan_source == "cost-model"
+    assert np.allclose(racing_logits, predicted_logits, atol=1e-4)
+    calibration_speedup = calibration_s_racing / calibration_s_model
+    best_fixed_name = min(
+        ("dense", "event", "batched", "event-batched"),
+        key=lambda e: seconds[e],
+    )
+    planner_seconds = _timed_interleaved(
+        {
+            "best_fixed": networks[best_fixed_name],
+            "model_plan": predicted_net,
+        },
+        frame,
+        repeats=24,
+    )
+    model_plan_ratio = planner_seconds["model_plan"] / planner_seconds["best_fixed"]
+
     dvs_model, dvs_stream = converted_dvs
     dvs_nets = {
         engine: SpikingNetwork(dvs_model, timesteps=TIMESTEPS, engine=engine)
@@ -367,6 +408,14 @@ def test_engines_wall_clock_and_auto_plan(converted_vgg_bench, converted_dvs):
         "batched_speedup_vs_dense": round(speedup, 3),
         "auto_vs_best_fixed": round(auto_ratio, 3),
         "batch16_wall_clock_ms": batch16,
+        "planner": {
+            "calibration_ms_racing": round(calibration_s_racing * 1e3, 3),
+            "calibration_ms_cost_model": round(calibration_s_model * 1e3, 3),
+            "calibration_speedup": round(calibration_speedup, 3),
+            "model_plan_vs_best_fixed": round(model_plan_ratio, 3),
+            "plan_source": predicted_stats.plan_source,
+            "cost_model": predicted_engine.cost_model.snapshot(),
+        },
         "dvs": {
             "scenario": {
                 "model": "dvs-frontend-cnn",
@@ -420,6 +469,17 @@ def test_engines_wall_clock_and_auto_plan(converted_vgg_bench, converted_dvs):
     assert speedup >= 3.0
     # The calibrated plan keeps auto at (or below) the best fixed backend.
     assert auto_ratio <= 1.1
+    # Planner v2 gates: predicting the plan from the fitted cost model
+    # must cut the cold-start calibration wall clock at least in half,
+    # and the predicted plan must execute as well as a raced one.
+    print(
+        f"planner: racing calibration {calibration_s_racing * 1e3:.1f} ms, "
+        f"cost-model calibration {calibration_s_model * 1e3:.1f} ms "
+        f"({calibration_speedup:.2f}x); model plan vs best fixed "
+        f"{model_plan_ratio:.3f}"
+    )
+    assert calibration_speedup >= 2.0
+    assert model_plan_ratio <= 1.1
 
     # The low-density crossover: at <5% input density the COO-native
     # path must win wall clock, not just op counts, with logits

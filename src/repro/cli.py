@@ -158,11 +158,36 @@ def _print_profile(curve, args) -> None:
     """With --profile: per-layer wall-clock/density table of the last run."""
     if not getattr(args, "profile", False):
         return
-    stats = curve.result.snn.last_run_stats if curve.result is not None else None
+    snn = curve.result.snn if curve.result is not None else None
+    stats = snn.last_run_stats if snn is not None else None
     if stats is None:
         return
     print("\nper-layer profile (last evaluation batch):")
     print(stats.profile_table())
+    planner = getattr(snn.engine, "planner_snapshot", None)
+    if planner is None:
+        return
+    snapshot = planner()
+    model = snapshot["cost_model"]
+    print(
+        "planner: {} plan(s) cached; {} calibration(s), {} re-plan(s), "
+        "{} warm start(s); cost model {}".format(
+            len(snapshot["plans"]),
+            snapshot["calibration_runs"],
+            snapshot["replans_triggered"],
+            snapshot["warm_starts"],
+            "ready" if model["plan_ready"] else "not fitted yet",
+        )
+    )
+    for backend, residual in sorted(model.get("residuals", {}).items()):
+        print(
+            "  {:<14} {:>4} obs  rms {:.3f} ms  mean |err| {:.1f}%".format(
+                backend,
+                residual["observations"],
+                residual["rms_ms"],
+                residual["mean_abs_pct"],
+            )
+        )
 
 
 def _run_fig7(args) -> None:

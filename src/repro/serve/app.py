@@ -401,7 +401,13 @@ class InferenceServer:
             "runs_completed": self.worker.runs_completed,
             "shard_failures": self.worker.shard_failures,
             "degraded_shard_mode": self.worker.last_degraded_mode,
+            "replans_seen": self.worker.replans_seen,
         }
+        planner = self.worker.planner_snapshot()
+        if planner is not None:
+            # Adaptive engines only: current plans, calibration/re-plan
+            # counters and cost-model residuals for drift diagnosis.
+            snapshot["planner"] = planner
         snapshot["degrade"] = {
             "current_timesteps": self.batcher.degrade.current,
             "full_timesteps": self.batcher.degrade.full_timesteps,

@@ -63,6 +63,11 @@ from repro.snn.engines.base import (
     _effective_weight,
 )
 from repro.snn.engines.batched import TimeBatchedEngine
+from repro.snn.engines.costmodel import (
+    CostModel,
+    cost_model_path_for,
+    sparse_feature_ops,
+)
 from repro.snn.engines.dense import DenseEngine, dense_conv2d
 from repro.snn.engines.event import (
     SparseEventEngine,
@@ -88,7 +93,9 @@ from repro.snn.engines.sharding import (
     clone_for_inference,
     fork_available,
     resolve_shard_mode,
+    run_layer_shards,
     run_supervised,
+    split_bounds,
 )
 
 # ----------------------------------------------------------------------
@@ -125,6 +132,7 @@ def make_engine(spec: EngineSpec = "dense") -> SimulationEngine:
 
 __all__ = [
     "AutoEngine",
+    "CostModel",
     "DENSITY_BUCKET_EDGES",
     "DenseEngine",
     "ENGINES",
@@ -150,7 +158,10 @@ __all__ = [
     "WEIGHT_CACHE_CAPACITY",
     "clone_for_inference",
     "run_supervised",
+    "run_layer_shards",
+    "split_bounds",
     "conv_active_windows",
+    "cost_model_path_for",
     "dense_conv2d",
     "density_bucket",
     "fork_available",
@@ -158,6 +169,7 @@ __all__ = [
     "pooled_coords",
     "profiled_call",
     "resolve_shard_mode",
-    "sparse_conv2d",
+    "sparse_feature_ops",
     "sparse_linear",
+    "sparse_conv2d",
 ]

@@ -33,6 +33,7 @@ from repro.snn.engines.sharding import (
     ShardPolicy,
     resolve_shard_mode,
     run_batch_shards,
+    split_bounds,
 )
 
 logger = logging.getLogger(__name__)
@@ -46,11 +47,13 @@ from repro.tensor import Tensor, no_grad
 class EngineRun:
     """Result of one engine invocation.
 
-    ``plan`` and ``dropped_plan_key`` are engine-private payloads
-    shipped back from shard workers (picklable, so they survive the
-    fork-pool return trip): the auto engine uses them to hand a freshly
-    compiled execution plan — or a drift-guard eviction — from a worker
-    back to the parent's surviving plan cache.
+    ``plan``, ``dropped_plan_key`` and ``observations`` are
+    engine-private payloads shipped back from shard workers (picklable,
+    so they survive the fork-pool return trip): the auto engine uses
+    them to hand a freshly compiled execution plan, a drift-guard
+    eviction, or the calibration's raw ``(backend, ops, ms)`` cost
+    samples from a worker back to the parent's surviving plan cache and
+    cost model.
     """
 
     logits: np.ndarray
@@ -58,6 +61,7 @@ class EngineRun:
     per_step: Optional[List[np.ndarray]] = None
     plan: Optional[object] = None
     dropped_plan_key: Optional[Tuple] = None
+    observations: Optional[List[Tuple]] = None
 
 
 # ----------------------------------------------------------------------
@@ -339,8 +343,7 @@ class SimulationEngine(abc.ABC):
         mode = resolve_shard_mode(shard_mode)
 
         started = time.perf_counter()
-        blocks = np.array_split(np.arange(x.shape[0]), workers)
-        bounds = [(int(b[0]), int(b[-1]) + 1) for b in blocks if b.size]
+        bounds = split_bounds(int(x.shape[0]), workers)
         outcome = run_batch_shards(
             self, x, timesteps, per_step, bounds, mode, policy=shard_policy
         )

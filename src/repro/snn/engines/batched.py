@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -60,6 +61,17 @@ class TimeBatchedEngine(SimulationEngine):
         # constant array computes its N-batch output once and re-tiles,
         # propagating constancy until a stateful layer breaks it.
         self._constant_arrays: Dict[int, np.ndarray] = {}
+        # Arrays whose nonzero count is already known, keyed by id with
+        # a weak reference plus the count.  The neuron interceptor pays
+        # one count_nonzero per run for its spike accounting whether or
+        # not profiling is on; registering the result here lets the
+        # profiler answer the *next* layer's density for free instead
+        # of re-scanning the same plane.  Weak on purpose: pinning every
+        # activation until run end would defeat numpy's buffer reuse,
+        # and the consumer reads the count while the plane is its live
+        # input anyway.  The identity check at lookup makes a recycled
+        # id (dead entry, new array) a harmless miss.
+        self._known_nonzero: Dict[int, Tuple[object, int]] = {}
         self._run_timesteps = 0
         self._run_batch = 0
         self._stateless_modules: List[Module] = []
@@ -126,8 +138,10 @@ class TimeBatchedEngine(SimulationEngine):
     # ------------------------------------------------------------------
     def _install(self, synapse_stats, neuron_stats) -> None:
         # The weight cache survives runs (entries self-invalidate on
-        # parameter rebinds); constant-tiling tags are run-scoped.
+        # parameter rebinds); constant-tiling tags and known nonzero
+        # counts are run-scoped.
         self._constant_arrays = {}
+        self._known_nonzero = {}
         super()._install(synapse_stats, neuron_stats)
         for module in self._stateless_modules:
             interceptor = self._make_stateless_interceptor(module)
@@ -136,6 +150,21 @@ class TimeBatchedEngine(SimulationEngine):
     def _uninstall(self) -> None:
         super()._uninstall()
         self._constant_arrays = {}
+        self._known_nonzero = {}
+
+    def _input_nonzero_of(self, data: np.ndarray) -> Optional[int]:
+        # A plane emitted by a neuron layer carries the count its spike
+        # accounting already computed; a constant T-fold tiling needs
+        # only its (N, ...) prefix scanned, scaled by T.  Both are exact
+        # — identical numbers to a full count_nonzero pass — so billing
+        # and the adaptive engine's drift decisions are unchanged.
+        known = self._known_nonzero.get(id(data))
+        if known is not None and known[0]() is data:
+            return known[1]
+        if id(data) in self._constant_arrays and self._run_timesteps > 0:
+            prefix = int(np.count_nonzero(data[: self._run_batch]))
+            return prefix * self._run_timesteps
+        return None
 
     # ------------------------------------------------------------------
     def _make_interceptor(self, module, stat, orig):
@@ -245,9 +274,12 @@ class TimeBatchedEngine(SimulationEngine):
             module.v = v
             # Spikes are exactly 0 or threshold (> 0), so one count over
             # the whole (T, N, ...) plane replaces T small reductions.
-            module.spike_count += int(np.count_nonzero(out))
+            spikes = int(np.count_nonzero(out))
+            module.spike_count += spikes
             module.neuron_steps += int(out.size)
             module.last_spikes = out[-1] / module.threshold
-            return Tensor(out.reshape(data.shape))
+            emitted = out.reshape(data.shape)
+            self._known_nonzero[id(emitted)] = (weakref.ref(emitted), spikes)
+            return Tensor(emitted)
 
         return forward

@@ -188,9 +188,13 @@ class EventBatchedEngine(TimeBatchedEngine):
 
     def _input_nonzero_of(self, data: np.ndarray) -> Optional[int]:
         # Exact carried counts make density recording free; bounds are
-        # not exact, so those planes fall back to the profiler's scan.
+        # not exact, so those planes fall back to the batched engine's
+        # shortcuts (neuron-emitted counts, constant-prefix scaling)
+        # and only then to the profiler's scan.
         info = self._carried_count(data)
-        return info[0] if info is not None and info[1] else None
+        if info is not None and info[1]:
+            return info[0]
+        return super()._input_nonzero_of(data)
 
     # ------------------------------------------------------------------
     def _stack_stream(self, stream: SpikeStream) -> np.ndarray:

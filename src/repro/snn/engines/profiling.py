@@ -39,22 +39,27 @@ def profiled_call(
 
     The timer brackets only ``fn`` itself; the density count runs
     outside the timed region so profiling overhead is never billed to
-    the layer.  ``nonzero_of`` lets the engine answer the nonzero count
-    from metadata it already carries (COO stream coordinates) — a
-    ``None`` return falls back to scanning the plane.
+    the layer.  Density is recorded *before* the layer executes: the
+    adaptive engine's mid-run drift guard reads the current layer's
+    observed density off ``stat`` inside the interceptor to decide
+    whether to swap the plan at this very layer boundary, so the number
+    must already be there when ``fn`` runs.  ``nonzero_of`` lets the
+    engine answer the nonzero count from metadata it already carries
+    (COO stream coordinates) — a ``None`` return falls back to scanning
+    the plane.
     """
 
     def profiled(x: Tensor) -> Tensor:
         data = x.data
-        started = time.perf_counter()
-        out = fn(x)
-        stat.wall_clock_seconds += time.perf_counter() - started
         if record_density:
             nonzero = nonzero_of(data) if nonzero_of is not None else None
             if nonzero is None:
                 nonzero = int(np.count_nonzero(data))
             stat.input_nonzero += nonzero
             stat.input_size += int(data.size)
+        started = time.perf_counter()
+        out = fn(x)
+        stat.wall_clock_seconds += time.perf_counter() - started
         return out
 
     return profiled

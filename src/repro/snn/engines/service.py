@@ -116,6 +116,7 @@ class EngineWorker:
         self.runs_completed = 0
         self.shard_failures = 0    # supervised failures absorbed inside runs
         self.last_degraded_mode = ""
+        self.replans_seen = 0      # planner drift events observed in runs
 
     # ------------------------------------------------------------------
     def _fresh_executor(self) -> ThreadPoolExecutor:
@@ -150,6 +151,8 @@ class EngineWorker:
             self.shard_failures += len(run.stats.shard_failures)
             if run.stats.degraded_shard_mode:
                 self.last_degraded_mode = run.stats.degraded_shard_mode
+            if run.stats.replan_triggered:
+                self.replans_seen += 1
         return run
 
     def submit(self, x, timesteps: int, per_step: bool = False) -> Future:
@@ -206,6 +209,20 @@ class EngineWorker:
             "abandoned, engine rebuilt on a weight-sharing model clone",
             self.restarts,
         )
+
+    # ------------------------------------------------------------------
+    def planner_snapshot(self) -> Optional[dict]:
+        """The engine's planner state, when the engine has a planner.
+
+        ``AutoEngine.planner_snapshot()`` passed through (cached plans,
+        calibration/re-plan counters, cost-model fit quality); ``None``
+        for fixed-backend engines.  Slot restarts preserve it: sibling
+        engines share the plan cache and cost model.
+        """
+        snapshot = getattr(self._engine, "planner_snapshot", None)
+        if snapshot is None:
+            return None
+        return snapshot()
 
     # ------------------------------------------------------------------
     def health_probe(self, timeout: Optional[float] = 5.0) -> ProbeResult:

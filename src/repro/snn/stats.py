@@ -52,6 +52,12 @@ class LayerStats:
     input_nonzero: int = 0       # nonzero input elements seen (synapse layers)
     input_size: int = 0          # total input elements seen (synapse layers)
     backend: str = ""            # per-layer backend chosen by the auto engine
+    # Planner v2 provenance: how the backend choice was made ("raced" |
+    # "cost-model" | "re-planned", "" when no planner ran) and the wall
+    # clock the planner expected for the chosen backend, so
+    # predicted-vs-actual ms reads straight off the profile.
+    backend_source: str = ""
+    predicted_ms: float = 0.0
 
     @property
     def spike_rate(self) -> float:
@@ -96,6 +102,9 @@ class LayerStats:
         self.input_size += other.input_size
         if not self.backend:
             self.backend = other.backend
+        if not self.backend_source:
+            self.backend_source = other.backend_source
+        self.predicted_ms += other.predicted_ms
         return self
 
 
@@ -169,6 +178,12 @@ class RunStats:
     # run for this key recalibrates).
     plan_drift: float = 0.0
     replan_triggered: bool = False
+    # Planner v2 provenance: where the executed plan came from ("raced"
+    # | "cost-model" | "re-planned", "" for engines without a planner)
+    # and, when a mid-run re-plan fired, the layer boundary it swapped
+    # at.
+    plan_source: str = ""
+    replanned_at: str = ""
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -300,6 +315,11 @@ class RunStats:
         self.wall_clock_seconds += other.wall_clock_seconds
         self.plan_drift = max(self.plan_drift, other.plan_drift)
         self.replan_triggered = self.replan_triggered or other.replan_triggered
+        # A shard that re-planned mid-run outranks siblings that did not.
+        if other.plan_source == "re-planned" or not self.plan_source:
+            self.plan_source = other.plan_source or self.plan_source
+        if not self.replanned_at:
+            self.replanned_at = other.replanned_at
         self.shard_failures.extend(other.shard_failures)
         if not self.degraded_shard_mode:
             self.degraded_shard_mode = other.degraded_shard_mode
@@ -332,14 +352,19 @@ class RunStats:
         event-driven cost) and the spike rate for neuron layers;
         ``backend`` is the per-layer backend the run actually used
         (falling back to the engine name when the engine makes no
-        per-layer choice).
+        per-layer choice); ``source`` is how the planner chose it
+        (``"raced"`` | ``"cost-model"`` | ``"re-planned"``, ``""``
+        without a planner) and ``predicted_ms`` the planner's expected
+        wall clock, so predicted-vs-actual reads off each row.
         """
         return [
             {
                 "name": layer.name,
                 "kind": layer.kind,
                 "backend": layer.backend or self.engine,
+                "source": layer.backend_source,
                 "wall_clock_ms": round(layer.wall_clock_seconds * 1e3, 3),
+                "predicted_ms": round(layer.predicted_ms, 3),
                 "density": round(layer.density, 6),
                 "synaptic_ops": int(layer.synaptic_ops),
             }
@@ -349,12 +374,16 @@ class RunStats:
     def profile_table(self) -> str:
         """Aligned text table of the per-layer wall-clock profile."""
         lines = [
-            "layer                          kind     backend    wall_ms   density    synaptic_ops"
+            "layer                          kind     backend        source        wall_ms   pred_ms   density    synaptic_ops"
         ]
         for row in self.profile_records():
+            predicted = (
+                f"{row['predicted_ms']:>9.3f}" if row["predicted_ms"] else f"{'-':>9}"
+            )
             lines.append(
-                f"{row['name']:<30} {row['kind']:<8} {row['backend']:<8} "
-                f"{row['wall_clock_ms']:>9.3f}  {row['density']:>8.4f}  {row['synaptic_ops']:>14d}"
+                f"{row['name']:<30} {row['kind']:<8} {row['backend']:<13} "
+                f"{row['source'] or '-':<12} {row['wall_clock_ms']:>9.3f} {predicted}  "
+                f"{row['density']:>8.4f}  {row['synaptic_ops']:>14d}"
             )
         attributed = sum(l.wall_clock_seconds for l in self.layers)
         lines.append(
@@ -362,4 +391,14 @@ class RunStats:
             f"({attributed * 1e3:.3f} ms attributed to layers); "
             f"engine {self.engine or '?'}, workers {self.workers}"
         )
+        if self.plan_source:
+            replanned = (
+                f"; re-planned mid-run at {self.replanned_at}"
+                if self.replanned_at
+                else ""
+            )
+            lines.append(
+                f"plan source {self.plan_source}; drift {self.plan_drift:.3f}"
+                f"{replanned}"
+            )
         return "\n".join(lines)

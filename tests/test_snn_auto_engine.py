@@ -173,8 +173,11 @@ class TestProfile:
         assert [r["name"] for r in records] == ["0", "2", "4"]
         for row in records:
             assert set(row) == {
-                "name", "kind", "backend", "wall_clock_ms", "density", "synaptic_ops",
+                "name", "kind", "backend", "source", "wall_clock_ms",
+                "predicted_ms", "density", "synaptic_ops",
             }
+            if row["kind"] in ("conv", "linear"):
+                assert row["source"] in ("raced", "cost-model", "re-planned")
 
     def test_batched_engine_profile_can_be_disabled(self):
         from repro.snn import TimeBatchedEngine
