@@ -13,6 +13,14 @@ engines.json`` vs ``...-serving.json``) and exits nonzero when a
 tracked metric regresses beyond the noise band, so a perf regression
 fails CI instead of silently eroding the story.
 
+On top of the newest-snapshot gate, a **trend view** fits a
+least-squares slope to each tracked metric over the last
+``TREND_WINDOW`` history snapshots plus the fresh run: a sequence of
+individually-within-noise drifts that compounds into a sustained
+slide (adverse slope beyond ``TREND_SLOPE_LIMIT`` per snapshot *and*
+the fresh value adverse vs the window's start) also fails the gate —
+the one-baseline comparison cannot see it by construction.
+
 For *wall clock* only ratio metrics are compared — speedups,
 auto-vs-best-fixed, the serving layer's batching throughput gain —
 never absolute milliseconds or req/s: ratios of measurements taken on
@@ -30,6 +38,7 @@ on purpose: it runs before/without the test environment.
 """
 
 import json
+import re
 import sys
 from pathlib import Path
 
@@ -51,6 +60,17 @@ MIN_BATCHING_GAIN = 1.5
 # within the same bound a raced plan is held to.
 MIN_CALIBRATION_SPEEDUP = 2.0
 MAX_MODEL_PLAN_RATIO = 1.1
+# The N-replica process pool must at least double single-worker
+# throughput — but only on runners with enough cores for process
+# parallelism to exist (the record's own gate_eligible flag).
+MIN_POOL_SCALING_GAIN = 2.0
+
+# Trend gate: how many committed snapshots (newest-first) the slope is
+# fitted over, and the adverse normalized slope (fraction of the
+# window mean, per snapshot) beyond which a sustained drift fails.
+TREND_WINDOW = 5
+TREND_SLOPE_LIMIT = 0.08
+TREND_MIN_POINTS = 3
 
 # Absolute synaptic_ops drift allowed vs history.  Billing is
 # deterministic, but summation-order differences between BLAS builds
@@ -145,12 +165,18 @@ def _serving_ops(record):
 
 def _serving_metrics(record):
     gain = record["throughput"]["batching_throughput_gain"]
-    return [("throughput.batching_throughput_gain", gain, True)]
+    metrics = [("throughput.batching_throughput_gain", gain, True)]
+    pool = record.get("pool")
+    if pool is not None:  # records predating the process pool lack it
+        metrics.append(
+            ("pool.pool_scaling_gain", pool["pool_scaling_gain"], True)
+        )
+    return metrics
 
 
 def _serving_floors(record):
     gain = record["throughput"]["batching_throughput_gain"]
-    return [
+    rows = [
         (
             "throughput.batching_throughput_gain",
             gain,
@@ -158,6 +184,20 @@ def _serving_floors(record):
             gain >= MIN_BATCHING_GAIN,
         )
     ]
+    pool = record.get("pool")
+    if pool is not None and pool.get("gate_eligible"):
+        # The 2x floor only means something with >=4 cores; smaller
+        # runners record the gain (and the trend view tracks it) but
+        # cannot be held to a parallel-speedup bound.
+        rows.append(
+            (
+                "pool.pool_scaling_gain",
+                pool["pool_scaling_gain"],
+                MIN_POOL_SCALING_GAIN,
+                pool["pool_scaling_gain"] >= MIN_POOL_SCALING_GAIN,
+            )
+        )
+    return rows
 
 
 #: record["benchmark"] -> (metrics fn, floors fn, ops fn, history suffix)
@@ -167,9 +207,96 @@ KINDS = {
 }
 
 
+def _natural_key(path):
+    """Sort key treating digit runs numerically, so same-day labels
+    order ``pr9 < pr10`` instead of the lexical ``pr10 < pr8``."""
+    return tuple(
+        (1, int(part)) if part.isdigit() else (0, part)
+        for part in re.split(r"(\d+)", path.name)
+    )
+
+
+def history_records(history_dir, suffix):
+    """Same-kind history records, oldest first (natural order)."""
+    return sorted(history_dir.glob(f"*-{suffix}.json"), key=_natural_key)
+
+
 def latest_history(history_dir, suffix):
-    records = sorted(history_dir.glob(f"*-{suffix}.json"))
+    records = history_records(history_dir, suffix)
     return records[-1] if records else None
+
+
+def load_history_window(history_dir, suffix, window=TREND_WINDOW):
+    """The last ``window`` same-kind history records, oldest first."""
+    loaded = []
+    for path in history_records(history_dir, suffix)[-window:]:
+        try:
+            loaded.append((path.name, json.loads(path.read_text())))
+        except (OSError, json.JSONDecodeError):
+            print(f"  (skipping unreadable history record {path.name})")
+    return loaded
+
+
+def _slope(values):
+    """Least-squares slope of ``values`` against their index."""
+    n = len(values)
+    mean_x = (n - 1) / 2.0
+    mean_y = sum(values) / n
+    covariance = sum(
+        (i - mean_x) * (v - mean_y) for i, v in enumerate(values)
+    )
+    variance = sum((i - mean_x) ** 2 for i in range(n))
+    return covariance / variance
+
+
+def trend_check(current, history, metrics_fn):
+    """Failure strings for metrics sliding adversely across snapshots.
+
+    ``history`` is the (name, record) window oldest-first; the fresh
+    record is appended as the final point.  A metric needs at least
+    TREND_MIN_POINTS points (old records may predate it) and fails
+    only on a *sustained* adverse drift: normalized slope beyond
+    TREND_SLOPE_LIMIT per snapshot AND the fresh value adverse vs the
+    window's first — a single noisy dip cannot trip it, and neither
+    can a slide that has already recovered.
+    """
+    failures = []
+    series = {}
+    for _, record in history:
+        try:
+            for name, value, _higher in metrics_fn(record):
+                series.setdefault(name, []).append(value)
+        except (KeyError, TypeError):
+            continue  # a record shape from before this metric existed
+    rows = []
+    for name, value, higher in metrics_fn(current):
+        points = series.get(name, []) + [value]
+        if len(points) < TREND_MIN_POINTS:
+            rows.append((name, points, None, "n/a (too few points)"))
+            continue
+        mean = sum(points) / len(points)
+        if mean == 0:
+            continue
+        normalized_slope = _slope(points) / abs(mean)
+        adverse_slope = -normalized_slope if higher else normalized_slope
+        endpoint_adverse = (
+            points[-1] < points[0] if higher else points[-1] > points[0]
+        )
+        sliding = adverse_slope > TREND_SLOPE_LIMIT and endpoint_adverse
+        status = "REGRESSING" if sliding else "ok"
+        rows.append((name, points, normalized_slope, status))
+        if sliding:
+            failures.append(
+                f"{name} is sliding {abs(normalized_slope):.1%}/snapshot "
+                f"across the last {len(points)} runs "
+                f"({points[0]:.3f} -> {points[-1]:.3f}); individually "
+                f"within noise, collectively a regression"
+            )
+    for name, points, slope, status in rows:
+        arrow = " -> ".join(f"{p:.3f}" for p in points)
+        slope_text = "" if slope is None else f" (slope {slope:+.1%}/snapshot)"
+        print(f"  {name}: {arrow}{slope_text} {status}")
+    return failures
 
 
 def compare(current, baseline, metrics_fn):
@@ -296,6 +423,9 @@ def main(argv):
             failures.append(stale)
         failures.extend(compare(current, baseline, metrics_fn))
         failures.extend(compare_ops(current, baseline, ops_fn))
+        window = load_history_window(history_dir, suffix)
+        print(f"trend over last {len(window)} snapshot(s) + this run:")
+        failures.extend(trend_check(current, window, metrics_fn))
 
     if failures:
         for failure in failures:

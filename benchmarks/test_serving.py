@@ -24,13 +24,23 @@ robustness gauntlet and emits ``BENCH_serving.json``:
    at the degraded step (prefix consistency).
 6. **Graceful drain** — stop() with a request in flight: the request
    completes, the drain flushes.
+7. **Process pool scale-out** — two fresh servers over a *shared plan
+   file*: a single in-process worker, then a 3-replica
+   ``--serve-workers`` pool.  Serial responses must be bit-identical
+   across the two (the shm transport and fork replication are
+   invisible in the numbers), no ``/dev/shm`` segment may survive the
+   pool's drain, and on a >=4-core runner the pool must deliver
+   ``pool_scaling_gain >= 2.0`` over the single worker.  On smaller
+   runners the gain is recorded but not gated (``gate_eligible``).
 
 Ratio metrics only feed the trend gate (compare_bench.py); counts and
 booleans are asserted here and schema-checked in CI.
 """
 
 import json
+import os
 import platform
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -40,6 +50,7 @@ import pytest
 
 from repro import nn
 from repro.serve import ServeConfig, ServerHandle, build_demo_network
+from repro.serve.shm import list_segments
 from repro.utils.io import atomic_write_json
 
 from bench_schema import assert_serving_schema
@@ -51,6 +62,12 @@ TIMESTEPS = 8
 SERIAL_REQUESTS = 10
 CONCURRENCY = 6
 REQUESTS_PER_CLIENT = 5
+
+POOL_REPLICAS = 3
+#: Cores below which the >=2x pool scaling floor is recorded, not
+#: gated — process parallelism cannot beat one worker on one core.
+POOL_GATE_MIN_CORES = 4
+MIN_POOL_SCALING_GAIN = 2.0
 
 
 class BenchStall(nn.Module):
@@ -253,6 +270,116 @@ def run_drain_phase(handle):
     return {"flushed": True, "inflight_completed": inflight_completed}
 
 
+def _pool_server(serve_workers, plan_path):
+    """A fresh demo server; all pool-phase servers share ``plan_path``
+    so every one executes the identical compiled plans."""
+    core, shape = build_demo_network(input_shape=SHAPE, classes=10, seed=0)
+    config = ServeConfig(
+        port=0,
+        engine="auto",
+        timesteps=TIMESTEPS,
+        max_batch_size=8,
+        max_queue_depth=64,
+        gather_window_seconds=5e-3,
+        hang_timeout_seconds=30.0,
+        drain_timeout_seconds=30.0,
+        serve_workers=serve_workers,
+        plan_path=plan_path,
+    )
+    return ServerHandle(core, shape, config)
+
+
+def _measure_rps(handle, samples):
+    """CONCURRENCY client threads over ``samples``; all must 200."""
+    statuses = []
+    lock = threading.Lock()
+    per_client = len(samples) // CONCURRENCY
+
+    def client(worker_id):
+        for i in range(per_client):
+            x = samples[worker_id * per_client + i]
+            status, _ = handle.infer(x, deadline_ms=120_000, timeout=120.0)
+            with lock:
+                statuses.append(status)
+
+    threads = [
+        threading.Thread(target=client, args=(c,)) for c in range(CONCURRENCY)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(180.0)
+    elapsed = time.perf_counter() - started
+    assert len(statuses) == per_client * CONCURRENCY
+    assert all(s == 200 for s in statuses), statuses
+    return len(statuses) / elapsed
+
+
+def run_pool_phase():
+    """Single worker vs POOL_REPLICAS-process pool on a shared plan file."""
+    cores = os.cpu_count() or 1
+    gate_eligible = cores >= POOL_GATE_MIN_CORES
+    serial_samples = make_samples(SERIAL_REQUESTS, seed=7)
+    load_samples = make_samples(CONCURRENCY * REQUESTS_PER_CLIENT, seed=8)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        plan_path = str(Path(tmp) / "plans.json")
+
+        single = _pool_server(1, plan_path)
+        try:
+            single_serial = []
+            for x in serial_samples:
+                status, body = single.infer(x, deadline_ms=120_000, timeout=120.0)
+                assert status == 200, (status, body)
+                single_serial.append(
+                    np.asarray(body["logits"], dtype=np.float32)
+                )
+            single_rps = _measure_rps(single, load_samples)
+        finally:
+            single.stop(timeout=60.0)
+
+        pool = _pool_server(POOL_REPLICAS, plan_path)
+        prefix = pool.server.worker.ring.prefix
+        try:
+            pool_metrics = pool.request("GET", "/metrics")[1]
+            assert pool_metrics["pool"]["replicas"] == POOL_REPLICAS
+            start_method = pool_metrics["pool"]["start_method"]
+            bit_identical = True
+            for x, expect in zip(serial_samples, single_serial):
+                status, body = pool.infer(x, deadline_ms=120_000, timeout=120.0)
+                assert status == 200, (status, body)
+                served = np.asarray(body["logits"], dtype=np.float32)
+                if not np.array_equal(served, expect):
+                    bit_identical = False
+            pool_rps = _measure_rps(pool, load_samples)
+        finally:
+            pool.stop(timeout=60.0)
+        leaked = len(list_segments(prefix))
+
+    gain = pool_rps / single_rps
+    assert bit_identical, (
+        "pool responses diverged bitwise from the single-worker path"
+    )
+    assert leaked == 0, f"{leaked} shared-memory segment(s) leaked"
+    if gate_eligible:
+        assert gain >= MIN_POOL_SCALING_GAIN, (
+            f"pool gain {gain:.2f}x < {MIN_POOL_SCALING_GAIN}x on a "
+            f"{cores}-core runner"
+        )
+    return {
+        "replicas": POOL_REPLICAS,
+        "cores": cores,
+        "gate_eligible": gate_eligible,
+        "start_method": start_method,
+        "single_worker_rps": round(single_rps, 3),
+        "pool_rps": round(pool_rps, 3),
+        "pool_scaling_gain": round(gain, 3),
+        "bit_identical_vs_single_worker": bool(bit_identical),
+        "leaked_segments": leaked,
+    }
+
+
 def test_serving_load_and_failure_semantics():
     handle = build_server()
     try:
@@ -269,6 +396,7 @@ def test_serving_load_and_failure_semantics():
         handle.stop()
         raise
     drain = run_drain_phase(handle)
+    pool = run_pool_phase()
 
     gain = concurrent_rps / sequential_rps
     record = {
@@ -299,6 +427,7 @@ def test_serving_load_and_failure_semantics():
             "degraded_prefix_consistent": bool(degraded_ok),
             "drain": drain,
         },
+        "pool": pool,
         "counters": final_metrics["counters"],
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -310,7 +439,10 @@ def test_serving_load_and_failure_semantics():
         f"{concurrent_rps:.1f} req/s (gain {gain:.2f}x), p50 "
         f"{record['latency_ms']['p50']:.1f}ms p99 "
         f"{record['latency_ms']['p99']:.1f}ms, breaker trips "
-        f"{breaker['trips']} -> {BENCH_PATH}"
+        f"{breaker['trips']}, pool x{POOL_REPLICAS} "
+        f"{pool['pool_scaling_gain']:.2f}x on {pool['cores']} core(s) "
+        f"({'gated' if pool['gate_eligible'] else 'recorded'}) "
+        f"-> {BENCH_PATH}"
     )
 
 

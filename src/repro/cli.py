@@ -514,6 +514,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         help="queue depth beyond which requests shed (429)")
     parser.add_argument("--workers", type=int, default=1,
                         help="batch shards per engine run")
+    parser.add_argument("--serve-workers", type=int, default=1,
+                        dest="serve_workers",
+                        help="process-backed engine replicas behind the "
+                        "batcher (1 = today's in-process worker; N > 1 "
+                        "scales across cores via shared-memory transport)")
+    parser.add_argument("--plan-path", default=None, dest="plan_path",
+                        help="persisted execution-plan file for adaptive "
+                        "engines (shared warm start across restarts and "
+                        "replica pools)")
     parser.add_argument("--shard-mode", choices=SHARD_MODES, default="auto",
                         dest="shard_mode")
     parser.add_argument("--hang-timeout", type=float, default=30.0,
@@ -565,6 +574,8 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         p99_budget_ms=args.p99_budget_ms,
         engine=args.engine,
         workers=args.workers,
+        serve_workers=args.serve_workers,
+        plan_path=args.plan_path,
         shard_mode=args.shard_mode,
         max_batch_size=args.max_batch,
         max_queue_depth=args.max_queue,

@@ -63,8 +63,10 @@ from repro.serve.middleware import (
     decode_infer_request,
     retry_after_header,
 )
+from repro.serve.pool import EngineWorkerPool
 from repro.snn import convert_to_snn
 from repro.snn.engines import make_engine
+from repro.snn.engines.costmodel import CostModel, cost_model_path_for
 from repro.snn.engines.service import EngineWorker
 from repro.snn.engines.sharding import ShardPolicy
 from repro.tensor import Tensor, no_grad
@@ -98,6 +100,8 @@ class ServeConfig:
     degrade_cooldown_seconds: float = 2.0
     engine: str = "auto"
     workers: int = 1
+    serve_workers: int = 1                # engine replicas (1 = in-process)
+    plan_path: Optional[str] = None       # persisted execution plans
     shard_mode: str = "auto"
     shard_timeout_seconds: Optional[float] = 10.0
     shard_retries: int = 1
@@ -166,14 +170,42 @@ class InferenceServer:
             timeout=cfg.shard_timeout_seconds, retries=cfg.shard_retries
         )
         engine = make_engine(cfg.engine)
+        if cfg.plan_path and hasattr(engine, "load_plans"):
+            # make_engine takes no kwargs; thread the plan file through
+            # post-construction.  Plans and the sibling cost model are
+            # caches — missing files just mean a cold calibration.
+            engine.plan_path = cfg.plan_path
+            engine.load_plans(missing_ok=True)
+            engine.cost_model = CostModel.load(
+                cost_model_path_for(cfg.plan_path)
+            )
         engine.bind(model)
-        self.worker = EngineWorker(
-            engine,
-            policy=policy,
-            workers=cfg.workers,
-            shard_mode=cfg.shard_mode,
-            probe_shape=self.input_shape,
-        )
+        if cfg.serve_workers > 1:
+            # Process-parallel replicas over shared-memory transport.
+            self.worker = EngineWorkerPool(
+                engine,
+                replicas=cfg.serve_workers,
+                policy=policy,
+                workers=cfg.workers,
+                shard_mode=cfg.shard_mode,
+                probe_shape=self.input_shape,
+                serve_timesteps=cfg.timesteps,
+                max_batch_size=cfg.max_batch_size,
+                breaker_failure_threshold=cfg.breaker_failure_threshold,
+                breaker_reset_seconds=cfg.breaker_reset_seconds,
+                spawn_spec=cfg.engine,
+                plan_path=cfg.plan_path,
+            )
+            self.metrics.set_section("pool", self.worker.snapshot)
+        else:
+            # serve_workers == 1 keeps today's in-process worker exactly.
+            self.worker = EngineWorker(
+                engine,
+                policy=policy,
+                workers=cfg.workers,
+                shard_mode=cfg.shard_mode,
+                probe_shape=self.input_shape,
+            )
         self.breaker = CircuitBreaker(
             failure_threshold=cfg.breaker_failure_threshold,
             reset_timeout=cfg.breaker_reset_seconds,

@@ -41,6 +41,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import logging
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Deque, List, Optional
@@ -223,12 +224,22 @@ class MicroBatcher:
         self._clock = clock
         self._queue: Deque[InferenceRequest] = deque()
         self._queued_bytes = 0
-        self._inflight = 0          # entries inside the current dispatch
-        self._inflight_work = 0     # sample-timesteps inside the dispatch
+        self._inflight = 0          # entries inside in-flight dispatches
+        self._inflight_work = 0     # sample-timesteps in flight
         self._draining = False
         self._closed = False
         self._wake = asyncio.Event()
         self._task: Optional[asyncio.Task] = None
+        # Concurrent dispatches, when the worker is a pool.  A plain
+        # EngineWorker has capacity 1 and keeps today's single
+        # outstanding batch; an EngineWorkerPool advertises capacity N
+        # and the loop keeps up to N batches in flight at once.
+        self._dispatch_tasks: set = set()
+
+    @property
+    def capacity(self) -> int:
+        """Concurrent dispatches the worker can absorb (1 = in-process)."""
+        return max(1, int(getattr(self.worker, "capacity", 1)))
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -275,6 +286,13 @@ class MicroBatcher:
             except (asyncio.CancelledError, Exception):  # noqa: BLE001
                 pass
             self._task = None
+        for task in list(self._dispatch_tasks):
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._dispatch_tasks.clear()
         self._fail_queue(DrainingError("server shut down"), "shutdown_dropped")
 
     # -- admission -----------------------------------------------------
@@ -340,7 +358,25 @@ class MicroBatcher:
         return sum(min(e.timesteps, self.degrade.current) for e in self._queue)
 
     def _drain_time_estimate(self) -> float:
-        return self.estimator.unit * self._pending_work() + self.estimator.overhead
+        """Seconds until today's backlog plausibly clears — the 429
+        ``Retry-After``.
+
+        Derived from actual load, not a constant: queued plus in-flight
+        sample-timesteps priced at the EWMA unit cost (divided across
+        the worker's dispatch capacity), plus one per-dispatch overhead
+        for every batch the backlog will need.  A client shed at depth
+        60 therefore backs off proportionally longer than one shed at
+        depth 8, instead of every shed client retrying into the same
+        wall simultaneously.
+        """
+        cfg = self.config
+        entries = len(self._queue) + self._inflight
+        batches = math.ceil(max(entries, 1) / max(cfg.max_batch_size, 1))
+        work = self._pending_work() + self._inflight_work
+        return (
+            batches * self.estimator.overhead
+            + self.estimator.unit * work / self.capacity
+        )
 
     # -- queue maintenance ---------------------------------------------
     def _remove(self, entry: InferenceRequest) -> None:
@@ -412,15 +448,48 @@ class MicroBatcher:
                 else:
                     await asyncio.sleep(cfg.idle_tick_seconds)
                 continue
+            if mode == "probe" and self._dispatch_tasks:
+                # A half-open probe must be the only thing in flight so
+                # its verdict is the substrate's, not a stale batch's.
+                await asyncio.wait(
+                    list(self._dispatch_tasks),
+                    return_when=asyncio.ALL_COMPLETED,
+                )
+            capacity = self.capacity
+            if mode != "probe" and capacity > 1:
+                if len(self._dispatch_tasks) >= capacity:
+                    # Every replica has a batch; resume gathering as
+                    # soon as one frees up.
+                    await asyncio.wait(
+                        list(self._dispatch_tasks),
+                        return_when=asyncio.FIRST_COMPLETED,
+                    )
+                    continue
+                members = self._gather(cfg.max_batch_size)
+                if not members:
+                    continue
+                members = await self._hold_gather_window(members)
+                if members:
+                    task = asyncio.get_running_loop().create_task(
+                        self._dispatch_and_observe(members, probe=False)
+                    )
+                    self._dispatch_tasks.add(task)
+                    task.add_done_callback(self._dispatch_tasks.discard)
+                continue
             members = self._gather(1 if mode == "probe" else cfg.max_batch_size)
             if not members:
                 continue
             if mode != "probe":
                 members = await self._hold_gather_window(members)
             if members:
-                await self._dispatch(members, probe=(mode == "probe"))
-                self.degrade.observe(self.metrics.p99_ms())
-                self.metrics.set_gauge("degrade_timesteps", self.degrade.current)
+                await self._dispatch_and_observe(members, probe=(mode == "probe"))
+
+    async def _dispatch_and_observe(
+        self, members: List[InferenceRequest], probe: bool
+    ) -> None:
+        await self._dispatch(members, probe=probe)
+        self.degrade.observe(self.metrics.p99_ms())
+        self.metrics.set_gauge("degrade_timesteps", self.degrade.current)
 
     def _gather(self, limit: int) -> List[InferenceRequest]:
         members: List[InferenceRequest] = []
@@ -469,8 +538,8 @@ class MicroBatcher:
             if len(members) == 1
             else np.concatenate([e.batch for e in members], axis=0)
         )
-        self._inflight = len(members)
-        self._inflight_work = sum(effective)
+        self._inflight += len(members)
+        self._inflight_work += sum(effective)
         self.metrics.set_gauge("inflight_requests", self._inflight)
         started = self._clock()
         try:
@@ -494,9 +563,9 @@ class MicroBatcher:
                     entry.future.set_exception(failure)
             return
         finally:
-            self._inflight = 0
-            self._inflight_work = 0
-            self.metrics.set_gauge("inflight_requests", 0)
+            self._inflight = max(self._inflight - len(members), 0)
+            self._inflight_work = max(self._inflight_work - sum(effective), 0)
+            self.metrics.set_gauge("inflight_requests", self._inflight)
             self._export_worker_counters()
 
         elapsed = self._clock() - started

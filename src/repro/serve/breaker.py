@@ -58,6 +58,9 @@ class CircuitBreaker:
     on_transition:
         ``fn(old_state, new_state, reason)`` callback — the serving app
         wires this to logging + metrics.
+    name:
+        Optional label prefixed to transition logs, so the pool's
+        per-replica breakers are tellable apart from the global one.
     """
 
     def __init__(
@@ -66,6 +69,7 @@ class CircuitBreaker:
         reset_timeout: float = 2.0,
         clock: Callable[[], float] = time.monotonic,
         on_transition: Optional[Callable[[str, str, str], None]] = None,
+        name: str = "",
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -73,6 +77,7 @@ class CircuitBreaker:
             raise ValueError("reset_timeout must be positive")
         self.failure_threshold = int(failure_threshold)
         self.reset_timeout = float(reset_timeout)
+        self.name = str(name)
         self._clock = clock
         self._on_transition = on_transition
         self._lock = threading.Lock()
@@ -94,7 +99,10 @@ class CircuitBreaker:
             self._opened_at = self._clock()
         if new_state == CLOSED and old == HALF_OPEN:
             self.recoveries += 1
-        logger.warning("circuit breaker %s -> %s: %s", old, new_state, reason)
+        logger.warning(
+            "circuit breaker%s %s -> %s: %s",
+            f" [{self.name}]" if self.name else "", old, new_state, reason,
+        )
         if self._on_transition is not None:
             self._on_transition(old, new_state, reason)
 

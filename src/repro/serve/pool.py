@@ -1,0 +1,782 @@
+"""Process-parallel engine replicas behind one ``EngineWorker``-shaped facade.
+
+One :class:`~repro.snn.engines.service.EngineWorker` serializes every
+batch through a single GIL-bound thread, so serving throughput is
+capped at one core.  :class:`EngineWorkerPool` replicates the engine
+across **N worker processes** and keeps the rest of the serving stack
+unchanged: it duck-types the worker's surface (``run_async`` /
+``submit`` / counters / ``planner_snapshot`` / ``health_probe`` /
+``shutdown``) plus a ``capacity`` attribute the micro-batcher uses to
+keep up to N batches in flight.
+
+Transport is the :mod:`repro.serve.shm` slab ring — input batches and
+per-step cumulative logits cross the process boundary in place through
+``multiprocessing.shared_memory`` segments; only a ~100-byte descriptor
+(slab names, generation tag, T, density) rides the queues.  Slabs are
+recycled, generation tags reject stale frames, and the parent-owned
+ring guarantees ``unlink()`` on drain and (via ``atexit``) on crash.
+
+Replication strategy:
+
+* **fork** (Linux/macOS): replicas are forked *after* the parent probes
+  the engine, so model weights, compiled execution plans and the cost
+  model are inherited copy-on-write — zero weight copies, and every
+  replica starts from the identical plan cache (which is what keeps
+  pool responses bit-identical to the single-worker path).  The
+  inherited ``AutoEngine`` owner-pid guard means replicas never write
+  the plan file.
+* **spawn** (elsewhere): the model and engine spec are pickled once per
+  replica at start — a one-time weight broadcast, never per-request.
+
+Scheduling is least-outstanding-work: each dispatch lands on the live
+replica with the smallest sum of queued sample-timesteps whose
+per-replica circuit breaker admits traffic.  A replica that hangs past
+the worker timeout is killed and rebuilt alone; a replica that *dies*
+(crash, OOM-kill, chaos test) has its outstanding descriptors re-queued
+onto surviving replicas — input slabs are parent-owned and still valid —
+so the pool keeps answering through a replica's death.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import multiprocessing
+import queue as queue_module
+import signal
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.shm import Slab, SlabError, SlabRing, attach_slab
+from repro.snn.engines.service import ProbeResult, WorkerTimeout
+
+logger = logging.getLogger(__name__)
+
+#: Times a dispatch may be (re)assigned across replica deaths before it
+#: fails out to the caller — bounds the blast radius of a poison batch
+#: that crashes every replica it touches.
+MAX_DISPATCH_ATTEMPTS = 2
+
+#: Replica-side cap on cached slab attachments (segments are recycled
+#: by name, so steady state is a handful; retired names age out).
+_ATTACH_CACHE_LIMIT = 64
+
+
+def pool_start_method() -> str:
+    """``"fork"`` where available (zero-copy weights), else ``"spawn"``."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+# ----------------------------------------------------------------------
+# Replica process
+# ----------------------------------------------------------------------
+def _materialise_engine(payload: dict):
+    """Build the replica's bound engine from the start-method payload."""
+    if payload["mode"] == "fork":
+        # Nothing was pickled: the engine (weights, plan cache, cost
+        # model) arrived copy-on-write through fork.
+        return payload["engine"]
+    from repro.snn.engines import make_engine
+
+    engine = make_engine(payload["spec"])
+    engine.bind(payload["model"])
+    plan_path = payload.get("plan_path")
+    loader = getattr(engine, "load_plans", None)
+    if plan_path and loader is not None:
+        try:
+            loader(plan_path, missing_ok=True)
+        except Exception:  # noqa: BLE001 - plans are a cache, never required
+            logger.warning("replica could not load plans from %s", plan_path)
+    return engine
+
+
+def _replica_main(index: int, payload: dict, request_queue, response_queue) -> None:
+    """One replica: attach slabs, run batches, frame results back.
+
+    Replicas never own segments — they attach, compute, write the
+    response frame under the request's generation tag, and answer with
+    a small status message.  All exits (sentinel, queue EOF) leave the
+    parent's segments untouched.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    engine = _materialise_engine(payload)
+    policy = payload.get("policy")
+    workers = int(payload.get("workers", 1))
+    shard_mode = payload.get("shard_mode", "auto")
+    attached: Dict[str, Slab] = {}
+
+    def _attach(name: str) -> Slab:
+        slab = attached.get(name)
+        if slab is None:
+            if len(attached) >= _ATTACH_CACHE_LIMIT:
+                _, old = attached.popitem()
+                old.close()
+            slab = attach_slab(name)
+            attached[name] = slab
+        return slab
+
+    while True:
+        try:
+            item = request_queue.get()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if item is None:
+            break
+        generation = item.get("generation")
+        response = {
+            "req": item.get("req"), "replica": index, "generation": generation,
+            "attempt": item.get("attempt"),
+        }
+        x = None
+        try:
+            x = _attach(item["input"]).read(
+                expected_generation=generation, copy=False
+            )
+            density = item.get("density")
+            observe = getattr(engine, "observe_density_prior", None)
+            if observe is not None and density is not None:
+                observe(item.get("kind", "dense"), float(density))
+            run = engine.run(
+                x,
+                int(item["timesteps"]),
+                per_step=True,
+                workers=workers,
+                shard_mode=shard_mode,
+                shard_policy=policy,
+            )
+            _attach(item["output"]).write(np.stack(run.per_step), generation)
+            response.update(
+                ok=True,
+                stats={
+                    "shard_failures": len(run.stats.shard_failures),
+                    "degraded_shard_mode": run.stats.degraded_shard_mode or "",
+                    "replan_triggered": bool(run.stats.replan_triggered),
+                    "wall_clock_seconds": float(run.stats.wall_clock_seconds),
+                },
+            )
+        except BaseException as error:  # noqa: BLE001 - replica must answer
+            response.update(ok=False, error=f"{type(error).__name__}: {error}")
+        finally:
+            del x  # drop the shared view before any slab close
+        try:
+            response_queue.put(response)
+        except (EOFError, OSError):
+            break
+    for slab in attached.values():
+        slab.close()
+
+
+# ----------------------------------------------------------------------
+# Parent-side bookkeeping
+# ----------------------------------------------------------------------
+@dataclass
+class _Dispatch:
+    """One in-flight batch: its slabs, descriptor, and caller future."""
+
+    rid: int
+    descriptor: dict
+    input_slab: Slab
+    output_slab: Slab
+    generation: int
+    work: int                       # sample-timesteps, for scheduling
+    timesteps: int
+    per_step: bool
+    future: Future = field(default_factory=Future)
+    replica: Optional["_Replica"] = None
+    attempts: int = 0
+
+
+class _Replica:
+    """A replica process plus its queue, breaker and outstanding work."""
+
+    def __init__(self, index: int, breaker: CircuitBreaker) -> None:
+        self.index = index
+        self.breaker = breaker
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.request_queue = None
+        self.outstanding: Dict[int, _Dispatch] = {}
+        self.restarts = 0
+        self.completed = 0
+        self.stopping = False
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def outstanding_work(self) -> int:
+        return sum(d.work for d in self.outstanding.values())
+
+
+@dataclass
+class _PoolStats:
+    """Minimal ``RunStats``-shaped view for pool responses."""
+
+    batch_size: int
+    timesteps: int
+    engine: str
+    wall_clock_seconds: float
+    shard_failures: tuple = ()
+    degraded_shard_mode: str = ""
+    replan_triggered: bool = False
+
+
+@dataclass
+class PoolRun:
+    """``EngineRun``-shaped result assembled from a replica's frame."""
+
+    logits: np.ndarray
+    stats: _PoolStats
+    per_step: Optional[List[np.ndarray]] = None
+
+
+class EngineWorkerPool:
+    """N process-backed engine replicas behind the worker interface.
+
+    Parameters mirror :class:`EngineWorker` where they overlap; the
+    engine must already be bound.  The parent runs warm-up probes
+    through its own engine *before* starting replicas so fork children
+    inherit compiled plans and the pool learns the logit geometry it
+    sizes response slabs with.
+    """
+
+    def __init__(
+        self,
+        engine,
+        replicas: int,
+        policy=None,
+        workers: int = 1,
+        shard_mode: str = "auto",
+        probe_shape: Optional[Sequence[int]] = None,
+        probe_timesteps: int = 2,
+        serve_timesteps: Optional[int] = None,
+        max_batch_size: int = 8,
+        breaker_failure_threshold: int = 3,
+        breaker_reset_seconds: float = 2.0,
+        spawn_spec: Optional[str] = None,
+        plan_path: Optional[str] = None,
+        slab_prefix: Optional[str] = None,
+    ) -> None:
+        if engine.model is None:
+            raise ValueError("engine must be bound to a model (call bind() first)")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if probe_shape is None:
+            raise ValueError("the pool needs probe_shape to size response slabs")
+        self._engine = engine
+        self.policy = policy
+        self.workers = int(workers)
+        self.shard_mode = shard_mode
+        self.probe_shape: Tuple[int, ...] = tuple(int(s) for s in probe_shape)
+        self.probe_timesteps = int(probe_timesteps)
+        self.capacity = int(replicas)
+        self.max_batch_size = int(max_batch_size)
+        self.start_method = pool_start_method()
+        self._spawn_spec = spawn_spec
+        self._plan_path = plan_path
+
+        # Worker-interface counters (the batcher and /metrics read these).
+        self.restarts = 0
+        self.runs_completed = 0
+        self.shard_failures = 0
+        self.last_degraded_mode = ""
+        self.replans_seen = 0
+
+        self._lock = threading.Lock()
+        self._closed = False
+        self._rid_counter = 0
+        self._dispatches: Dict[int, _Dispatch] = {}
+
+        # Warm the parent engine before forking: compiles plans for the
+        # single-sample and full-batch keys (inherited by replicas) and
+        # reveals the logit dtype/width the response slabs are sized by.
+        probe = np.zeros((1,) + self.probe_shape, dtype=np.float32)
+        serve_t = int(serve_timesteps or self.probe_timesteps)
+        warm = self._engine.run(probe, serve_t, per_step=True)
+        self.classes = int(warm.logits.shape[-1])
+        self._logit_dtype = warm.logits.dtype
+        if self.max_batch_size > 1:
+            batch = np.zeros(
+                (self.max_batch_size,) + self.probe_shape, dtype=np.float32
+            )
+            self._engine.run(batch, serve_t, per_step=True)
+
+        self.ring = SlabRing(prefix=slab_prefix)
+        self._context = multiprocessing.get_context(self.start_method)
+        self._response_queue = self._context.Queue()
+        self._replicas: List[_Replica] = []
+        for index in range(self.capacity):
+            replica = _Replica(
+                index,
+                CircuitBreaker(
+                    failure_threshold=breaker_failure_threshold,
+                    reset_timeout=breaker_reset_seconds,
+                    name=f"replica-{index}",
+                ),
+            )
+            self._start_replica(replica)
+            self._replicas.append(replica)
+        self._reader = threading.Thread(
+            target=self._reader_loop, name="pool-reader", daemon=True
+        )
+        self._reader.start()
+
+    # ------------------------------------------------------------------
+    # Replica lifecycle
+    # ------------------------------------------------------------------
+    def _replica_payload(self) -> dict:
+        if self.start_method == "fork":
+            # Process args are not pickled under fork: the engine and
+            # policy ride into the child copy-on-write.
+            return {
+                "mode": "fork",
+                "engine": self._engine,
+                "policy": self.policy,
+                "workers": self.workers,
+                "shard_mode": self.shard_mode,
+            }
+        return {
+            "mode": "spawn",
+            "spec": self._spawn_spec or "auto",
+            "model": self._engine.model,
+            "plan_path": self._plan_path,
+            "policy": None,  # ShardPolicy is rebuilt as default on spawn
+            "workers": self.workers,
+            "shard_mode": self.shard_mode,
+        }
+
+    def _start_replica(self, replica: _Replica) -> None:
+        replica.request_queue = self._context.Queue()
+        replica.process = self._context.Process(
+            target=_replica_main,
+            args=(
+                replica.index,
+                self._replica_payload(),
+                replica.request_queue,
+                self._response_queue,
+            ),
+            name=f"engine-replica-{replica.index}",
+            daemon=True,
+        )
+        replica.process.start()
+
+    def _rebuild_replica(self, replica: _Replica, reason: str) -> List[_Dispatch]:
+        """Kill + restart one replica; returns its orphaned dispatches.
+
+        Called with the pool lock held.  The process is killed *before*
+        its outstanding work is re-queued, so no straggler can write a
+        recycled slab after its generation moved on.
+        """
+        process = replica.process
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(timeout=5.0)
+        orphans = list(replica.outstanding.values())
+        replica.outstanding.clear()
+        replica.restarts += 1
+        self.restarts += 1
+        # A fresh breaker: the replacement process starts with a clean
+        # failure history.
+        replica.breaker = CircuitBreaker(
+            failure_threshold=replica.breaker.failure_threshold,
+            reset_timeout=replica.breaker.reset_timeout,
+            name=f"replica-{replica.index}",
+        )
+        self._start_replica(replica)
+        logger.warning(
+            "pool replica %d rebuilt (%s); %d outstanding dispatch(es) "
+            "re-queued", replica.index, reason, len(orphans),
+        )
+        return orphans
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _pick_replica(self) -> _Replica:
+        """Least outstanding work among breaker-admitting live replicas.
+
+        Falls back to all live replicas when every breaker is open —
+        the pool's contract is to keep answering; per-replica breakers
+        only *steer* load away from a flapping replica.
+        """
+        live = [r for r in self._replicas if r.alive() and not r.stopping]
+        if not live:
+            raise RuntimeError("no live replicas in the pool")
+        admitting = [r for r in live if r.breaker.allow_request()[0]]
+        candidates = admitting or live
+        return min(candidates, key=lambda r: (r.outstanding_work(), r.index))
+
+    def _assign(self, dispatch: _Dispatch) -> None:
+        """Place one dispatch on a replica (lock held)."""
+        replica = self._pick_replica()
+        dispatch.replica = replica
+        dispatch.attempts += 1
+        # The attempt tag lets _handle_response drop a late answer from
+        # a superseded attempt: a replica that finished just before its
+        # SIGKILL may have enqueued a response that would otherwise be
+        # taken for the re-queued attempt's and release its slabs while
+        # the new replica is still working on them.
+        dispatch.descriptor["attempt"] = dispatch.attempts
+        replica.outstanding[dispatch.rid] = dispatch
+        replica.request_queue.put(dispatch.descriptor)
+
+    # ------------------------------------------------------------------
+    # Submission (worker interface)
+    # ------------------------------------------------------------------
+    def submit(self, x, timesteps: int, per_step: bool = False) -> Future:
+        """Frame one batch into shared memory and queue it on a replica."""
+        x = np.ascontiguousarray(x)
+        timesteps = int(timesteps)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("the worker pool is shut down")
+            self._rid_counter += 1
+            rid = self._rid_counter
+            generation = self.ring.next_generation()
+            input_slab = self.ring.acquire(x.nbytes)
+            input_slab.write(x, generation)
+            out_bytes = (
+                timesteps * x.shape[0] * self.classes * self._logit_dtype.itemsize
+            )
+            output_slab = self.ring.acquire(out_bytes)
+            density = float(np.count_nonzero(x)) / max(x.size, 1)
+            # Feed the parent engine's density prior too: /metrics
+            # reports the parent's planner snapshot, and replicas built
+            # after a rebuild fork from the parent — so a fresh replica
+            # warm-starts from the traffic observed so far.
+            observe = getattr(self._engine, "observe_density_prior", None)
+            if observe is not None:
+                observe("dense", density)
+            dispatch = _Dispatch(
+                rid=rid,
+                descriptor={
+                    "req": rid,
+                    "input": input_slab.name,
+                    "output": output_slab.name,
+                    "generation": generation,
+                    "timesteps": timesteps,
+                    "density": density,
+                    "kind": "dense",
+                },
+                input_slab=input_slab,
+                output_slab=output_slab,
+                generation=generation,
+                work=int(x.shape[0]) * timesteps,
+                timesteps=timesteps,
+                per_step=per_step,
+            )
+            self._dispatches[rid] = dispatch
+            try:
+                self._assign(dispatch)
+            except Exception as error:
+                self._dispatches.pop(rid, None)
+                self._release_slabs(dispatch)
+                raise
+        return dispatch.future
+
+    async def run_async(
+        self,
+        x,
+        timesteps: int,
+        per_step: bool = False,
+        timeout: Optional[float] = None,
+    ):
+        """Await one batch through the pool, with a hang deadline.
+
+        A timeout means the assigned replica wedged: it alone is killed
+        and rebuilt (:class:`WorkerTimeout` raised, feeding the global
+        breaker) while the other replicas keep serving.
+        """
+        future = self.submit(x, timesteps, per_step)
+        try:
+            return await asyncio.wait_for(asyncio.wrap_future(future), timeout)
+        except asyncio.TimeoutError:
+            self._handle_hang(future)
+            raise WorkerTimeout(
+                f"pool dispatch exceeded its {timeout:.3f}s budget; the "
+                f"replica was killed and rebuilt"
+            ) from None
+
+    def _handle_hang(self, future: Future) -> None:
+        with self._lock:
+            dispatch = next(
+                (d for d in self._dispatches.values() if d.future is future), None
+            )
+            if dispatch is None or dispatch.replica is None:
+                return
+            replica = dispatch.replica
+            replica.breaker.record_failure(reason="hang timeout")
+            orphans = self._rebuild_replica(replica, "hang timeout")
+            for orphan in orphans:
+                if orphan.rid == dispatch.rid:
+                    # The hung dispatch itself fails (the caller already
+                    # got WorkerTimeout); innocent co-residents re-queue.
+                    self._dispatches.pop(orphan.rid, None)
+                    self._release_slabs(orphan)
+                    continue
+                self._requeue(orphan, "replica hang")
+
+    # ------------------------------------------------------------------
+    # Response handling
+    # ------------------------------------------------------------------
+    def _release_slabs(self, dispatch: _Dispatch) -> None:
+        self.ring.release(dispatch.input_slab)
+        self.ring.release(dispatch.output_slab)
+
+    def _requeue(self, dispatch: _Dispatch, reason: str) -> None:
+        """Give an orphaned dispatch another replica (lock held)."""
+        if dispatch.attempts >= MAX_DISPATCH_ATTEMPTS:
+            self._dispatches.pop(dispatch.rid, None)
+            self._release_slabs(dispatch)
+            if not dispatch.future.done():
+                dispatch.future.set_exception(
+                    RuntimeError(
+                        f"dispatch failed after {dispatch.attempts} attempt(s) "
+                        f"({reason})"
+                    )
+                )
+            return
+        try:
+            self._assign(dispatch)
+        except Exception as error:  # no live replica left
+            self._dispatches.pop(dispatch.rid, None)
+            self._release_slabs(dispatch)
+            if not dispatch.future.done():
+                dispatch.future.set_exception(RuntimeError(str(error)))
+
+    def _handle_response(self, message: dict) -> None:
+        rid = message.get("req")
+        with self._lock:
+            dispatch = self._dispatches.get(rid)
+            if dispatch is None:
+                return  # stale duplicate (answered via re-queue already)
+            attempt = message.get("attempt")
+            if attempt is not None and attempt != dispatch.attempts:
+                # A superseded attempt's late answer (the replica died
+                # right after responding and the work was re-queued).
+                # The current attempt still owns the slabs — touching
+                # them here would recycle segments under a live run.
+                return
+            self._dispatches.pop(rid, None)
+            replica = dispatch.replica
+            if replica is not None:
+                replica.outstanding.pop(rid, None)
+            if not message.get("ok"):
+                if replica is not None:
+                    replica.breaker.record_failure(
+                        reason=message.get("error", "replica error")
+                    )
+                self._release_slabs(dispatch)
+                error: Optional[Exception] = RuntimeError(
+                    message.get("error", "replica failed")
+                )
+                result = None
+            else:
+                error, result = self._collect_result(dispatch, message)
+                if replica is not None:
+                    if error is None:
+                        replica.breaker.record_success()
+                        replica.completed += 1
+                    else:
+                        replica.breaker.record_failure(reason=str(error))
+                self._release_slabs(dispatch)
+                if error is None:
+                    stats = result.stats
+                    self.runs_completed += 1
+                    self.shard_failures += len(stats.shard_failures)
+                    if stats.degraded_shard_mode:
+                        self.last_degraded_mode = stats.degraded_shard_mode
+                    if stats.replan_triggered:
+                        self.replans_seen += 1
+        if dispatch.future.done():
+            return
+        if error is not None:
+            dispatch.future.set_exception(error)
+        else:
+            dispatch.future.set_result(result)
+
+    def _collect_result(
+        self, dispatch: _Dispatch, message: dict
+    ) -> Tuple[Optional[Exception], Optional[PoolRun]]:
+        """Copy the response frame out of shared memory (lock held)."""
+        try:
+            stacked = dispatch.output_slab.read(
+                expected_generation=dispatch.generation, copy=True
+            )
+        except SlabError as slab_error:
+            return RuntimeError(f"stale/corrupt response frame: {slab_error}"), None
+        raw = message.get("stats") or {}
+        stats = _PoolStats(
+            batch_size=int(stacked.shape[1]) if stacked.ndim >= 2 else 1,
+            timesteps=dispatch.timesteps,
+            engine=type(self._engine).__name__,
+            wall_clock_seconds=float(raw.get("wall_clock_seconds", 0.0)),
+            shard_failures=tuple(range(int(raw.get("shard_failures", 0)))),
+            degraded_shard_mode=str(raw.get("degraded_shard_mode", "")),
+            replan_triggered=bool(raw.get("replan_triggered", False)),
+        )
+        per_step = [stacked[t] for t in range(stacked.shape[0])]
+        run = PoolRun(
+            logits=per_step[-1],
+            stats=stats,
+            per_step=per_step if dispatch.per_step else None,
+        )
+        return None, run
+
+    def _reader_loop(self) -> None:
+        last_reap = time.monotonic()
+        while True:
+            with self._lock:
+                if self._closed and not self._dispatches:
+                    return
+            try:
+                message = self._response_queue.get(timeout=0.2)
+            except queue_module.Empty:
+                self._reap_dead_replicas()
+                last_reap = time.monotonic()
+                continue
+            except (EOFError, OSError):
+                return
+            self._handle_response(message)
+            now = time.monotonic()
+            if now - last_reap > 0.5:
+                # Death detection must not starve while responses flow.
+                self._reap_dead_replicas()
+                last_reap = now
+
+    def _reap_dead_replicas(self) -> None:
+        """Detect crashed replicas; rebuild and re-queue their work."""
+        with self._lock:
+            if self._closed:
+                return
+            for replica in self._replicas:
+                if replica.alive() or replica.stopping:
+                    continue
+                code = (
+                    replica.process.exitcode if replica.process is not None else None
+                )
+                orphans = self._rebuild_replica(
+                    replica, f"process died (exitcode {code})"
+                )
+                for orphan in orphans:
+                    self._requeue(orphan, f"replica death (exitcode {code})")
+
+    # ------------------------------------------------------------------
+    # Worker-interface odds and ends
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        return self._engine
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._dispatches)
+
+    def planner_snapshot(self) -> Optional[dict]:
+        """The parent engine's planner state (replicas inherit it at
+        start; their in-process learning stays replica-local)."""
+        snapshot = getattr(self._engine, "planner_snapshot", None)
+        if snapshot is None:
+            return None
+        return snapshot()
+
+    def health_probe(self, timeout: Optional[float] = 5.0) -> ProbeResult:
+        """One canary batch through the pool's normal scheduling path."""
+        canary = np.zeros((1,) + self.probe_shape, dtype=np.float32)
+        started = time.perf_counter()
+        try:
+            future = self.submit(canary, self.probe_timesteps)
+        except Exception as error:  # noqa: BLE001 - probes report, never raise
+            return ProbeResult(
+                ok=False, latency_seconds=0.0,
+                error=f"{type(error).__name__}: {error}",
+            )
+        try:
+            future.result(timeout)
+        except Exception as error:  # noqa: BLE001
+            elapsed = time.perf_counter() - started
+            if not future.done():
+                self._handle_hang(future)
+                return ProbeResult(
+                    ok=False, latency_seconds=elapsed,
+                    error=f"probe timed out after {elapsed:.3f}s",
+                )
+            return ProbeResult(
+                ok=False, latency_seconds=elapsed,
+                error=f"{type(error).__name__}: {error}",
+            )
+        return ProbeResult(ok=True, latency_seconds=time.perf_counter() - started)
+
+    async def health_probe_async(
+        self, timeout: Optional[float] = 5.0
+    ) -> ProbeResult:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.health_probe, timeout)
+
+    def snapshot(self) -> dict:
+        """The ``/metrics`` ``pool`` section."""
+        with self._lock:
+            replicas = [
+                {
+                    "index": r.index,
+                    "pid": r.pid,
+                    "alive": r.alive(),
+                    "depth": len(r.outstanding),
+                    "outstanding_work": r.outstanding_work(),
+                    "completed": r.completed,
+                    "restarts": r.restarts,
+                    "breaker_state": r.breaker.state,
+                }
+                for r in self._replicas
+            ]
+        return {
+            "replicas": self.capacity,
+            "start_method": self.start_method,
+            "restarts": self.restarts,
+            "runs_completed": self.runs_completed,
+            "per_replica": replicas,
+            "shm": self.ring.snapshot(),
+        }
+
+    def shutdown(self) -> None:
+        """Stop replicas, fail stragglers, destroy every slab (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            stragglers = list(self._dispatches.values())
+            self._dispatches.clear()
+            for replica in self._replicas:
+                replica.stopping = True
+                replica.outstanding.clear()
+        for dispatch in stragglers:
+            if not dispatch.future.done():
+                dispatch.future.set_exception(
+                    RuntimeError("the worker pool is shutting down")
+                )
+        for replica in self._replicas:
+            try:
+                if replica.request_queue is not None:
+                    replica.request_queue.put(None)
+            except (EOFError, OSError, ValueError):
+                pass
+        for replica in self._replicas:
+            process = replica.process
+            if process is None:
+                continue
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2.0)
+        if self._reader.is_alive() and threading.current_thread() is not self._reader:
+            self._reader.join(timeout=2.0)
+        self.ring.unlink_all()

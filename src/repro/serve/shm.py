@@ -1,0 +1,321 @@
+"""Shared-memory slab transport for the process-parallel serving pool.
+
+The pool (:mod:`repro.serve.pool`) moves every batch between the
+asyncio front-end and its engine replica processes through
+``multiprocessing.shared_memory`` segments instead of pickled queue
+payloads: the batcher writes the stacked ``(N, ...)`` input in place,
+the replica maps the same pages read-only, and the per-step cumulative
+logits come back the same way.  Nothing but a ~100-byte descriptor ever
+crosses a pipe.
+
+Each segment ("slab") reserves :data:`HEADER_SIZE` bytes for a framing
+header — magic, a monotonically increasing **generation tag**, dtype
+and shape — so a reader can (a) reconstruct the array with zero
+out-of-band metadata and (b) reject a stale frame left over from a
+previous request that recycled the same slab (:class:`StaleSlabError`).
+The payload is written *before* the header: a reader that observes the
+expected generation observes a completed payload.
+
+Slabs are owned by the parent process and recycled through a
+:class:`SlabRing` free-list; replicas only ever *attach* (and must not
+let Python 3.11's resource tracker unlink on their behalf — see
+:func:`attach_slab`).  The ring guarantees ``unlink()`` of every
+segment on drain and, via ``atexit``, on crash of the owning process.
+"""
+
+from __future__ import annotations
+
+import atexit
+import logging
+import math
+import os
+import secrets
+import struct
+import threading
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Optional
+
+import numpy as np
+
+logger = logging.getLogger(__name__)
+
+#: Magic bytes opening every framed slab payload.
+SLAB_MAGIC = b"RSL1"
+
+#: Maximum array rank the frame header can describe.
+MAX_DIMS = 8
+
+# Little-endian: magic, generation, dtype string, ndim, shape dims.
+_HEADER = struct.Struct("<4sQ16sQ" + "Q" * MAX_DIMS)
+
+#: Bytes reserved at the front of every slab for the frame header — a
+#: power of two so the payload starts aligned for any numpy dtype.
+HEADER_SIZE = 128
+
+#: Name prefix shared by every serving-pool segment, so smoke tests and
+#: operators can audit ``/dev/shm`` for leaks with one glob.
+SEGMENT_PREFIX = "repro-pool"
+
+
+class SlabError(RuntimeError):
+    """Malformed slab frame (bad magic, rank, dtype, or size)."""
+
+
+class StaleSlabError(SlabError):
+    """The slab's generation tag does not match the expected one."""
+
+
+class SlabOverflowError(SlabError):
+    """The array does not fit in the slab's payload capacity."""
+
+
+def write_array(buf, array: np.ndarray, generation: int) -> None:
+    """Frame ``array`` into ``buf`` (a slab's buffer) under ``generation``.
+
+    The payload lands first and the generation-carrying header last, so
+    a concurrent reader polling for the new generation never observes a
+    half-written payload behind a fresh tag.
+    """
+    if not array.flags["C_CONTIGUOUS"]:
+        # Note: ascontiguousarray would promote 0-d arrays to 1-d;
+        # 0-d arrays are always contiguous, so they never reach it.
+        array = np.ascontiguousarray(array)
+    if array.ndim > MAX_DIMS:
+        raise SlabError(f"array rank {array.ndim} exceeds MAX_DIMS={MAX_DIMS}")
+    if HEADER_SIZE + array.nbytes > len(buf):
+        raise SlabOverflowError(
+            f"array needs {array.nbytes} payload bytes; slab holds "
+            f"{len(buf) - HEADER_SIZE}"
+        )
+    dtype_str = array.dtype.str.encode("ascii")
+    if len(dtype_str) > 16:
+        raise SlabError(f"dtype tag {array.dtype.str!r} too long to frame")
+    dest = np.ndarray(array.shape, dtype=array.dtype, buffer=buf, offset=HEADER_SIZE)
+    dest[...] = array
+    del dest  # release the exported buffer so close() stays possible
+    shape = list(array.shape) + [0] * (MAX_DIMS - array.ndim)
+    buf[: _HEADER.size] = _HEADER.pack(
+        SLAB_MAGIC, int(generation), dtype_str.ljust(16, b"\0"),
+        array.ndim, *shape,
+    )
+
+
+def read_array(buf, expected_generation: Optional[int] = None,
+               copy: bool = True) -> np.ndarray:
+    """Reconstruct the framed array from ``buf``.
+
+    With ``expected_generation`` set, a mismatching tag raises
+    :class:`StaleSlabError` — the frame belongs to a different request
+    that recycled this slab.  ``copy=False`` returns a view into the
+    shared pages (caller must drop it before the segment closes).
+    """
+    magic, generation, dtype_raw, ndim, *dims = _HEADER.unpack_from(buf, 0)
+    if magic != SLAB_MAGIC:
+        raise SlabError(f"bad slab magic {magic!r}")
+    if expected_generation is not None and generation != int(expected_generation):
+        raise StaleSlabError(
+            f"slab frame has generation {generation}, expected "
+            f"{int(expected_generation)}"
+        )
+    if not 0 <= ndim <= MAX_DIMS:
+        raise SlabError(f"bad slab rank {ndim}")
+    try:
+        dtype = np.dtype(dtype_raw.rstrip(b"\0").decode("ascii"))
+    except (TypeError, UnicodeDecodeError) as error:
+        raise SlabError(f"bad slab dtype tag: {error}") from error
+    shape = tuple(int(d) for d in dims[:ndim])
+    nbytes = dtype.itemsize * math.prod(shape)
+    if HEADER_SIZE + nbytes > len(buf):
+        raise SlabError(
+            f"frame claims {nbytes} payload bytes; slab holds "
+            f"{len(buf) - HEADER_SIZE}"
+        )
+    view = np.ndarray(shape, dtype=dtype, buffer=buf, offset=HEADER_SIZE)
+    return view.copy() if copy else view
+
+
+class Slab:
+    """One shared-memory segment plus its framing state."""
+
+    __slots__ = ("shm", "owner", "generation")
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool) -> None:
+        self.shm = shm
+        self.owner = owner
+        #: Last generation written through *this* handle (informational;
+        #: the authoritative tag lives in the header itself).
+        self.generation = 0
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    @property
+    def capacity(self) -> int:
+        return self.shm.size
+
+    def write(self, array: np.ndarray, generation: int) -> None:
+        write_array(self.shm.buf, array, generation)
+        self.generation = int(generation)
+
+    def read(self, expected_generation: Optional[int] = None,
+             copy: bool = True) -> np.ndarray:
+        return read_array(self.shm.buf, expected_generation, copy=copy)
+
+    def close(self) -> None:
+        try:
+            self.shm.close()
+        except (OSError, BufferError):
+            # A still-exported numpy view keeps the mapping alive; the
+            # process exit will reclaim it.
+            pass
+
+    def unlink(self) -> None:
+        if not self.owner:
+            return
+        try:
+            self.shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+def create_slab(name: str, payload_bytes: int) -> Slab:
+    """Create (and own) a named segment sized for ``payload_bytes``."""
+    shm = shared_memory.SharedMemory(
+        name=name, create=True, size=HEADER_SIZE + int(payload_bytes)
+    )
+    return Slab(shm, owner=True)
+
+
+def attach_slab(name: str) -> Slab:
+    """Attach to an existing segment without taking ownership.
+
+    Python 3.11's ``SharedMemory`` registers *attachments* with the
+    resource tracker too (bpo-39959), so a replica process exiting would
+    unlink segments the parent still serves from.  Attachers never own
+    the segment: unregister immediately after mapping.
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+    return Slab(shm, owner=False)
+
+
+def list_segments(prefix: str = SEGMENT_PREFIX) -> List[str]:
+    """Names under ``/dev/shm`` starting with ``prefix`` (Linux; else [])."""
+    root = "/dev/shm"
+    if not os.path.isdir(root):
+        return []
+    return sorted(n for n in os.listdir(root) if n.startswith(prefix))
+
+
+class SlabRing:
+    """Parent-owned pool of reusable framed slabs.
+
+    ``acquire`` hands out a free slab with enough payload capacity
+    (minting or growing segments on demand), ``release`` returns it to
+    the free-list, and ``unlink_all`` — called on drain and registered
+    via ``atexit`` against crashes — destroys every segment exactly
+    once.  Fork children inherit the object *and* the parent's atexit
+    hook, so destruction is guarded by the creating pid: replicas can
+    never unlink the parent's segments.
+    """
+
+    def __init__(self, prefix: Optional[str] = None) -> None:
+        pid = os.getpid()
+        self.prefix = prefix or f"{SEGMENT_PREFIX}-{pid}-{secrets.token_hex(3)}"
+        self._owner_pid = pid
+        self._lock = threading.Lock()
+        self._slabs: Dict[str, Slab] = {}
+        self._free: List[str] = []
+        self._generation = 0
+        self._counter = 0
+        self._closed = False
+        atexit.register(self.unlink_all)
+
+    def next_generation(self) -> int:
+        with self._lock:
+            self._generation += 1
+            return self._generation
+
+    def acquire(self, payload_bytes: int) -> Slab:
+        """A free slab holding >= ``payload_bytes``, created on demand."""
+        need = int(payload_bytes)
+        with self._lock:
+            if self._closed:
+                raise SlabError("slab ring is closed")
+            for i, name in enumerate(self._free):
+                if self._slabs[name].capacity - HEADER_SIZE >= need:
+                    del self._free[i]
+                    return self._slabs[name]
+            # Every free slab is too small (or none exist).  Retire one
+            # undersized free segment before minting, so a burst of
+            # larger batches migrates the ring instead of growing it.
+            if self._free:
+                victim = self._free.pop(0)
+                slab = self._slabs.pop(victim)
+                slab.close()
+                slab.unlink()
+            self._counter += 1
+            name = f"{self.prefix}-{self._counter}"
+            slab = create_slab(name, need)
+            self._slabs[name] = slab
+            return slab
+
+    def release(self, slab: Slab) -> None:
+        """Return ``slab`` to the free-list for recycling."""
+        with self._lock:
+            if not self._closed and slab.name in self._slabs:
+                if slab.name not in self._free:
+                    self._free.append(slab.name)
+                return
+        # Ring already drained: the segment was (or is being) unlinked
+        # by unlink_all; just drop this handle's mapping.
+        slab.close()
+
+    def bytes_in_flight(self) -> int:
+        """Total capacity of slabs currently checked out to requests."""
+        with self._lock:
+            return sum(
+                slab.capacity for name, slab in self._slabs.items()
+                if name not in self._free
+            )
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(slab.capacity for slab in self._slabs.values())
+
+    def slab_count(self) -> int:
+        with self._lock:
+            return len(self._slabs)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            total = sum(slab.capacity for slab in self._slabs.values())
+            free = sum(
+                self._slabs[name].capacity for name in self._free
+                if name in self._slabs
+            )
+            return {
+                "prefix": self.prefix,
+                "slabs": len(self._slabs),
+                "free_slabs": len(self._free),
+                "total_bytes": total,
+                "bytes_in_flight": total - free,
+                "generation": self._generation,
+            }
+
+    def unlink_all(self) -> None:
+        """Destroy every segment.  Idempotent; creator-process only."""
+        if os.getpid() != self._owner_pid:
+            return
+        with self._lock:
+            self._closed = True
+            slabs = list(self._slabs.values())
+            self._slabs.clear()
+            self._free.clear()
+        for slab in slabs:
+            slab.close()
+            slab.unlink()

@@ -119,6 +119,11 @@ BITWISE_BACKENDS = ("gemm", "event-batched")
 #: factors between batches without moving any kernel crossover.
 MIN_DRIFT_DEVIATION = 0.01
 
+#: EWMA step for the serving-fed density prior: heavy enough to track a
+#: tenant's traffic mix within tens of requests, light enough that one
+#: outlier batch cannot yank the warm-start bucket.
+DENSITY_PRIOR_ALPHA = 0.2
+
 #: Per-layer shard race defaults: a GEMM layer is only worth row-sharding
 #: when one calibration call already costs this much wall clock (the
 #: thread fan-out has fixed overhead), and the race tries this many
@@ -391,6 +396,11 @@ class AutoEngine(EventBatchedEngine):
         self.calibration_runs = 0
         self.replans_triggered = 0
         self.warm_starts = 0
+        self.prior_warm_starts = 0
+        # kind -> EWMA of serving-observed input density, fed by the
+        # engine worker / pool so cold serving keys can warm-start from
+        # what production traffic actually looks like.
+        self._density_priors: Dict[str, float] = {}
         self._plans = LRUCache(PLAN_CACHE_CAPACITY)
         self._active_plan: Optional[ExecutionPlan] = None
         self._calibration: Optional[Dict[str, _Capture]] = None
@@ -431,6 +441,7 @@ class AutoEngine(EventBatchedEngine):
         super()._share_caches(peer)
         peer._plans = self._plans
         peer.cost_model = self.cost_model
+        peer._density_priors = self._density_priors
 
     # ------------------------------------------------------------------
     # Plan persistence
@@ -546,6 +557,49 @@ class AutoEngine(EventBatchedEngine):
                 match = plan
         return match
 
+    def observe_density_prior(self, kind: str, density: float) -> None:
+        """Feed one serving-observed input density into the EWMA prior.
+
+        The serving layer (engine worker and pool replicas) calls this
+        with the density of every dispatched batch.  The prior is keyed
+        by input kind and shared across sibling engines, so a cold plan
+        key can warm-start from what production traffic actually looks
+        like instead of racing from scratch (:meth:`_prior_plan`).
+        """
+        density = min(max(float(density), 0.0), 1.0)
+        prior = self._density_priors.get(kind)
+        self._density_priors[kind] = (
+            density if prior is None
+            else prior + DENSITY_PRIOR_ALPHA * (density - prior)
+        )
+
+    def _prior_plan(self, key: Tuple) -> Optional[ExecutionPlan]:
+        """Cross-shape warm-start seed picked by the serving density prior.
+
+        When a cold key has no same-shape neighbour (a batch size this
+        server has never seen), any cached same-(kind, T) plan whose
+        density bucket is nearest the EWMA prior is still a useful
+        seed: layer names and their per-layer densities transfer across
+        batch sizes, and seed adoption in calibration re-checks each
+        layer's density agreement before trusting it.
+        """
+        kind, _, timesteps, _ = key
+        prior = self._density_priors.get(kind)
+        if prior is None:
+            return None
+        target = density_bucket(prior)
+        best: Optional[ExecutionPlan] = None
+        best_distance: Optional[int] = None
+        for cached_key, plan in self._plans.items():
+            if len(cached_key) != 4:
+                continue
+            if cached_key[0] != kind or int(cached_key[2]) != int(timesteps):
+                continue
+            distance = abs(int(cached_key[3]) - target)
+            if best_distance is None or distance <= best_distance:
+                best, best_distance = plan, distance
+        return best
+
     def _neighbor_plan(self, key: Tuple) -> Optional[ExecutionPlan]:
         """The nearest same-(kind, shape, T) plan in a *different*
         density bucket — the warm-start seed for a plan-key miss."""
@@ -580,6 +634,10 @@ class AutoEngine(EventBatchedEngine):
                 self._predict_only = True
             else:
                 self._seed_plan = self._neighbor_plan(key)
+                if self._seed_plan is None:
+                    self._seed_plan = self._prior_plan(key)
+                    if self._seed_plan is not None:
+                        self.prior_warm_starts += 1
         try:
             run = super()._run_single(x, timesteps, per_step)
             stats = run.stats
@@ -820,6 +878,11 @@ class AutoEngine(EventBatchedEngine):
             "calibration_runs": self.calibration_runs,
             "replans_triggered": self.replans_triggered,
             "warm_starts": self.warm_starts,
+            "prior_warm_starts": self.prior_warm_starts,
+            "density_priors": {
+                kind: round(value, 6)
+                for kind, value in self._density_priors.items()
+            },
             "cost_model": self.cost_model.snapshot(),
         }
 

@@ -138,6 +138,12 @@ class EngineWorker:
     def _run(self, x, timesteps: int, per_step: bool) -> EngineRun:
         if self.probe_shape is None and hasattr(x, "shape"):
             self.probe_shape = tuple(int(s) for s in x.shape[1:])
+        observe = getattr(self._engine, "observe_density_prior", None)
+        if observe is not None and isinstance(x, np.ndarray):
+            # Serving-observed density feeds the planner's EWMA prior so
+            # cold plan keys warm-start from real traffic (one
+            # count_nonzero pass — noise next to a T-timestep run).
+            observe("dense", float(np.count_nonzero(x)) / max(x.size, 1))
         run = self._engine.run(
             x,
             timesteps,

@@ -1,0 +1,358 @@
+"""Process-parallel pool: bit-identity, failure recovery, shm lifecycle.
+
+Covers the pool-specific serving guarantees the single-worker suite
+cannot: replica responses are bit-identical to an in-process engine run
+(shared-memory framing is lossless and fork inherits the same plans),
+a replica's death or hang re-queues work onto survivors while the pool
+keeps answering, slabs are recycled — not leaked — across replica
+restarts, and drain destroys every ``/dev/shm`` segment.  Also pins the
+queue-proportional 429 ``Retry-After`` estimate the pool's ``capacity``
+feeds into.
+"""
+
+import asyncio
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.serve import (
+    BatcherConfig,
+    CircuitBreaker,
+    DegradePolicy,
+    EngineWorkerPool,
+    MicroBatcher,
+    ServiceEstimator,
+    ServingMetrics,
+    ShedError,
+    build_demo_network,
+    list_segments,
+    pool_start_method,
+)
+from repro.snn.engines import make_engine
+from repro.snn.engines.service import WorkerTimeout
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="POSIX shared memory not available"
+)
+
+SHAPE = (2, 4, 4)
+CLASSES = 5
+
+
+def tiny_model(seed=0):
+    model, _ = build_demo_network(input_shape=SHAPE, classes=CLASSES, seed=seed)
+    return model
+
+
+class FileStallLayer(nn.Module):
+    """Pass-through that sleeps while a sentinel file exists.
+
+    Both the switch *and the duration* live in the filesystem (the file
+    holds the seconds), not process memory, so the parent can arm and
+    re-tune stalls in replicas that forked long ago.
+    """
+
+    stall_file = ""
+
+    def forward(self, x):
+        path = type(self).stall_file
+        if path and os.path.exists(path):
+            try:
+                with open(path) as handle:
+                    seconds = float(handle.read().strip() or 0)
+            except (OSError, ValueError):
+                seconds = 0.0
+            time.sleep(seconds)
+        return x
+
+
+@pytest.fixture
+def stall(tmp_path):
+    path = str(tmp_path / "stall")
+    FileStallLayer.stall_file = path
+
+    class Switch:
+        def arm(self, seconds):
+            with open(path, "w") as handle:
+                handle.write(str(seconds))
+
+        def disarm(self):
+            if os.path.exists(path):
+                os.remove(path)
+
+    switch = Switch()
+    yield switch
+    switch.disarm()
+    FileStallLayer.stall_file = ""
+
+
+def make_pool(replicas=2, model=None, serve_timesteps=4, max_batch_size=4):
+    engine = make_engine("dense").bind(model if model is not None else tiny_model())
+    return EngineWorkerPool(
+        engine,
+        replicas=replicas,
+        probe_shape=SHAPE,
+        serve_timesteps=serve_timesteps,
+        max_batch_size=max_batch_size,
+        spawn_spec="dense",
+    )
+
+
+# ----------------------------------------------------------------------
+# Correctness: the pool is invisible in the numbers
+# ----------------------------------------------------------------------
+class TestPoolBitIdentity:
+    def test_pool_results_bit_identical_to_inprocess_run(self):
+        model = tiny_model()
+        pool = make_pool(replicas=2, model=model)
+        try:
+            control_engine = make_engine("dense").bind(tiny_model())
+            rng = np.random.default_rng(11)
+            x = rng.normal(size=(3,) + SHAPE).astype(np.float32)
+            control = control_engine.run(x, 4, per_step=True)
+
+            run = pool.submit(x, 4, per_step=True).result(timeout=60)
+            assert run.logits.dtype == control.logits.dtype
+            np.testing.assert_array_equal(run.logits, control.logits)
+            assert len(run.per_step) == 4
+            for step, expect in zip(run.per_step, control.per_step):
+                np.testing.assert_array_equal(step, expect)
+        finally:
+            pool.shutdown()
+
+    def test_submissions_fan_out_and_all_complete(self):
+        pool = make_pool(replicas=2)
+        try:
+            rng = np.random.default_rng(3)
+            batches = [
+                rng.normal(size=(2,) + SHAPE).astype(np.float32) for _ in range(8)
+            ]
+            futures = [pool.submit(x, 4) for x in batches]
+            runs = [f.result(timeout=60) for f in futures]
+            assert pool.runs_completed == 8
+            assert all(r.logits.shape == (2, CLASSES) for r in runs)
+            snap = pool.snapshot()
+            assert snap["start_method"] == pool_start_method()
+            assert sum(r["completed"] for r in snap["per_replica"]) == 8
+            assert all(r["depth"] == 0 for r in snap["per_replica"])
+        finally:
+            pool.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Failure recovery: death and hang
+# ----------------------------------------------------------------------
+class TestPoolFailureRecovery:
+    def test_replica_death_requeues_and_request_still_answers(self, stall):
+        pool = make_pool(replicas=2, model=nn.Sequential(FileStallLayer(), tiny_model()))
+        try:
+            # Long enough that the victim is still mid-run when killed,
+            # even on a loaded box (the re-queued attempt re-reads the
+            # stall file, so the total wait stays ~2x the stall).
+            stall.arm(1.0)
+            x = np.random.default_rng(5).normal(size=(2,) + SHAPE)
+            future = pool.submit(x.astype(np.float32), 4)
+            victim = next(r for r in pool._replicas if r.outstanding)
+            os.kill(victim.process.pid, signal.SIGKILL)
+
+            run = future.result(timeout=60)  # re-queued onto the survivor
+            assert run.logits.shape == (2, CLASSES)
+            deadline = time.monotonic() + 30
+            while pool.restarts < 1 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert pool.restarts == 1
+            # The rebuilt replica serves again.
+            stall.disarm()
+            ok = pool.submit(x.astype(np.float32), 4).result(timeout=60)
+            assert ok.logits.shape == (2, CLASSES)
+            assert all(r.alive() for r in pool._replicas)
+        finally:
+            pool.shutdown()
+
+    def test_late_answer_from_superseded_attempt_is_dropped(self, stall):
+        """A replica that answered just before dying must not have its
+        late message taken for the re-queued attempt's answer — the
+        slabs still belong to the survivor's in-flight run, so an early
+        release would recycle segments under it."""
+        pool = make_pool(replicas=2, model=nn.Sequential(FileStallLayer(), tiny_model()))
+        try:
+            stall.arm(2.0)
+            x = np.ones((2,) + SHAPE, dtype=np.float32)
+            future = pool.submit(x, 4)
+            victim = next(r for r in pool._replicas if r.outstanding)
+            os.kill(victim.process.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 30
+            while pool.restarts < 1 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            with pool._lock:
+                dispatch = next(iter(pool._dispatches.values()))
+                assert dispatch.attempts == 2  # re-queued exactly once
+                stale = {
+                    "req": dispatch.rid,
+                    "replica": victim.index,
+                    "generation": dispatch.generation,
+                    "attempt": 1,
+                    "ok": True,
+                    "stats": {},
+                }
+            pool._handle_response(stale)
+            assert not future.done()  # the stale answer resolved nothing
+            assert pool.ring.bytes_in_flight() > 0  # ...and freed no slab
+            run = future.result(timeout=60)  # the live attempt answers
+            assert run.logits.shape == (2, CLASSES)
+            assert pool.ring.bytes_in_flight() == 0
+        finally:
+            stall.disarm()
+            pool.shutdown()
+
+    def test_hang_timeout_rebuilds_only_the_wedged_replica(self, stall):
+        pool = make_pool(replicas=2, model=nn.Sequential(FileStallLayer(), tiny_model()))
+        try:
+            x = np.zeros((1,) + SHAPE, dtype=np.float32)
+
+            async def scenario():
+                stall.arm(30.0)
+                with pytest.raises(WorkerTimeout):
+                    await pool.run_async(x, 2, timeout=0.5)
+                stall.disarm()
+                return await pool.run_async(x, 2, timeout=30.0)
+
+            run = asyncio.run(scenario())
+            assert run.logits.shape == (1, CLASSES)
+            assert pool.restarts == 1
+            snap = pool.snapshot()
+            assert sum(r["restarts"] for r in snap["per_replica"]) == 1
+        finally:
+            pool.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory lifecycle through the pool (satellite: shm coverage)
+# ----------------------------------------------------------------------
+class TestPoolShmLifecycle:
+    def test_slabs_recycle_across_replica_restart_without_leaking(self, stall):
+        pool = make_pool(replicas=2, model=nn.Sequential(FileStallLayer(), tiny_model()))
+        try:
+            x = np.ones((2,) + SHAPE, dtype=np.float32)
+            for _ in range(4):
+                pool.submit(x, 4).result(timeout=60)
+            segments_before = list_segments(pool.ring.prefix)
+            assert segments_before  # the ring minted working slabs
+
+            stall.arm(1.0)  # still mid-run when the SIGKILL lands
+            future = pool.submit(x, 4)
+            victim = next(r for r in pool._replicas if r.outstanding)
+            os.kill(victim.process.pid, signal.SIGKILL)
+            future.result(timeout=60)
+            stall.disarm()
+
+            for _ in range(4):
+                pool.submit(x, 4).result(timeout=60)
+            # Same segments, reused — a restart must not strand or mint.
+            assert list_segments(pool.ring.prefix) == segments_before
+            assert pool.ring.bytes_in_flight() == 0
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_unlinks_every_segment_and_closes_the_pool(self):
+        pool = make_pool(replicas=2)
+        prefix = pool.ring.prefix
+        x = np.ones((2,) + SHAPE, dtype=np.float32)
+        pool.submit(x, 4).result(timeout=60)
+        assert list_segments(prefix)
+        pool.shutdown()
+        assert list_segments(prefix) == []
+        pool.shutdown()  # idempotent
+        with pytest.raises(RuntimeError):
+            pool.submit(x, 4)
+
+    def test_stale_generation_never_served(self):
+        """A response frame carrying the wrong generation is rejected,
+        not returned as data (simulates a straggler's late write)."""
+        pool = make_pool(replicas=1)
+        try:
+            x = np.ones((1,) + SHAPE, dtype=np.float32)
+            run = pool.submit(x, 2, per_step=True).result(timeout=60)
+            assert len(run.per_step) == 2
+            # Corrupt the next dispatch's view of generations: write a
+            # frame with an old tag into the output slab path by asking
+            # _collect_result to read under a mismatched expectation.
+            from repro.serve.shm import StaleSlabError
+
+            with pool._lock:
+                slab = pool.ring.acquire(64)
+            slab.write(np.zeros(4, dtype=np.float32), generation=1)
+            with pytest.raises(StaleSlabError):
+                slab.read(expected_generation=999)
+            with pool._lock:
+                pool.ring.release(slab)
+        finally:
+            pool.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Retry-After scales with load (satellite: no more constant 429 hint)
+# ----------------------------------------------------------------------
+class StubCapacityWorker:
+    def __init__(self, capacity=1):
+        self.capacity = capacity
+        self.restarts = 0
+        self.shard_failures = 0
+        self.last_degraded_mode = ""
+
+    async def run_async(self, x, timesteps, per_step=False, timeout=None):
+        await asyncio.sleep(3600)  # never completes: queue stays full
+
+
+def retry_after_when_full(depth, capacity):
+    async def scenario():
+        worker = StubCapacityWorker(capacity=capacity)
+        batcher = MicroBatcher(
+            worker,
+            CircuitBreaker(failure_threshold=100, reset_timeout=0.2),
+            ServingMetrics(),
+            DegradePolicy(full_timesteps=4, p99_budget_ms=None,
+                          cooldown_seconds=0.0),
+            config=BatcherConfig(
+                max_batch_size=8,
+                max_queue_depth=depth,
+                gather_window_seconds=0.05,
+                hang_timeout_seconds=5.0,
+                idle_tick_seconds=0.01,
+            ),
+            estimator=ServiceEstimator(initial_unit=1e-3, overhead=1e-2),
+        )
+        x = np.zeros((1, 2, 2, 2), dtype=np.float32)
+        fillers = [
+            asyncio.ensure_future(
+                batcher.submit(x, timesteps=4, deadline_ms=3_600_000.0)
+            )
+            for _ in range(depth)
+        ]
+        await asyncio.sleep(0)  # let the fillers enqueue
+        with pytest.raises(ShedError) as err:
+            await batcher.submit(x, timesteps=4, deadline_ms=3_600_000.0)
+        for task in fillers:
+            task.cancel()
+        await asyncio.gather(*fillers, return_exceptions=True)
+        return err.value.retry_after
+
+    return asyncio.run(scenario())
+
+
+class TestRetryAfterScalesWithLoad:
+    def test_deeper_queue_means_longer_retry_after(self):
+        shallow = retry_after_when_full(depth=4, capacity=1)
+        deep = retry_after_when_full(depth=16, capacity=1)
+        assert shallow is not None and deep is not None
+        assert deep > shallow
+
+    def test_more_worker_capacity_means_shorter_retry_after(self):
+        solo = retry_after_when_full(depth=16, capacity=1)
+        pooled = retry_after_when_full(depth=16, capacity=4)
+        assert pooled < solo

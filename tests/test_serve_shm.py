@@ -1,0 +1,227 @@
+"""Shared-memory slab transport: framing, recycling, lifecycle.
+
+The serving pool's correctness rests on three slab-ring guarantees —
+frames reconstruct exactly (dtype/shape framing), stale generations are
+rejected rather than silently served, and every segment is unlinked on
+drain *and* on crash.  These tests pin each one, including the
+cross-process cases (attacher never unlinks; fork children cannot
+destroy the parent's ring; a crashing owner still cleans ``/dev/shm``).
+"""
+
+import multiprocessing
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.serve.shm import (
+    HEADER_SIZE,
+    Slab,
+    SlabError,
+    SlabOverflowError,
+    SlabRing,
+    StaleSlabError,
+    attach_slab,
+    create_slab,
+    list_segments,
+)
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="POSIX shared memory not available"
+)
+
+
+@pytest.fixture
+def ring():
+    ring = SlabRing()
+    yield ring
+    ring.unlink_all()
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "array",
+    [
+        np.arange(24, dtype=np.float32).reshape(2, 3, 4),
+        np.arange(7, dtype=np.int64),
+        np.array(3.5, dtype=np.float64),
+        np.random.default_rng(0).normal(size=(4, 2, 8, 8)).astype(np.float32),
+    ],
+)
+def test_roundtrip_preserves_dtype_shape_and_bits(ring, array):
+    slab = ring.acquire(array.nbytes)
+    generation = ring.next_generation()
+    slab.write(array, generation)
+    out = slab.read(expected_generation=generation)
+    assert out.dtype == array.dtype
+    assert out.shape == array.shape
+    assert np.array_equal(out, array)
+
+
+def test_stale_generation_rejected(ring):
+    slab = ring.acquire(64)
+    generation = ring.next_generation()
+    slab.write(np.zeros(4, dtype=np.float32), generation)
+    with pytest.raises(StaleSlabError):
+        slab.read(expected_generation=generation + 1)
+    # The right generation still reads fine afterwards.
+    assert slab.read(expected_generation=generation).shape == (4,)
+
+
+def test_overflow_raises_not_truncates(ring):
+    slab = ring.acquire(16)
+    with pytest.raises(SlabOverflowError):
+        slab.write(np.zeros(1024, dtype=np.float64), ring.next_generation())
+
+
+def test_bad_magic_rejected(ring):
+    slab = ring.acquire(64)
+    slab.shm.buf[:4] = b"JUNK"
+    with pytest.raises(SlabError):
+        slab.read()
+
+
+def test_copy_false_views_shared_pages(ring):
+    array = np.arange(8, dtype=np.float32)
+    slab = ring.acquire(array.nbytes)
+    generation = ring.next_generation()
+    slab.write(array, generation)
+    view = slab.read(expected_generation=generation, copy=False)
+    slab.write(np.full(8, 9.0, dtype=np.float32), ring.next_generation())
+    assert view[0] == 9.0  # a view, not a copy
+    del view
+
+
+# ----------------------------------------------------------------------
+# Ring recycling and accounting
+# ----------------------------------------------------------------------
+def test_release_recycles_the_same_segment(ring):
+    first = ring.acquire(256)
+    name = first.name
+    ring.release(first)
+    second = ring.acquire(128)
+    assert second.name == name
+    assert ring.slab_count() == 1
+
+
+def test_undersized_free_slab_is_retired_for_a_larger_one(ring):
+    small = ring.acquire(64)
+    small_name = small.name
+    ring.release(small)
+    big = ring.acquire(1 << 16)
+    assert big.name != small_name
+    assert ring.slab_count() == 1  # the small one was unlinked, not kept
+    assert small_name.split("/")[-1] not in list_segments(ring.prefix)
+
+
+def test_bytes_in_flight_tracks_checkouts(ring):
+    assert ring.bytes_in_flight() == 0
+    slab = ring.acquire(1000)
+    assert ring.bytes_in_flight() == slab.capacity >= 1000 + HEADER_SIZE
+    ring.release(slab)
+    assert ring.bytes_in_flight() == 0
+    assert ring.total_bytes() == slab.capacity
+
+
+def test_generations_are_monotonic(ring):
+    seen = [ring.next_generation() for _ in range(5)]
+    assert seen == sorted(seen) and len(set(seen)) == 5
+
+
+# ----------------------------------------------------------------------
+# Attachment (the replica side)
+# ----------------------------------------------------------------------
+def test_attach_reads_creators_frame_and_close_does_not_unlink(ring):
+    array = np.arange(12, dtype=np.float32).reshape(3, 4)
+    slab = ring.acquire(array.nbytes)
+    generation = ring.next_generation()
+    slab.write(array, generation)
+
+    attached = attach_slab(slab.name)
+    assert np.array_equal(attached.read(expected_generation=generation), array)
+    attached.write(array * 2, generation + 1)
+    attached.close()
+    attached.unlink()  # non-owner: must be a no-op
+
+    assert slab.name in list_segments(ring.prefix)
+    assert np.array_equal(slab.read(expected_generation=generation + 1), array * 2)
+
+
+# ----------------------------------------------------------------------
+# Unlink guarantees
+# ----------------------------------------------------------------------
+def test_unlink_all_destroys_every_segment_and_is_idempotent():
+    ring = SlabRing()
+    ring.acquire(64)
+    ring.release(ring.acquire(128))
+    assert list_segments(ring.prefix)
+    ring.unlink_all()
+    assert list_segments(ring.prefix) == []
+    ring.unlink_all()  # second call is a no-op
+    with pytest.raises(SlabError):
+        ring.acquire(64)
+
+
+def test_release_after_unlink_all_only_closes():
+    ring = SlabRing()
+    slab = ring.acquire(64)
+    ring.unlink_all()
+    ring.release(slab)  # checked-out at drain time: close, no crash
+    assert list_segments(ring.prefix) == []
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+def test_fork_child_cannot_unlink_parents_segments():
+    ring = SlabRing()
+    try:
+        slab = ring.acquire(64)
+        slab.write(np.zeros(4, dtype=np.float32), ring.next_generation())
+
+        def child():
+            # Inherited ring object + inherited atexit hook: both must
+            # refuse to destroy segments they do not own.
+            ring.unlink_all()
+
+        ctx = multiprocessing.get_context("fork")
+        process = ctx.Process(target=child)
+        process.start()
+        process.join(10)
+        assert process.exitcode == 0
+        assert slab.name in list_segments(ring.prefix)
+    finally:
+        ring.unlink_all()
+    assert list_segments(ring.prefix) == []
+
+
+def test_crashing_owner_still_unlinks(tmp_path):
+    """A ring owner that dies on an unhandled exception leaves no
+    ``/dev/shm`` segments behind (the atexit hook is the crash net)."""
+    prefix = f"repro-pool-crash-{os.getpid()}"
+    script = (
+        "import numpy as np\n"
+        "from repro.serve.shm import SlabRing\n"
+        f"ring = SlabRing(prefix={prefix!r})\n"
+        "slab = ring.acquire(256)\n"
+        "slab.write(np.zeros(8, dtype=np.float32), ring.next_generation())\n"
+        "raise RuntimeError('simulated crash')\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, ["src", env.get("PYTHONPATH")])
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        env=env,
+        capture_output=True,
+        timeout=60,
+    )
+    assert result.returncode != 0  # it really crashed
+    assert list_segments(prefix) == []

@@ -504,3 +504,71 @@ class TestStreamPlanKeys:
         assert engine.calibration_runs == 2
         assert engine.plan_for(x.shape, 4, kind="dense") is not None
         assert engine.plan_for(x.shape, 4, kind="stream") is not None
+
+
+class TestServingDensityPrior:
+    """Serving-observed densities feed an EWMA prior per input kind;
+    a cold plan key with no same-shape neighbour warm-starts from the
+    cached plan nearest that prior (cross-shape seed), so the first
+    batch of a never-seen batch size benefits from production traffic."""
+
+    def test_ewma_update_clamps_and_snapshots(self):
+        engine = AutoEngine()
+        engine.observe_density_prior("dense", 0.5)
+        engine.observe_density_prior("dense", 1.5)  # clamps to 1.0
+        snap = engine.planner_snapshot()
+        assert snap["density_priors"]["dense"] == pytest.approx(0.6)
+        assert snap["prior_warm_starts"] == 0
+
+    def test_unseen_batch_size_warm_starts_from_prior(self):
+        engine = AutoEngine()
+        net = SpikingNetwork(converted_toy(), timesteps=4, engine=engine)
+        rng = np.random.default_rng(80)
+        x1 = rng.normal(size=(6, 2, 4, 4)).astype(np.float32)
+        net.forward(x1)
+        assert engine.calibration_runs == 1
+        engine.observe_density_prior(
+            "dense", float(np.count_nonzero(x1)) / x1.size
+        )
+        # A batch size this engine has never planned: no same-shape
+        # neighbour exists, so the serving prior supplies the seed.
+        x2 = rng.normal(size=(3, 2, 4, 4)).astype(np.float32)
+        net.forward(x2)
+        assert engine.calibration_runs == 2  # still calibrates...
+        assert engine.prior_warm_starts == 1  # ...seeded by the prior
+        assert engine.planner_snapshot()["prior_warm_starts"] == 1
+
+    def test_cold_key_without_prior_does_not_warm_start(self):
+        engine = AutoEngine()
+        net = SpikingNetwork(converted_toy(), timesteps=4, engine=engine)
+        rng = np.random.default_rng(81)
+        net.forward(rng.normal(size=(6, 2, 4, 4)).astype(np.float32))
+        net.forward(rng.normal(size=(3, 2, 4, 4)).astype(np.float32))
+        assert engine.prior_warm_starts == 0  # no serving traffic seen
+
+    def test_same_shape_neighbor_wins_over_prior(self):
+        engine = AutoEngine()
+        net = SpikingNetwork(converted_toy(), timesteps=4, engine=engine)
+        shape = (4, 2, 4, 4)
+        sparse = TestDensityBucketPlanKeys._stream(shape, 4, p=0.02, seed=82)
+        dense_stream = TestDensityBucketPlanKeys._stream(shape, 4, p=0.9, seed=83)
+        net.forward(sparse)
+        engine.observe_density_prior("stream", sparse.density)
+        net.forward(dense_stream)
+        # Same shape, different bucket: the neighbour seed applies and
+        # the cross-shape prior path is never consulted.
+        assert engine.calibration_runs == 2
+        assert engine.prior_warm_starts == 0
+
+    def test_engine_worker_feeds_serving_densities(self):
+        from repro.snn.engines import EngineWorker
+
+        engine = make_engine("auto").bind(converted_toy())
+        worker = EngineWorker(engine, probe_shape=(2, 4, 4))
+        try:
+            x = np.random.default_rng(84).normal(size=(2, 2, 4, 4))
+            worker.submit(x.astype(np.float32), 2).result(timeout=60)
+            priors = engine.planner_snapshot()["density_priors"]
+            assert "dense" in priors and 0.0 < priors["dense"] <= 1.0
+        finally:
+            worker.shutdown()
